@@ -1,0 +1,23 @@
+"""Eq. 1 / §2.2: peak in-memory throughput identity (131072 ops/cycle)."""
+
+from repro.config import default_system
+from repro.sim.campaign import format_table
+
+from benchmarks.conftest import emit
+
+
+def compute_peaks():
+    system = default_system()
+    rows = []
+    for bits, name in ((8, "int8 add"), (16, "int16 add"), (32, "int32 add")):
+        peak = system.in_memory_peak_ops_per_cycle(bits)
+        rows.append([name, peak, peak / system.core_peak_ops_per_cycle(32)])
+    return ["op", "ops/cycle", "vs 64-core AVX-512"], rows
+
+
+def test_eq1_peak_throughput(benchmark):
+    headers, rows = benchmark.pedantic(compute_peaks, rounds=1, iterations=1)
+    emit("Eq. 1: peak in-memory throughput", format_table(headers, rows))
+    by = {r[0]: r for r in rows}
+    assert by["int32 add"][1] == 131072
+    assert by["int32 add"][2] == 128

@@ -1,0 +1,24 @@
+"""Fig 2: speedup of the computing paradigms on fp32 microbenchmarks.
+
+Regenerates the vec_add / array_sum series (16k..4M elements) relative
+to a single baseline thread, matching the figure's setup (data cached in
+L3 and already transposed).
+"""
+
+from repro.sim.campaign import fig02_microbench, format_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig02_microbenchmarks(benchmark):
+    headers, rows = benchmark.pedantic(
+        fig02_microbench, rounds=1, iterations=1
+    )
+    emit("Fig 2: paradigm speedup over Base-Thread-1", format_table(headers, rows))
+    # Shape assertions: in-L3 wins vec_add at 4M by a wide margin (21x
+    # over Near-L3 in the paper); larger inputs amortize bit-serial ops.
+    by_name = {r[0]: r for r in rows}
+    big = by_name["vec_add/4M"]
+    assert big[3] > 5 * big[2]  # In-L3 >> Near-L3 at 4M
+    small = by_name["vec_add/16k"]
+    assert big[3] / big[1] > small[3] / small[1]

@@ -1,0 +1,30 @@
+"""Fig 11: overall speedup of Near-L3 / In-L3 / Inf-S / Inf-S-noJIT.
+
+Paper's headline: Near-L3 2.0x, Inf-S 5.1x over Base; Inf-S 2.6x over
+Near-L3; Inf-S-noJIT +19% over Inf-S.
+"""
+
+from repro.sim.campaign import fig11_speedup, format_table
+
+from benchmarks.conftest import emit
+
+_cache = {}
+
+
+def run_fig11(scale):
+    if scale not in _cache:
+        _cache[scale] = fig11_speedup(scale)
+    return _cache[scale]
+
+
+def test_fig11_overall_speedup(benchmark, bench_scale):
+    headers, rows, _results = benchmark.pedantic(
+        run_fig11, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("Fig 11: speedup over Base", format_table(headers, rows))
+    geo = rows[-1]
+    near, inl3, infs, nojit = geo[1], geo[2], geo[3], geo[4]
+    assert near > 1.0, "Near-L3 should beat Base on geomean"
+    assert infs > near, "Inf-S should beat Near-L3 (paper: 2.6x)"
+    assert infs >= inl3, "fusion never loses to pure in-memory"
+    assert nojit >= infs, "precompiled commands only remove JIT time"

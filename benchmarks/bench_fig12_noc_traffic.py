@@ -1,0 +1,26 @@
+"""Fig 12: NoC traffic breakdown (bytes x hops) and utilization.
+
+Paper: Near-L3 cuts 29% of Base traffic; Inf-S removes ~90%.
+"""
+
+from repro.sim.campaign import (
+    fig11_speedup,
+    fig12_noc_traffic,
+    format_table,
+    geomean,
+)
+
+from benchmarks.conftest import emit
+from benchmarks.bench_fig11_speedup import run_fig11
+
+
+def test_fig12_traffic(benchmark, bench_scale):
+    _h, _r, results = run_fig11(bench_scale)
+    headers, rows = benchmark.pedantic(
+        fig12_noc_traffic, args=(results,), rounds=1, iterations=1
+    )
+    emit("Fig 12: NoC traffic (normalized to Base)", format_table(headers, rows))
+    infs_totals = [r[6] for r in rows if r[1] == "inf-s"]
+    near_totals = [r[6] for r in rows if r[1] == "near-l3"]
+    assert geomean(infs_totals) < 0.35, "Inf-S should remove most traffic"
+    assert geomean(near_totals) < 1.0, "Near-L3 reduces traffic vs Base"

@@ -1,0 +1,19 @@
+"""Fig 13: Inf-S traffic breakdown across the 13 workload variants.
+
+Paper: a reasonable tile size converts most data movement into
+intra-tile shifts inside the SRAM arrays.
+"""
+
+from repro.sim.campaign import fig13_infs_traffic, format_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig13_traffic_breakdown(benchmark, bench_scale):
+    headers, rows = benchmark.pedantic(
+        fig13_infs_traffic, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("Fig 13: Inf-S traffic breakdown", format_table(headers, rows))
+    shift_rows = [r for r in rows if r[0].startswith("stencil")]
+    for row in shift_rows:
+        assert row[1] > 0.5, f"{row[0]}: shifts should stay intra-tile"

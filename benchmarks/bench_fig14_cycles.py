@@ -1,0 +1,20 @@
+"""Fig 14: Inf-S cycle breakdown + fraction of ops executed in-memory.
+
+Paper: in-memory phases take ~88% of cycles (26% DRAM/transpose, 32%
+compute, 19% move); JIT ~11%; 99% of ops run on the bitlines.
+"""
+
+from repro.sim.campaign import fig14_cycles, format_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig14_cycle_breakdown(benchmark, bench_scale):
+    headers, rows = benchmark.pedantic(
+        fig14_cycles, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("Fig 14: Inf-S cycle breakdown", format_table(headers, rows))
+    inmem_fracs = [r[-1] for r in rows]
+    assert sum(f > 0.9 for f in inmem_fracs) >= len(rows) * 0.6, (
+        "most workloads should run nearly all ops in-memory"
+    )

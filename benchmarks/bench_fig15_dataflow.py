@@ -1,0 +1,21 @@
+"""Fig 15: inner- vs outer-product dataflow per paradigm.
+
+Paper: Base favors inner product; Inf-S's outer product is a clear win
+(4.4x over Base), as it avoids inefficient in-memory reduction.
+"""
+
+from repro.sim.campaign import fig15_dataflow, format_table, geomean
+
+from benchmarks.conftest import emit
+
+
+def test_fig15_dataflow_choice(benchmark, bench_scale):
+    headers, rows = benchmark.pedantic(
+        fig15_dataflow, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("Fig 15: dataflow choice (vs Base inner product)", format_table(headers, rows))
+    # Inf-S outer product should beat Inf-S inner product on geomean.
+    infs_in = geomean(r[4] for r in rows)
+    infs_out = geomean(r[5] for r in rows)
+    assert infs_out > infs_in
+    assert infs_out > 1.0

@@ -1,0 +1,25 @@
+"""Fig 16: cycle counts vs 2D tile size + heuristic-vs-oracle quality.
+
+Paper: the runtime's tiling heuristic lands within 2% of an oracle.
+The sweep runs at REPRO_SWEEP_SCALE (default 0.25) because it multiplies
+every workload by ~9 tile configurations.
+"""
+
+from repro.sim.campaign import fig16_tile_sweep_2d, format_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig16_2d_tiles(benchmark, sweep_scale):
+    (headers, rows), (sh, srows) = benchmark.pedantic(
+        fig16_tile_sweep_2d,
+        kwargs={"scale": sweep_scale},
+        rounds=1,
+        iterations=1,
+    )
+    emit("Fig 16: cycles per 2D tile size", format_table(headers, rows))
+    emit("Fig 16: heuristic vs oracle", format_table(sh, srows))
+    for row in srows:
+        assert row[4] < 1.6, (
+            f"{row[0]}: heuristic within paper-like distance of oracle"
+        )

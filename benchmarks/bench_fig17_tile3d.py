@@ -1,0 +1,18 @@
+"""Fig 17: Inf-S speedup vs 3D tile size (stencil3d, conv3d)."""
+
+from repro.sim.campaign import fig17_tile_sweep_3d, format_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig17_3d_tiles(benchmark):
+    headers, rows = benchmark.pedantic(
+        fig17_tile_sweep_3d, rounds=1, iterations=1
+    )
+    emit("Fig 17: speedup vs 3D tile size", format_table(headers, rows))
+    # Tiling matters once arrays are large enough that movement competes
+    # with compute (paper: up to 2.7x spread).
+    floors = {"stencil3d": 1.5, "conv3d": 1.05}
+    for name in {r[0] for r in rows}:
+        speedups = [r[2] for r in rows if r[0] == name]
+        assert max(speedups) > floors[name], name

@@ -1,0 +1,19 @@
+"""Fig 18: energy efficiency over Base.
+
+Paper: In-L3 1.5x and Inf-S 2.4x over Near-L3 on geomean.
+"""
+
+from repro.sim.campaign import fig18_energy, format_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig18_energy_efficiency(benchmark, bench_scale):
+    headers, rows = benchmark.pedantic(
+        fig18_energy, args=(bench_scale,), rounds=1, iterations=1
+    )
+    emit("Fig 18: energy efficiency over Base", format_table(headers, rows))
+    geo = rows[-1]
+    near, inl3, infs = geo[1], geo[2], geo[3]
+    assert infs > near, "Inf-S more efficient than Near-L3 (paper: 2.4x)"
+    assert inl3 > near * 0.8

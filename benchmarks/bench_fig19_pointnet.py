@@ -1,0 +1,21 @@
+"""Fig 19: PointNet++ SSG/MSG timelines and speedups.
+
+Paper: Inf-S 1.69x (SSG) and 1.93x (MSG) over Base, flexibly executing
+each stage in-core, near-L3, or in-L3.
+"""
+
+from repro.sim.campaign import fig19_pointnet, format_table
+
+from benchmarks.conftest import emit
+
+
+def test_fig19_pointnet(benchmark):
+    (sh, srows), (th, trows) = benchmark.pedantic(
+        fig19_pointnet, rounds=1, iterations=1
+    )
+    emit("Fig 19: PointNet++ speedups", format_table(sh, srows))
+    emit("Fig 19: stage timelines (fraction of runtime)", format_table(th, trows))
+    sp = {(r[0], r[1]): r[2] for r in srows}
+    assert sp[("ssg", "inf-s")] > sp[("ssg", "near-l3")]
+    assert sp[("msg", "inf-s")] > sp[("msg", "in-l3")]
+    assert sp[("msg", "in-l3")] > sp[("ssg", "in-l3")]

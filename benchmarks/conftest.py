@@ -1,0 +1,24 @@
+"""Benchmark configuration.
+
+``REPRO_BENCH_SCALE`` scales workload sizes (1.0 = the paper's Table 3
+parameters).  Sweeps (Fig 16/17) run at a quarter scale by default; see
+their modules.
+"""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+@pytest.fixture(scope="session")
+def sweep_scale() -> float:
+    return float(os.environ.get("REPRO_SWEEP_SCALE", "0.25"))
+
+
+def emit(title: str, text: str) -> None:
+    print(f"\n=== {title} ===\n{text}\n")

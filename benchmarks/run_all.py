@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Regenerate every evaluation figure/table as text.
+
+Usage::
+
+    python benchmarks/run_all.py [--scale 1.0] [--out EXPERIMENTS_DATA.txt]
+
+This is the script behind EXPERIMENTS.md: each section prints the rows
+of one paper figure, produced by :mod:`repro.sim.campaign`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.sim import campaign as C
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--scale", type=float, default=1.0)
+    ap.add_argument("--sweep-scale", type=float, default=0.25)
+    ap.add_argument("--out", type=str, default=None)
+    args = ap.parse_args()
+
+    out = open(args.out, "w") if args.out else sys.stdout
+
+    def section(title, table):
+        print(f"\n## {title}\n", file=out)
+        print(C.format_table(*table), file=out)
+        out.flush()
+
+    t0 = time.time()
+    section("Eq. 1: peak throughput", _eq1())
+    section("Fig 2: paradigm speedup over Base-Thread-1", C.fig02_microbench())
+    headers, rows, results = C.fig11_speedup(args.scale)
+    section("Fig 11: overall speedup over Base", (headers, rows))
+    section("Fig 12: NoC traffic (normalized to Base)",
+            C.fig12_noc_traffic(results))
+    section("Fig 13: Inf-S traffic breakdown",
+            C.fig13_infs_traffic(args.scale))
+    section("Fig 14: Inf-S cycle breakdown", C.fig14_cycles(args.scale))
+    section("Fig 15: dataflow choice", C.fig15_dataflow(args.scale))
+    sweep, summary = C.fig16_tile_sweep_2d(scale=args.sweep_scale)
+    section("Fig 16: cycles vs 2D tile size", sweep)
+    section("Fig 16: heuristic vs oracle", summary)
+    section("Fig 17: speedup vs 3D tile size", C.fig17_tile_sweep_3d())
+    section("Fig 18: energy efficiency over Base", C.fig18_energy(args.scale))
+    speed, tl = C.fig19_pointnet()
+    section("Fig 19: PointNet++ speedups", speed)
+    section("Fig 19: PointNet++ timelines", tl)
+    section("JIT overheads (§8)", C.jit_overheads(args.scale))
+    print(f"\n(total {time.time() - t0:.0f}s)", file=out)
+    if args.out:
+        out.close()
+    return 0
+
+
+def _eq1():
+    from repro.config import default_system
+
+    system = default_system()
+    rows = []
+    for bits, name in ((8, "int8 add"), (16, "int16 add"), (32, "int32 add")):
+        peak = system.in_memory_peak_ops_per_cycle(bits)
+        rows.append([name, peak, peak / system.core_peak_ops_per_cycle(32)])
+    return ["op", "ops/cycle", "vs 64-core AVX-512"], rows
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Hybrid in-/near-memory k-means (§3.3's irregularity example).
+
+The paper's canonical fusion case: in-memory computes distances between
+every point and every centroid (regular, massively parallel tensors),
+while the *indirect* centroid update — a scatter keyed by each point's
+nearest centroid — runs as near-memory streams.  This example runs a
+full Lloyd's iteration functionally and reports where each phase
+executes and what fusion buys over the pure paradigms.
+"""
+
+import numpy as np
+
+from repro import api
+from repro.sim.engine import run_all_paradigms, speedups
+from repro.workloads.suite import kmeans
+
+DISTANCE = """
+for d in [0, D):
+    for p in [0, P):
+        for c in [0, C):
+            Dist[p][c] += (Pt[p][d] - Ctt[d][c]) * (Pt[p][d] - Ctt[d][c])
+"""
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    points, dim, centers = 512, 16, 8
+    pts = rng.normal(size=(points, dim)).astype(np.float32)
+    ctr = pts[rng.choice(points, centers, replace=False)].copy()
+
+    program = api.compile_kernel(
+        "kmeans_distance",
+        DISTANCE,
+        arrays={"Pt": ("P", "D"), "Ctt": ("D", "C"), "Dist": ("P", "C")},
+    )
+    sizes = {"P": points, "D": dim, "C": centers}
+
+    for iteration in range(5):
+        # Phase 1 (in-memory): the distance matrix, one host iteration
+        # per feature dimension, broadcast + element-wise accumulate.
+        dist = np.zeros((points, centers), np.float32)
+        api.run(
+            program,
+            sizes,
+            {
+                "Pt": pts,
+                "Ctt": np.ascontiguousarray(ctr.T),
+                "Dist": dist,
+            },
+            dataflow="outer",
+        )
+        expected = ((pts[:, None, :] - ctr[None, :, :]) ** 2).sum(axis=2)
+        assert np.allclose(dist, expected, rtol=1e-3, atol=1e-3)
+
+        # Phase 2 (near-memory in hardware): indirect centroid update —
+        # the scatter the tDFG keeps as streams (§3.3).
+        labels = dist.argmin(axis=1)
+        moved = 0.0
+        for c in range(centers):
+            mask = labels == c
+            if mask.any():
+                new = pts[mask].mean(axis=0)
+                moved += float(np.linalg.norm(new - ctr[c]))
+                ctr[c] = new
+        print(f"iteration {iteration}: centroid movement = {moved:.4f}")
+
+    # --- why fusion matters (paper: Near-L3 adds 2.6x traffic here) ----
+    print("\nkmeans (32k points, 128 dims, 128 centers) vs Base:")
+    res = run_all_paradigms(kmeans())
+    for name, sp in speedups(res).items():
+        print(f"  {name:12s} {sp:5.2f}x   traffic(bytes*hops)="
+              f"{res[name].traffic.total:12.3e}")
+    print(
+        "In-L3 alone leaves the update on the core; Near-L3 alone "
+        "re-reads reused data. Inf-S fuses both strengths (§8)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Programming GEMM for infinity stream (Fig 8, §3.5).
+
+The paper's key programming guidance: in-memory computing prefers the
+*outer product* dataflow, which converts the reduction into element-wise
+accumulation — one column of A and one row of B broadcast to the entire
+C per round.  This example compiles both dataflows, shows the tDFGs the
+compiler derives (broadcast + accumulate vs broadcast + in-memory
+reduce), validates them functionally against numpy, and compares their
+estimated performance per paradigm (Fig 15).
+"""
+
+import numpy as np
+
+from repro import api
+from repro.ir.printer import format_tdfg
+from repro.sim.engine import run_all_paradigms
+from repro.workloads.suite import mm
+
+OUTER = """
+for k in [0, K):
+    for m in [0, M):
+        for n in [0, N):
+            C[m][n] += A[m][k] * B[k][n]
+"""
+
+INNER = """
+for m in [0, M):
+    for n in [0, N):
+        for k in [0, K):
+            C[m][n] += A[m][k] * Bt[n][k]
+"""
+
+
+def main() -> None:
+    outer = api.compile_kernel(
+        "mm_outer", OUTER,
+        arrays={"A": ("M", "K"), "B": ("K", "N"), "C": ("M", "N")},
+    )
+    inner = api.compile_kernel(
+        "mm_inner", INNER,
+        arrays={"A": ("M", "K"), "Bt": ("N", "K"), "C": ("M", "N")},
+    )
+
+    sizes = {"M": 32, "N": 32, "K": 32}
+    print("Outer-product tDFG (one k iteration) — Fig 8's graph:")
+    region = outer.instantiate(sizes, dataflow="outer").first_region()
+    print(format_tdfg(region.tdfg))
+    print("\nInner-product tDFG (one m iteration) — in-memory reduce:")
+    region = inner.instantiate(sizes, dataflow="inner").first_region()
+    print(format_tdfg(region.tdfg))
+
+    # --- functional check against numpy --------------------------------
+    rng = np.random.default_rng(3)
+    a = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+    b = rng.uniform(-1, 1, (32, 32)).astype(np.float32)
+    expected = a @ b
+
+    c = np.zeros((32, 32), np.float32)
+    api.run(outer, sizes, {"A": a, "B": b, "C": c}, dataflow="outer")
+    assert np.allclose(c, expected, atol=1e-3)
+
+    c2 = np.zeros((32, 32), np.float32)
+    api.run(
+        inner, sizes,
+        {"A": a, "Bt": np.ascontiguousarray(b.T), "C": c2},
+        dataflow="inner",
+    )
+    assert np.allclose(c2, expected, atol=1e-3)
+    print("\nBoth dataflows match numpy's A @ B.")
+
+    # --- Fig 15: which dataflow wins per paradigm? ----------------------
+    print("\n2k x 2k GEMM, speedup over Base (inner product):")
+    res_in = run_all_paradigms(mm(dataflow="inner"))
+    res_out = run_all_paradigms(mm(dataflow="outer"))
+    base = res_in["base"].total_cycles
+    for label, res in (("inner", res_in), ("outer", res_out)):
+        print(
+            f"  {label:6s} base={base/res['base'].total_cycles:5.2f}x  "
+            f"near-l3={base/res['near-l3'].total_cycles:5.2f}x  "
+            f"inf-s={base/res['inf-s'].total_cycles:5.2f}x"
+        )
+    print("Outer product is the clear in-memory win (§3.5).")
+
+
+if __name__ == "__main__":
+    main()

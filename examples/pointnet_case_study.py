@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""PointNet++ end-to-end case study (§8, Fig 19).
+
+Runs the SSG and MSG classifiers (Table 4's set-abstraction parameters,
+4k random input points) under every configuration and renders the
+normalized timelines with their execution targets — the flexibility
+argument of the paper: Inf-S executes each stage in the core, near the
+L3 cache, or in the L3 SRAM, whichever the runtime finds cheapest.
+"""
+
+from collections import defaultdict
+
+from repro.workloads.pointnet import run_pointnet, timeline, total_cycles
+
+MARK = {"core": ".", "near": "~", "inmem": "#"}
+
+
+def render(arch: str) -> None:
+    res = run_pointnet(arch)
+    base = total_cycles(res["base"])
+    print(f"\n=== PointNet++ {arch.upper()} ===")
+    print(f"{'config':10s} {'speedup':>8s}  timeline "
+          f"(.=in-core  ~=near-L3  #=in-L3)")
+    for cfg in ("base", "near-l3", "in-l3", "inf-s"):
+        rows = timeline(res[cfg])
+        bar = ""
+        for _sa, _stage, frac, where in rows:
+            bar += MARK[where] * max(0, round(frac * 60))
+        speedup = base / total_cycles(res[cfg])
+        print(f"{cfg:10s} {speedup:7.2f}x  |{bar[:60]:60s}|")
+
+    # Where does Base spend its time? (Fig 19's stage split)
+    frac = defaultdict(float)
+    for s in res["base"]:
+        frac[s.stage] += s.cycles / base
+    split = ", ".join(f"{k} {v:.0%}" for k, v in sorted(
+        frac.items(), key=lambda kv: -kv[1]) if v > 0.02)
+    print(f"Base time split: {split}")
+
+
+def main() -> None:
+    for arch in ("ssg", "msg"):
+        render(arch)
+    print(
+        "\nPaper reference: Inf-S 1.69x (SSG) / 1.93x (MSG) over Base; "
+        "sampling dominates SSG's Base run and offloads near-memory, "
+        "while MSG's larger MLPs favor in-memory execution."
+    )
+
+
+if __name__ == "__main__":
+    main()

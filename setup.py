@@ -1,0 +1,10 @@
+"""Setup shim for editable installs on older setuptools.
+
+The project is declared in pyproject.toml; this file only enables
+``pip install -e . --no-build-isolation`` on environments whose
+setuptools predates PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Infinity Stream: portable and programmer-friendly in-/near-memory
+fusion — a full Python reproduction of the ASPLOS 2023 paper.
+
+The package implements the paper's complete stack:
+
+* :mod:`repro.frontend` — the static compiler from plain loop-nest
+  kernels to the tensor dataflow graph (tDFG);
+* :mod:`repro.ir` — the sDFG/tDFG intermediate representations;
+* :mod:`repro.egraph` — equality-saturation optimization (Appendix);
+* :mod:`repro.backend` — scheduling, wordline register allocation, and
+  the multi-SRAM-size fat binary;
+* :mod:`repro.runtime` — tiled transposed layouts, the Layout Override
+  Table, JIT lowering to bit-serial commands, and the Eq. 2 decision;
+* :mod:`repro.uarch` — the microarchitecture models (compute SRAM, mesh
+  NoC, NUCA L3, stream engines, tensor controllers, TTU, DRAM);
+* :mod:`repro.sim` — functional executors and the timing engine;
+* :mod:`repro.baselines` — the Base multicore and NSC (Near-L3) models;
+* :mod:`repro.workloads` — Table 3's benchmarks and PointNet++;
+* :mod:`repro.energy` — energy and area models (Fig 18, §8).
+
+Start with :mod:`repro.api` for the high-level interface.
+"""
+
+from repro import api
+from repro.config import default_system
+from repro.frontend import parse_kernel
+
+__version__ = "1.0.0"
+__all__ = ["api", "parse_kernel", "default_system", "__version__"]

@@ -1,0 +1,172 @@
+"""The one-stop public API for the infinity-stream library.
+
+Typical use::
+
+    import numpy as np
+    from repro import api
+
+    program = api.compile_kernel(
+        "saxpy",
+        '''
+        for i in [0, N):
+            Y[i] = a * X[i] + Y[i]
+        ''',
+        arrays={"X": ("N",), "Y": ("N",)},
+    )
+    x = np.arange(1024, dtype=np.float32)
+    y = np.ones(1024, dtype=np.float32)
+    api.run(program, params={"N": 1024, "a": 3}, arrays={"X": x, "Y": y})
+
+plus :func:`offload` to query the in-/near-memory decision, and
+:func:`simulate` to obtain cycle/traffic/energy estimates under any of
+the paper's configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.backend import FatBinary, compile_fat_binary
+from repro.config.system import (
+    SystemConfig,
+    default_system,
+    small_test_system,
+)
+from repro.egraph import OptimizationReport, optimize_tdfg
+from repro.frontend import KernelProgram, parse_kernel
+from repro.ir.dtypes import DType
+from repro.runtime.decision import OffloadChoice, decide_tdfg
+from repro.sim.functional import execute_kernel, interpret_kernel
+from repro.sim.stats import RunResult
+from repro.workloads.base import Workload
+
+__all__ = [
+    "compile_kernel",
+    "run",
+    "offload",
+    "simulate",
+    "optimize",
+    "fat_binary",
+    "OffloadChoice",
+]
+
+
+def compile_kernel(
+    name: str,
+    source: str,
+    arrays: Mapping[str, tuple[str | int, ...]],
+    dtype: DType = DType.FP32,
+) -> KernelProgram:
+    """Statically compile a plain loop-nest kernel (Fig 3, step 1).
+
+    ``arrays`` maps array names to shapes in C declaration order;
+    symbolic dimensions are bound at :func:`run`/:func:`simulate` time.
+    """
+    return parse_kernel(name, source, arrays=arrays, dtype=dtype)
+
+
+def run(
+    program: KernelProgram,
+    params: Mapping[str, int],
+    arrays: dict[str, np.ndarray],
+    dataflow: str = "inner",
+    mode: str = "reference",
+    system: SystemConfig | None = None,
+) -> dict[str, float]:
+    """Execute the kernel functionally, mutating ``arrays`` in place.
+
+    ``mode="reference"`` evaluates compiled tDFG regions directly;
+    ``mode="grid"`` replays JIT-lowered bit-serial commands on the SRAM
+    grid model (slower, bit-faithful to the lowering);
+    ``mode="interpret"`` runs the plain sequential semantics.
+    Returns the scalar results (reduction outputs, host scalars).
+    """
+    sizes = {k: int(v) for k, v in params.items()}
+    if mode == "interpret":
+        return interpret_kernel(program, sizes, arrays)
+    kernel = program.instantiate(sizes, dataflow=dataflow)
+    return execute_kernel(
+        kernel,
+        arrays,
+        mode=mode,
+        system=system or (small_test_system() if mode == "grid" else None),
+    )
+
+
+def offload(
+    program: KernelProgram,
+    params: Mapping[str, int],
+    dataflow: str = "inner",
+    system: SystemConfig | None = None,
+) -> OffloadChoice:
+    """Evaluate Eq. 2 for the kernel's first region (§4.3)."""
+    kernel = program.instantiate(
+        {k: int(v) for k, v in params.items()}, dataflow=dataflow
+    )
+    region = kernel.first_region()
+    return decide_tdfg(region.tdfg, system or default_system())
+
+
+def simulate(
+    program: KernelProgram,
+    params: Mapping[str, int],
+    paradigm: str = "inf-s",
+    dataflow: str = "inner",
+    iterations: int = 1,
+    system: SystemConfig | None = None,
+) -> RunResult:
+    """Estimate cycles/traffic/energy under one configuration.
+
+    ``paradigm`` is one of ``base``, ``base-1``, ``near-l3``, ``in-l3``,
+    ``inf-s``, ``inf-s-nojit`` (the Fig 11 configurations).
+    """
+    from repro.baselines.core import BaseCoreModel
+    from repro.baselines.nsc import NearStreamModel
+    from repro.energy.model import EnergyModel
+    from repro.sim.engine import InfinityStreamRunner
+
+    system = system or default_system()
+    wl = Workload(
+        name=program.name,
+        program=program,
+        params={k: int(v) for k, v in params.items()},
+        dataflow=dataflow,
+        iterations=iterations,
+    )
+    energy = EnergyModel()
+    if paradigm in ("base", "base-1"):
+        threads = 1 if paradigm == "base-1" else system.num_cores
+        return energy.annotate(
+            BaseCoreModel(system=system, threads=threads).run(wl)
+        )
+    if paradigm == "near-l3":
+        return energy.annotate(NearStreamModel(system=system).run(wl))
+    return InfinityStreamRunner(system=system, paradigm=paradigm).run(wl)
+
+
+def optimize(
+    program: KernelProgram,
+    params: Mapping[str, int],
+    dataflow: str = "inner",
+    max_iterations: int = 4,
+):
+    """E-graph-optimize the kernel's first region; returns (tdfg, report)."""
+    kernel = program.instantiate(
+        {k: int(v) for k, v in params.items()}, dataflow=dataflow
+    )
+    region = kernel.first_region()
+    return optimize_tdfg(region.tdfg, max_iterations=max_iterations)
+
+
+def fat_binary(
+    program: KernelProgram,
+    params: Mapping[str, int],
+    dataflow: str = "inner",
+) -> FatBinary:
+    """Compile the kernel's first region for the common SRAM sizes."""
+    kernel = program.instantiate(
+        {k: int(v) for k, v in params.items()}, dataflow=dataflow
+    )
+    return compile_fat_binary(kernel.first_region().tdfg)

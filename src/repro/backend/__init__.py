@@ -1,0 +1,22 @@
+"""The static backend: schedule tDFGs and allocate wordline registers.
+
+The backend serializes the optimized tDFG in topological order and runs a
+local register-allocation pass over the SRAM wordlines, once per SRAM
+array size in the fat binary (§3.4).  The JIT runtime then only maps the
+pre-scheduled tDFG onto the tiled data layout — the split that keeps JIT
+overhead low (§4.2).
+"""
+
+from repro.backend.schedule import ScheduledOp, ScheduledTDFG, schedule_tdfg
+from repro.backend.regalloc import RegisterFile, allocate_registers
+from repro.backend.fatbinary import FatBinary, compile_fat_binary
+
+__all__ = [
+    "ScheduledOp",
+    "ScheduledTDFG",
+    "schedule_tdfg",
+    "RegisterFile",
+    "allocate_registers",
+    "FatBinary",
+    "compile_fat_binary",
+]

@@ -1,0 +1,194 @@
+"""Local wordline register allocation (§3.4) with the paper's extensions.
+
+An SRAM array with 256 wordlines holds eight 32-bit "registers" — runs of
+wordlines storing one transposed value per bitline.  Arrays resident for
+the computation pin registers for its whole lifetime (their wordline base
+is the LOT ``wl`` field); intermediate tensors get scratch registers
+freed at their last use.  "Though there are few effective registers...
+no register spilling was observed in the studied workloads" — by default
+we raise :class:`~repro.errors.RegisterSpillError` if a kernel ever needs
+more, matching implementation limitation #3 (§6).
+
+Two relaxations the paper sketches are implemented as opt-ins:
+
+* ``spill_mode="stream"`` — §6: "register spilling can be implemented by
+  a stream writing back and loading from the DRAM".  The allocator spills
+  the scratch value with the most distant next use and records the
+  spill/fill events so the timing model can charge the DRAM streams.
+* ``virtual_fuse=N`` — §3.4: "fusing multiple physical SRAM arrays into a
+  larger virtual array with more registers is possible, but left for
+  future work".  N physical arrays form one virtual array with N× the
+  registers and 1/N of the tile slots (so big working sets serialize).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RegisterSpillError, SchedulingError
+from repro.ir.nodes import ShrinkNode, StreamNode, TensorNode
+from repro.ir.tdfg import TensorDFG
+
+from repro.backend.schedule import ScheduledTDFG, needs_register
+
+
+@dataclass
+class RegisterFile:
+    """Wordline registers of one (possibly virtual) SRAM array geometry."""
+
+    wordlines: int
+    elem_bits: int
+    reserved: int = 8  # PE intermediate rows (carry latches etc.)
+    virtual_fuse: int = 1  # physical arrays fused into one virtual array
+
+    @property
+    def num_registers(self) -> int:
+        per_array = (self.wordlines - self.reserved) // self.elem_bits
+        return per_array * max(1, self.virtual_fuse)
+
+    def wordline_base(self, reg: int) -> int:
+        if not 0 <= reg < self.num_registers:
+            raise SchedulingError(f"register {reg} out of range")
+        per_array = (self.wordlines - self.reserved) // self.elem_bits
+        return (reg % per_array) * self.elem_bits
+
+
+@dataclass(frozen=True)
+class SpillEvent:
+    """One DRAM spill or fill stream (§6 limitation 3 relaxed)."""
+
+    op_index: int
+    register: int
+    kind: str  # "spill" | "fill"
+
+
+def allocate_registers(
+    sched: ScheduledTDFG,
+    spill_mode: str = "error",
+    virtual_fuse: int = 1,
+) -> ScheduledTDFG:
+    """Assign registers to the scheduled ops, in place.
+
+    Resident arrays are pinned first (in declaration order), then scratch
+    registers are allocated per op and freed at last use — the "local
+    register allocation scheme" of §3.4.  ``spill_mode="stream"`` enables
+    DRAM spill streams instead of raising; ``virtual_fuse`` multiplies the
+    register file by fusing physical arrays (§3.4 future work).
+    """
+    if spill_mode not in ("error", "stream"):
+        raise SchedulingError(f"unknown spill mode {spill_mode!r}")
+    tdfg: TensorDFG = sched.tdfg
+    elem_bits = max(
+        (d.elem_type.bits for d in tdfg.arrays.values()), default=32
+    )
+    rf = RegisterFile(
+        wordlines=sched.wordlines,
+        elem_bits=elem_bits,
+        virtual_fuse=virtual_fuse,
+    )
+    total = rf.num_registers
+    sched.registers_available = total
+    sched.virtual_fuse = virtual_fuse
+    sched.spills = []
+
+    # Pin one register per resident array actually referenced.
+    referenced: list[str] = []
+    for node in tdfg.nodes():
+        if isinstance(node, TensorNode) and node.array not in referenced:
+            referenced.append(node.array)
+    for binding in tdfg.results:
+        if binding.array not in referenced:
+            referenced.append(binding.array)
+    if len(referenced) > total:
+        raise RegisterSpillError(
+            f"{len(referenced)} resident arrays exceed {total} registers "
+            f"({sched.wordlines} wordlines / {elem_bits}b elements)"
+        )
+    for i, array in enumerate(referenced):
+        sched.array_registers[array] = i
+
+    free = list(range(len(referenced), total))
+    reg_of: dict[int, int | None] = {}  # id(node) -> register
+    last_user: dict[int, int] = getattr(sched, "last_user", {})
+    high_water = len(referenced)
+
+    for op in sched.ops:
+        node = op.node
+        # Source registers (None for constants / array-resident tensors).
+        srcs: list[int | None] = []
+        for operand in node.operands:
+            srcs.append(reg_of.get(id(operand)))
+        op.src_regs = tuple(srcs)
+
+        if isinstance(node, TensorNode):
+            reg_of[id(node)] = sched.array_registers[node.array]
+        elif isinstance(node, ShrinkNode):
+            reg_of[id(node)] = reg_of.get(id(node.src))  # alias, nop
+        elif needs_register(node):
+            if op.writes_array is not None:
+                # Output goes straight to the destination array's rows.
+                dst = sched.array_registers[op.writes_array]
+            else:
+                if not free:
+                    if spill_mode == "error":
+                        raise RegisterSpillError(
+                            f"tDFG {tdfg.name!r} needs more than {total} "
+                            f"wordline registers; spilling is "
+                            f"unsupported by default (§6)"
+                        )
+                    # Spill the live scratch value with the most distant
+                    # next use to a DRAM stream; it fills back on demand.
+                    victim, victim_node = _spill_victim(
+                        reg_of, last_user, op.index, len(referenced)
+                    )
+                    sched.spills.append(
+                        SpillEvent(op.index, victim, "spill")
+                    )
+                    sched.spills.append(
+                        SpillEvent(
+                            last_user.get(victim_node, op.index),
+                            victim,
+                            "fill",
+                        )
+                    )
+                    free.append(victim)
+                dst = free.pop(0)
+            op.dst_reg = dst
+            reg_of[id(node)] = dst
+        else:
+            reg_of[id(node)] = None
+        high_water = max(high_water, total - len(free))
+
+        # Free scratch registers whose value dies here.
+        for operand in node.operands:
+            if last_user.get(id(operand)) == op.index:
+                reg = reg_of.get(id(operand))
+                if (
+                    reg is not None
+                    and reg >= len(referenced)
+                    and reg not in free
+                    and reg != op.dst_reg
+                ):
+                    free.append(reg)
+    sched.registers_used = high_water
+    return sched
+
+
+def _spill_victim(
+    reg_of: dict[int, int | None],
+    last_user: dict[int, int],
+    now: int,
+    pinned: int,
+) -> tuple[int, int]:
+    """The scratch register (and its node) needed furthest in the future."""
+    best: tuple[int, int] | None = None
+    best_dist = -1
+    for node_id, reg in reg_of.items():
+        if reg is None or reg < pinned:
+            continue
+        dist = last_user.get(node_id, now) - now
+        if dist > best_dist:
+            best, best_dist = (reg, node_id), dist
+    if best is None:
+        raise RegisterSpillError("no spillable register found")
+    return best

@@ -1,0 +1,112 @@
+"""Topological scheduling of tDFG nodes (§3.4).
+
+"We use a straightforward approach of scheduling instructions in
+topological order, and using a local register allocation scheme."
+Each scheduled op records its destination register (a run of wordlines)
+and the last-use information the allocator needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.ir.nodes import (
+    ConstNode,
+    Node,
+    ShrinkNode,
+    StreamNode,
+    TensorNode,
+)
+from repro.ir.tdfg import TensorDFG
+
+
+@dataclass
+class ScheduledOp:
+    """One scheduled tDFG node with its register assignment.
+
+    ``dst_reg`` is a register index into the SRAM wordline file; ``None``
+    for nodes that need no storage (tensors already resident, constants,
+    shrinks aliasing their source, reduce/store streams).  ``writes_array``
+    marks ops whose output goes straight to an array's wordlines.
+    """
+
+    index: int
+    node: Node
+    src_regs: tuple[int | None, ...] = ()
+    dst_reg: int | None = None
+    writes_array: str | None = None
+    last_use: bool = False
+
+    @property
+    def kind(self) -> str:
+        return self.node.kind
+
+
+@dataclass
+class ScheduledTDFG:
+    """A tDFG serialized for one SRAM array geometry."""
+
+    tdfg: TensorDFG
+    wordlines: int
+    ops: list[ScheduledOp] = field(default_factory=list)
+    array_registers: dict[str, int] = field(default_factory=dict)
+    registers_used: int = 0
+    registers_available: int = 0
+    virtual_fuse: int = 1  # physical arrays per virtual array (§3.4)
+    spills: list = field(default_factory=list)  # DRAM spill/fill streams
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.ops)
+
+    def op_for(self, node: Node) -> ScheduledOp:
+        for op in self.ops:
+            if op.node is node:
+                return op
+        raise SchedulingError(f"node {node} not scheduled")
+
+
+def schedule_tdfg(tdfg: TensorDFG, wordlines: int = 256) -> ScheduledTDFG:
+    """Serialize the tDFG in topological order (operands first).
+
+    Register slots are assigned later by
+    :func:`repro.backend.regalloc.allocate_registers`.
+    """
+    sched = ScheduledTDFG(tdfg=tdfg, wordlines=wordlines)
+    order = tdfg.nodes()
+    index_of: dict[int, int] = {}
+    for i, node in enumerate(order):
+        index_of[id(node)] = i
+        sched.ops.append(ScheduledOp(index=i, node=node))
+    # Mark ops whose value is bound straight to an array's wordlines.
+    for binding in tdfg.results:
+        op = sched.ops[index_of[id(binding.node)]]
+        op.writes_array = binding.array
+    # Record last uses for the allocator.
+    last_user: dict[int, int] = {}
+    for i, node in enumerate(order):
+        for operand in node.operands:
+            last_user[id(operand)] = i
+    for op in sched.ops:
+        op.last_use = id(op.node) not in last_user
+    sched.last_user = last_user  # type: ignore[attr-defined]
+    return sched
+
+
+def needs_register(node: Node) -> bool:
+    """Does this node's output occupy scratch wordlines?
+
+    Resident tensors live at their layout-assigned wordlines; constants
+    are broadcast on the fly into the compute's scratch rows; shrinks are
+    nops aliasing their source; reduce streams produce values near-memory.
+    """
+    if isinstance(node, (TensorNode, ConstNode, ShrinkNode)):
+        return False
+    if isinstance(node, StreamNode):
+        # Load streams materialize a tensor into wordlines; store/reduce
+        # streams consume without producing in-SRAM data.
+        from repro.ir.nodes import StreamKind
+
+        return node.stream_kind is StreamKind.LOAD
+    return True

@@ -1,0 +1,6 @@
+"""Baseline execution models: the OOO multicore (Base) and NSC (Near-L3)."""
+
+from repro.baselines.core import BaseCoreModel
+from repro.baselines.nsc import NearStreamModel
+
+__all__ = ["BaseCoreModel", "NearStreamModel"]

@@ -1,0 +1,128 @@
+"""The Base configuration: AVX-512 OOO multicore (Table 2, §7).
+
+An analytic roofline over the workload's op/byte totals:
+
+* compute — all threads issuing SIMD ops at a sustained efficiency below
+  peak (OOO cores on streaming fp code);
+* on-chip memory — demand lines travel home-bank -> core over the mesh;
+  the NoC's aggregate bytes x hops capacity bounds throughput;
+* DRAM — compulsory traffic at controller bandwidth;
+* synchronization — one OpenMP barrier per host iteration, which is what
+  makes fine-grained iterative kernels (Gaussian elimination, furthest
+  sampling) scale poorly.
+
+The model also produces the Fig 12 traffic ledger: data (request +
+response), and coherence control per line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.system import SystemConfig, default_system
+from repro.sim.stats import CycleBreakdown, OpAccounting, RunResult
+from repro.uarch.noc import MeshNoC
+from repro.workloads.base import Workload
+
+
+@dataclass
+class BaseCoreModel:
+    """Roofline model of the multicore baseline."""
+
+    system: SystemConfig = field(default_factory=default_system)
+    threads: int = 64
+    simd_efficiency: float = 0.7  # sustained fraction of peak issue
+    cache_hit_rate: float = 0.85  # private-cache hits on reused elements
+    barrier_cycles: float = 2500.0  # OpenMP barrier + fork/join per phase
+    indirect_penalty_cycles: float = 8.0  # dependent access serialization
+
+    def run(self, wl: Workload) -> RunResult:
+        noc = MeshNoC(config=self.system.noc)
+        costs = wl.costs
+        lanes = self.system.core.simd_lanes(wl.elem_type.bits)
+        threads = min(self.threads, self.system.num_cores)
+
+        # --- compute ---------------------------------------------------
+        peak = threads * lanes * self.simd_efficiency
+        compute_cycles = costs.total_ops / peak
+        if wl.dataflow == "inner":
+            # Inner product accumulates in registers: mild bonus.
+            compute_cycles *= 0.9
+
+        # --- on-chip data movement --------------------------------------
+        reused = max(0, costs.streamed_bytes - costs.unique_bytes * wl.iterations)
+        l3_bytes = (
+            costs.unique_bytes * wl.iterations
+            + reused * (1.0 - self.cache_hit_rate)
+        )
+        line = self.system.cache.line_bytes
+        data_byte_hops = noc.unicast("data", float(l3_bytes))
+        # Coherence control: request + ack per line moved.
+        lines = l3_bytes / line
+        noc.unicast("control", lines * 16.0)
+        mem_cycles = noc.serialization_cycles(noc.ledger.total)
+
+        # Data starts warm in the (128 MB-class) L3: the region of
+        # interest excludes initialization, as in the paper's methodology.
+        dram_bytes = 0
+        # --- irregularity and synchronization ----------------------------
+        indirect_cycles = (
+            costs.indirect_bytes
+            / wl.elem_type.bytes
+            * self.indirect_penalty_cycles
+            / threads
+        )
+        host_iters = self._host_iterations(wl)
+        sync_cycles = self.barrier_cycles * host_iters * wl.iterations
+
+        total = max(compute_cycles, mem_cycles)
+        total += indirect_cycles + sync_cycles
+
+        result = RunResult(workload=wl.name, paradigm=f"base-t{threads}")
+        result.cycles = CycleBreakdown(
+            core=total - sync_cycles, sync=sync_cycles
+        )
+        result.traffic = noc.ledger
+        result.ops = OpAccounting(core=costs.total_ops)
+        result.meta["dram_bytes"] = float(dram_bytes)
+        result.meta["l3_bytes"] = float(l3_bytes)
+        result.meta["core_ops"] = float(costs.total_ops)
+        return result
+
+    def _host_iterations(self, wl: Workload) -> int:
+        """Sequential phases needing a barrier.
+
+        A host loop forces one barrier *per iteration* only when it
+        carries a true dependence (an array written under it is also read
+        under it, e.g. Gaussian elimination's pivot rows).  Loops the
+        classifier demoted merely for reduction or lattice reasons (the
+        ``k`` loop of an outer-product GEMM) are reorderable: the Base
+        implementation parallelizes across them with a single fork/join.
+        """
+        ik = wl.kernel
+        loops = ik.host_loops
+        if not loops:
+            return 1
+        outer = loops[0]
+        if not _loop_is_sequential(outer.var, ik):
+            return 1
+        try:
+            return max(1, outer.extent(dict(ik.params)))
+        except Exception:
+            return 1
+
+
+def _loop_is_sequential(var: str, ik) -> bool:
+    """True when an array written under *var* is also read under it."""
+    from repro.frontend.kast import Ref, walk_refs
+
+    written: set[str] = set()
+    read: set[str] = set()
+    for stmt in ik.classification.stmts:
+        if not any(l.var == var for l in stmt.loops):
+            continue
+        if isinstance(stmt.assign.target, Ref):
+            written.add(stmt.assign.target.array)
+        for ref in walk_refs(stmt.assign.value):
+            read.add(ref.array)
+    return bool(written & read)

@@ -1,0 +1,172 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``compile``   parse a kernel file and print its tDFG (and optionally the
+              optimized tDFG and the lowered bit-serial commands);
+``simulate``  estimate cycles/traffic/energy under one configuration;
+``offload``   evaluate the Eq. 2 in-/near-memory decision;
+``figures``   regenerate the paper's evaluation tables (run_all).
+
+Kernel files contain the plain loop-nest source; arrays and sizes are
+given on the command line::
+
+    python -m repro compile saxpy.k --array "X:N" --array "Y:N" -p N=1024
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import api
+from repro.ir.printer import format_tdfg
+
+
+def _parse_arrays(items: list[str]) -> dict[str, tuple]:
+    out: dict[str, tuple] = {}
+    for item in items:
+        name, _, dims = item.partition(":")
+        if not dims:
+            raise SystemExit(f"--array needs NAME:D0,D1,... (got {item!r})")
+        parsed = tuple(
+            int(d) if d.isdigit() else d for d in dims.split(",")
+        )
+        out[name] = parsed
+    return out
+
+
+def _parse_params(items: list[str]) -> dict[str, int]:
+    out = {}
+    for item in items:
+        key, _, value = item.partition("=")
+        if not value:
+            raise SystemExit(f"-p needs NAME=VALUE (got {item!r})")
+        out[key] = int(value)
+    return out
+
+
+def _load_kernel(args) -> tuple:
+    source = open(args.kernel).read() if args.kernel != "-" else sys.stdin.read()
+    arrays = _parse_arrays(args.array)
+    program = api.compile_kernel(args.name or "kernel", source, arrays=arrays)
+    return program, _parse_params(args.param)
+
+
+def cmd_compile(args) -> int:
+    program, params = _load_kernel(args)
+    kernel = program.instantiate(params, dataflow=args.dataflow)
+    print(kernel.summary())
+    region = kernel.first_region()
+    print(format_tdfg(region.tdfg))
+    if args.optimize:
+        tdfg, report = api.optimize(program, params, dataflow=args.dataflow)
+        print(f"\n-- optimized (cost {report.cost_before:.0f} -> "
+              f"{report.cost_after:.0f}) --")
+        print(format_tdfg(tdfg))
+    if args.lower:
+        from repro.backend import compile_fat_binary
+        from repro.runtime.jit import JITCompiler
+
+        jit = JITCompiler()
+        res = jit.compile_region(
+            compile_fat_binary(region.tdfg), region.signature
+        )
+        print(f"\n-- lowered commands (tile {res.lowered.tile}) --")
+        for cmd in res.lowered.commands:
+            print(f"  {cmd}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    program, params = _load_kernel(args)
+    result = api.simulate(
+        program,
+        params,
+        paradigm=args.paradigm,
+        dataflow=args.dataflow,
+        iterations=args.iterations,
+    )
+    print(f"paradigm     {result.paradigm}")
+    print(f"cycles       {result.total_cycles:,.0f}")
+    for key, value in result.cycles.as_dict().items():
+        if value:
+            print(f"  {key:12s} {value:,.0f}")
+    print(f"traffic      {result.traffic.total:,.0f} bytes*hops")
+    print(f"energy       {result.energy_nj:,.0f} nJ")
+    print(f"in-mem ops   {result.ops.in_memory_fraction:.1%}")
+    return 0
+
+
+def cmd_offload(args) -> int:
+    program, params = _load_kernel(args)
+    choice = api.offload(program, params, dataflow=args.dataflow)
+    print(choice.value)
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from benchmarks import run_all  # noqa: F401 (module check)
+
+    sys.argv = ["run_all", "--scale", str(args.scale)]
+    if args.out:
+        sys.argv += ["--out", args.out]
+    return run_all.main()
+
+
+def _add_kernel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("kernel", help="kernel source file ('-' for stdin)")
+    p.add_argument(
+        "--array",
+        action="append",
+        default=[],
+        help="array declaration NAME:D0,D1,... (C order)",
+    )
+    p.add_argument(
+        "-p",
+        "--param",
+        action="append",
+        default=[],
+        help="size/constant binding NAME=VALUE",
+    )
+    p.add_argument("--name", default=None)
+    p.add_argument("--dataflow", choices=("inner", "outer"), default="inner")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="repro", description="Infinity Stream reproduction CLI"
+    )
+    sub = ap.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compile", help="print the compiled tDFG")
+    _add_kernel_args(p)
+    p.add_argument("--optimize", action="store_true")
+    p.add_argument("--lower", action="store_true")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("simulate", help="estimate cycles/traffic/energy")
+    _add_kernel_args(p)
+    p.add_argument(
+        "--paradigm",
+        choices=("base", "base-1", "near-l3", "in-l3", "inf-s", "inf-s-nojit"),
+        default="inf-s",
+    )
+    p.add_argument("--iterations", type=int, default=1)
+    p.set_defaults(fn=cmd_simulate)
+
+    p = sub.add_parser("offload", help="Eq. 2 in-/near-memory decision")
+    _add_kernel_args(p)
+    p.set_defaults(fn=cmd_offload)
+
+    p = sub.add_parser("figures", help="regenerate the evaluation tables")
+    p.add_argument("--scale", type=float, default=1.0)
+    p.add_argument("--out", default=None)
+    p.set_defaults(fn=cmd_figures)
+
+    args = ap.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""System and microarchitecture configuration (Table 2 of the paper)."""
+
+from repro.config.system import (
+    CoreConfig,
+    CacheConfig,
+    NoCConfig,
+    DRAMConfig,
+    SRAMArrayConfig,
+    StreamEngineConfig,
+    SystemConfig,
+    default_system,
+)
+
+__all__ = [
+    "CoreConfig",
+    "CacheConfig",
+    "NoCConfig",
+    "DRAMConfig",
+    "SRAMArrayConfig",
+    "StreamEngineConfig",
+    "SystemConfig",
+    "default_system",
+]

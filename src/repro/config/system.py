@@ -1,0 +1,250 @@
+"""System parameters from Table 2 of the paper.
+
+The default configuration models the evaluated machine: a 2.0 GHz 8x8-core
+tiled multicore with 8-issue OOO cores, 256 KB private L2s, a 144 MB shared
+NUCA L3 (64 banks x 18 ways x 16 compute-SRAM arrays per way, 8 kB
+256x256 arrays), an 8x8 mesh NoC with 32-byte 1-cycle links, and
+DDR4-3200 memory at 25.6 GB/s.
+
+All classes are frozen dataclasses: a configuration is a value, and derived
+quantities (peak throughput, total bitlines) are computed properties so
+they can never drift from the base parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """An out-of-order core tile (Table 2, left column)."""
+
+    frequency_ghz: float = 2.0
+    issue_width: int = 8
+    rob_entries: int = 224
+    load_queue: int = 72
+    store_queue: int = 56
+    int_alu: int = 8  # 1-cycle int ALU / SIMD units
+    int_mul_div: int = 4  # 3 / 12 cycles
+    fp_alu: int = 4  # 4-cycle FP ALU / SIMD units
+    fp_div: int = 12
+    simd_width_bits: int = 512  # partial AVX-512
+
+    def simd_lanes(self, elem_bits: int) -> int:
+        """Vector lanes per SIMD op for the given element width."""
+        return self.simd_width_bits // elem_bits
+
+    def peak_flops_per_cycle(self, elem_bits: int = 32) -> int:
+        """Peak fp SIMD ops/cycle for one core (issue one 512-bit op/cy)."""
+        return self.simd_lanes(elem_bits)
+
+
+@dataclass(frozen=True)
+class SRAMArrayConfig:
+    """One bit-serial compute SRAM array (§2.2, Fig 1(d))."""
+
+    wordlines: int = 256
+    bitlines: int = 256
+    reserved_wordlines: int = 8  # PE intermediate state (carry latches etc.)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.wordlines * self.bitlines // 8
+
+    def registers(self, elem_bits: int) -> int:
+        """Effective wordline registers for a given element width (§3.4).
+
+        E.g. 8 32-bit registers in a 256-wordline array (the paper's
+        example): (256 - reserved) // 32 = 7 full registers plus the
+        reserved rows; we follow the paper and report ``wordlines //
+        elem_bits`` (8) as capacity, with the reserved rows modelled as
+        scratch inside the bit-serial ALU.
+        """
+        return self.wordlines // elem_bits
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Cache hierarchy parameters (Table 2, right column)."""
+
+    l1_size_kb: int = 32
+    l1_assoc: int = 8
+    l1_latency: int = 2
+    l2_size_kb: int = 256
+    l2_assoc: int = 16
+    l2_latency: int = 16
+    l3_latency: int = 20
+    l3_banks: int = 64
+    l3_ways: int = 18
+    l3_compute_ways: int = 16  # ways reservable for in-memory computing
+    arrays_per_way: int = 16
+    line_bytes: int = 64
+    nuca_interleave_bytes: int = 1024
+    sram: SRAMArrayConfig = field(default_factory=SRAMArrayConfig)
+
+    @property
+    def l3_bank_bytes(self) -> int:
+        return self.l3_ways * self.arrays_per_way * self.sram.size_bytes
+
+    @property
+    def l3_total_bytes(self) -> int:
+        return self.l3_bank_bytes * self.l3_banks
+
+    @property
+    def compute_arrays_per_bank(self) -> int:
+        return self.l3_compute_ways * self.arrays_per_way
+
+    @property
+    def total_compute_arrays(self) -> int:
+        return self.compute_arrays_per_bank * self.l3_banks
+
+    @property
+    def total_bitlines(self) -> int:
+        """All compute bitlines in the system (~4M for the default)."""
+        return self.total_compute_arrays * self.sram.bitlines
+
+    @property
+    def compute_bytes_per_bank(self) -> int:
+        return self.compute_arrays_per_bank * self.sram.size_bytes
+
+
+@dataclass(frozen=True)
+class NoCConfig:
+    """8x8 mesh network-on-chip (Table 2)."""
+
+    mesh_width: int = 8
+    mesh_height: int = 8
+    link_bytes: int = 32
+    link_latency: int = 1
+    router_stages: int = 5
+    memory_controllers: int = 16
+    supports_multicast: bool = True
+
+    @property
+    def num_tiles(self) -> int:
+        return self.mesh_width * self.mesh_height
+
+    @property
+    def bisection_bytes_per_cycle(self) -> int:
+        # Two directions per link across the bisection cut.
+        return self.mesh_height * self.link_bytes * 2
+
+    def coords(self, tile: int) -> tuple[int, int]:
+        if not 0 <= tile < self.num_tiles:
+            raise ConfigError(f"tile {tile} out of range")
+        return tile % self.mesh_width, tile // self.mesh_width
+
+    def hops(self, src: int, dst: int) -> int:
+        """X-Y routed hop count between two tiles."""
+        sx, sy = self.coords(src)
+        dx, dy = self.coords(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """DDR4-3200 memory (Table 2)."""
+
+    bandwidth_gbps: float = 25.6
+    latency_cycles: int = 100
+    channels: int = 2
+
+    def bytes_per_cycle(self, frequency_ghz: float) -> float:
+        return self.bandwidth_gbps / frequency_ghz
+
+
+@dataclass(frozen=True)
+class StreamEngineConfig:
+    """Stream engines (Table 2): SEcore and SEL3."""
+
+    core_fifo_bytes: int = 2048
+    core_streams: int = 12
+    l3_streams: int = 768
+    l3_buffer_bytes: int = 64 * 1024
+    l3_compute_init_latency: int = 4
+    lot_regions: int = 16
+    flow_control_lines: int = 8  # sync every N cache lines (§5.1)
+
+
+@dataclass(frozen=True)
+class TensorControllerConfig:
+    """TCcore / TCL3 parameters (§5.2)."""
+
+    command_cache_bytes: int = 2048
+    command_bytes: int = 16  # encoded shift/compute command size
+    release_request_threshold: int = 100_000  # normal requests before release
+    release_timer_cycles: int = 100_000
+    release_miss_rate: float = 0.5  # L3 miss rate threshold
+
+    @property
+    def command_cache_entries(self) -> int:
+        return self.command_cache_bytes // self.command_bytes
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The whole evaluated system (Table 2)."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    cache: CacheConfig = field(default_factory=CacheConfig)
+    noc: NoCConfig = field(default_factory=NoCConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    stream: StreamEngineConfig = field(default_factory=StreamEngineConfig)
+    tc: TensorControllerConfig = field(default_factory=TensorControllerConfig)
+    num_cores: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_cores != self.noc.num_tiles:
+            raise ConfigError(
+                f"{self.num_cores} cores but {self.noc.num_tiles} mesh tiles"
+            )
+        if self.cache.l3_banks != self.num_cores:
+            raise ConfigError("the tiled design pairs one L3 bank per core")
+
+    # ------------------------------------------------------------------
+    # Derived peak rates (Eq. 1 in §2.2)
+    # ------------------------------------------------------------------
+    def in_memory_peak_ops_per_cycle(self, op_latency_cycles: int) -> float:
+        """Eq. 1: N_bank * N_way * N_array/way * N_bitline / latency.
+
+        With int32 addition (latency 32) on the default system this is
+        64 * 16 * 16 * 256 / 32 = 131072 ops/cycle.
+        """
+        c = self.cache
+        return (
+            c.l3_banks
+            * c.l3_compute_ways
+            * c.arrays_per_way
+            * c.sram.bitlines
+            / op_latency_cycles
+        )
+
+    def core_peak_ops_per_cycle(self, elem_bits: int = 32) -> int:
+        """All cores issuing one 512-bit vector op per cycle (1024 for fp32)."""
+        return self.num_cores * self.core.simd_lanes(elem_bits)
+
+    def with_sram_size(self, wordlines: int) -> "SystemConfig":
+        """A copy using square SRAM arrays of the given size (256 or 512)."""
+        sram = SRAMArrayConfig(wordlines=wordlines, bitlines=wordlines)
+        cache = replace(self.cache, sram=sram)
+        return replace(self, cache=cache)
+
+
+def default_system() -> SystemConfig:
+    """The Table 2 configuration used throughout the evaluation."""
+    return SystemConfig()
+
+
+def small_test_system(bitlines: int = 16) -> SystemConfig:
+    """A scaled-down system for functional tests.
+
+    Keeps 256 wordlines (so the register file stays realistic) but uses
+    narrow SRAM arrays so that small validation arrays still satisfy the
+    tiling constraints of §4.1.
+    """
+    sram = SRAMArrayConfig(wordlines=256, bitlines=bitlines)
+    cache = CacheConfig(sram=sram)
+    return SystemConfig(cache=cache)

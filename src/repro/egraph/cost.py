@@ -1,0 +1,101 @@
+"""Architecture-informed cost model for tDFG extraction.
+
+The final tDFG selection combines the estimated latency of move vs.
+compute nodes, the amount of moved/broadcast data, and the number of
+computations (paper Appendix).  Costs are in estimated cycles on the
+default system; what matters for extraction is the *relative* weight of
+node kinds:
+
+* compute nodes pay the bit-serial latency of their op, scaled by how
+  many waves of bitlines the domain needs;
+* moves pay roughly two bit-serial passes (read + shifted write) plus
+  a fixed command overhead;
+* broadcasts are cheaper than moves — they reuse the read data through
+  the buffered H-tree (§4.1);
+* shrink nodes are free (lowered to nops, like SSA phis);
+* tensors in memory are free; constants pay one broadcast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.system import SystemConfig, default_system
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.ops import Op
+
+from repro.egraph.egraph import EGraph, ENode
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Tunable weights of the extraction cost model."""
+
+    dtype: DType = DType.FP32
+    command_overhead: float = 16.0
+    bc_factor: float = 0.5  # broadcast vs move relative cost
+    stream_cost: float = 512.0
+    reduce_round_cost: float | None = None  # default: add + move
+
+    system: SystemConfig = field(default_factory=default_system)
+
+    @property
+    def bits(self) -> int:
+        return self.dtype.bits
+
+    @property
+    def total_bitlines(self) -> int:
+        return self.system.cache.total_bitlines
+
+
+def node_cost(eg: EGraph, enode: ENode, params: CostParams) -> float:
+    """Cost of one e-node, excluding its children."""
+    kind = enode.label[0]
+    dtype = params.dtype
+    bits = params.bits
+    waves = 1.0
+    domain = _node_domain(eg, enode)
+    if domain is not None:
+        waves = max(1.0, domain.volume / params.total_bitlines)
+    if kind == "tensor":
+        return 0.0
+    if kind == "const":
+        return bits * 0.25  # one constant broadcast, amortized
+    if kind == "shrink":
+        return 0.0
+    if kind == "cmp":
+        op = Op(enode.label[1])
+        return (op.bitserial_cycles(dtype) + params.command_overhead) * waves
+    if kind == "mv":
+        return (2.0 * bits + params.command_overhead) * waves
+    if kind == "bc":
+        return (2.0 * bits * params.bc_factor + params.command_overhead) * waves
+    if kind == "reduce":
+        if domain is None:
+            rounds = 8.0
+        else:
+            src = eg.domain(enode.children[0])
+            extent = src.shape[enode.label[2]] if src is not None else 256
+            rounds = max(1, extent - 1).bit_length()
+        per_round = params.reduce_round_cost
+        if per_round is None:
+            per_round = Op.ADD.bitserial_cycles(dtype) + 2.0 * bits
+        return (per_round + params.command_overhead) * rounds * waves
+    if kind == "stream":
+        return params.stream_cost
+    return params.command_overhead
+
+
+def _node_domain(eg: EGraph, enode: ENode) -> Hyperrect | None:
+    """Best-effort domain of an e-node via its class analysis."""
+    try:
+        # The node is canonical within some class; use any child's info to
+        # recompute would duplicate lang.term_domain — instead rely on the
+        # class domain where the node lives if discoverable.
+        from repro.egraph.lang import term_domain
+
+        domain, has = term_domain(eg, enode.label, enode.children)
+        return domain if has else None
+    except Exception:
+        return None

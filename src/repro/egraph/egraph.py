@@ -1,0 +1,174 @@
+"""A compact e-graph: union-find + hash-consing + congruence closure.
+
+This is a from-scratch reimplementation of the machinery the paper gets
+from the ``egg`` library [67]: e-classes (equivalence classes of
+expression nodes), nondestructive rewriting by unioning classes, and a
+``rebuild`` step restoring congruence (two nodes with equivalent children
+belong to one class).
+
+Each e-class carries an *analysis* value — the lattice domain of the
+tensors it represents (``None`` for infinite constants) — because the
+paper defines node equivalence as "same result and same domain" and
+several rewrites need domains to fire (tensor expansion, shrink fusion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import OptimizationError
+from repro.geometry.hyperrect import Hyperrect
+
+
+@dataclass(frozen=True)
+class ENode:
+    """An expression node: an opaque hashable label plus child classes."""
+
+    label: tuple
+    children: tuple[int, ...] = ()
+
+    def canonicalize(self, find) -> "ENode":
+        return ENode(self.label, tuple(find(c) for c in self.children))
+
+
+class EGraph:
+    """Union-find based e-graph with explicit rebuild.
+
+    The analysis value of a class is its lattice domain; unioning classes
+    with different domains is an error (the rules must preserve domains).
+    """
+
+    def __init__(self) -> None:
+        self._parent: list[int] = []
+        self._classes: dict[int, set[ENode]] = {}
+        self._hashcons: dict[ENode, int] = {}
+        self._domains: dict[int, Hyperrect | None] = {}
+        self._has_domain: dict[int, bool] = {}
+        self._worklist: list[int] = []
+        self.version = 0  # bumped on every union; cheap fixpoint detection
+
+    # ------------------------------------------------------------------
+    # Union-find
+    # ------------------------------------------------------------------
+    def find(self, cid: int) -> int:
+        root = cid
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[cid] != root:
+            self._parent[cid], cid = root, self._parent[cid]
+        return root
+
+    def _new_class(self, node: ENode, domain: Hyperrect | None, has: bool) -> int:
+        cid = len(self._parent)
+        self._parent.append(cid)
+        self._classes[cid] = {node}
+        self._domains[cid] = domain
+        self._has_domain[cid] = has
+        return cid
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def add(
+        self, label: tuple, children: tuple[int, ...] = (),
+        domain: Hyperrect | None = None, has_domain: bool = True,
+    ) -> int:
+        """Add (or find) a node; returns its e-class id.
+
+        ``domain`` is the analysis value for a *new* class.  ``has_domain``
+        False marks infinite tensors (constants).
+        """
+        node = ENode(label, tuple(self.find(c) for c in children))
+        existing = self._hashcons.get(node)
+        if existing is not None:
+            return self.find(existing)
+        cid = self._new_class(node, domain, has_domain)
+        self._hashcons[node] = cid
+        return cid
+
+    def union(self, a: int, b: int) -> int:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        da, db = self._domains[ra], self._domains[rb]
+        ha, hb = self._has_domain[ra], self._has_domain[rb]
+        if ha and hb and da != db:
+            raise OptimizationError(
+                f"union of classes with different domains: {da} vs {db}"
+            )
+        # Keep the larger class as root (union by size).
+        if len(self._classes[ra]) < len(self._classes[rb]):
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._classes[ra] |= self._classes.pop(rb)
+        if not self._has_domain[ra] and self._has_domain.get(rb, False):
+            self._domains[ra] = self._domains[rb]
+            self._has_domain[ra] = True
+        self._domains.pop(rb, None)
+        self._has_domain.pop(rb, None)
+        self._worklist.append(ra)
+        self.version += 1
+        return ra
+
+    # ------------------------------------------------------------------
+    # Congruence closure
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Restore the congruence invariant after unions."""
+        while self._worklist:
+            todo = {self.find(c) for c in self._worklist}
+            self._worklist.clear()
+            for cid in todo:
+                self._repair(cid)
+
+    def _repair(self, cid: int) -> None:
+        # Re-canonicalize the hashcons entries touching this class: a node
+        # is stale if any child *now resolves* to the repaired class, or
+        # if the node itself lives in it.
+        stale = [
+            (node, nid)
+            for node, nid in self._hashcons.items()
+            if any(self.find(c) == cid for c in node.children)
+            or self.find(nid) == cid
+        ]
+        for node, nid in stale:
+            del self._hashcons[node]
+            canon = node.canonicalize(self.find)
+            prev = self._hashcons.get(canon)
+            if prev is not None and self.find(prev) != self.find(nid):
+                self.union(prev, nid)
+            self._hashcons[canon] = self.find(nid)
+        root = self.find(cid)
+        if root in self._classes:
+            self._classes[root] = {
+                n.canonicalize(self.find) for n in self._classes[root]
+            }
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def nodes(self, cid: int) -> set[ENode]:
+        return self._classes[self.find(cid)]
+
+    def domain(self, cid: int) -> Hyperrect | None:
+        return self._domains[self.find(cid)]
+
+    def has_domain(self, cid: int) -> bool:
+        return self._has_domain[self.find(cid)]
+
+    def classes(self) -> list[int]:
+        return [cid for cid in range(len(self._parent)) if self.find(cid) == cid]
+
+    @property
+    def num_nodes(self) -> int:
+        return sum(len(nodes) for nodes in self._classes.values())
+
+    def dump(self) -> str:
+        lines = []
+        for cid in self.classes():
+            d = self._domains.get(cid)
+            lines.append(f"e{cid} ({d if d is not None else 'inf'}):")
+            for node in sorted(self._classes[cid], key=lambda n: str(n.label)):
+                args = ", ".join(f"e{c}" for c in node.children)
+                lines.append(f"  {node.label} ({args})")
+        return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Cost-based extraction from a saturated e-graph.
+
+A classic bottom-up fixpoint computes, per e-class, the cheapest
+representative node under tree-cost semantics; the final DAG is then
+hash-consed, so subexpressions selected in multiple places are shared —
+which is exactly the compute-reuse benefit the optimization targets
+(Fig 6).  We additionally report the *DAG cost* (each selected class
+counted once) so the driver can verify extraction actually improved on
+the original graph.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import OptimizationError
+
+from repro.egraph.cost import CostParams, node_cost
+from repro.egraph.egraph import EGraph, ENode
+
+
+def best_nodes(
+    eg: EGraph, params: CostParams
+) -> tuple[dict[int, ENode], dict[int, float]]:
+    """Fixpoint: cheapest node per e-class (tree cost)."""
+    best: dict[int, ENode] = {}
+    cost: dict[int, float] = {}
+    node_costs: dict[tuple[int, ENode], float] = {}
+    classes = eg.classes()
+    for cid in classes:
+        for node in eg.nodes(cid):
+            node_costs[(cid, node)] = node_cost(eg, node, params)
+    changed = True
+    rounds = 0
+    while changed:
+        changed = False
+        rounds += 1
+        if rounds > len(classes) + 2:
+            break
+        for cid in classes:
+            for node in eg.nodes(cid):
+                child_costs = 0.0
+                feasible = True
+                for child in node.children:
+                    c = cost.get(eg.find(child))
+                    if c is None:
+                        feasible = False
+                        break
+                    child_costs += c
+                if not feasible:
+                    continue
+                total = node_costs[(cid, node)] + child_costs
+                if total < cost.get(cid, math.inf):
+                    cost[cid] = total
+                    best[cid] = node
+                    changed = True
+    return best, cost
+
+
+def dag_cost(
+    eg: EGraph,
+    best: dict[int, ENode],
+    roots: list[int],
+    params: CostParams,
+) -> float:
+    """Cost of the extracted DAG counting each selected class once."""
+    seen: set[int] = set()
+    total = 0.0
+    stack = [eg.find(r) for r in roots]
+    while stack:
+        cid = stack.pop()
+        if cid in seen:
+            continue
+        seen.add(cid)
+        node = best.get(cid)
+        if node is None:
+            raise OptimizationError(f"no extractable node for class e{cid}")
+        total += node_cost(eg, node, params)
+        stack.extend(eg.find(c) for c in node.children)
+    return total

@@ -1,0 +1,139 @@
+"""The equality-saturation driver: optimize a tDFG end to end.
+
+Starting from the initial tDFG we repeatedly apply the equivalence rules,
+maintaining equivalence classes, until saturation or until the iteration /
+node budget is exhausted ("can be exhaustive or terminated early to
+reduce compile time", §3.2).  Extraction picks the cheapest graph under
+the architecture-informed cost model; if the extracted DAG is not
+actually cheaper than the original (tree-cost extraction can be fooled by
+sharing), the original is kept.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.nodes import Node, StreamNode
+from repro.ir.tdfg import TensorDFG
+
+from repro.egraph.cost import CostParams
+from repro.egraph.egraph import EGraph
+from repro.egraph.extract import best_nodes, dag_cost
+from repro.egraph.lang import add_node, build_node
+from repro.egraph.rewrites import default_rules
+
+
+@dataclass(frozen=True)
+class OptimizationReport:
+    """What the optimizer did, for logs and the JIT-overhead model."""
+
+    iterations: int
+    saturated: bool
+    num_classes: int
+    num_nodes: int
+    cost_before: float
+    cost_after: float
+    elapsed_seconds: float
+
+    @property
+    def improvement(self) -> float:
+        if self.cost_before <= 0:
+            return 1.0
+        return self.cost_after / self.cost_before
+
+
+def optimize_tdfg(
+    tdfg: TensorDFG,
+    params: CostParams | None = None,
+    max_iterations: int = 6,
+    node_budget: int = 20_000,
+) -> tuple[TensorDFG, OptimizationReport]:
+    """Optimize a tDFG with equality saturation; returns (tdfg, report).
+
+    The input is not modified; the result shares immutable nodes where
+    extraction kept them.
+    """
+    params = params or CostParams(
+        dtype=next(iter(tdfg.arrays.values())).elem_type if tdfg.arrays
+        else CostParams().dtype
+    )
+    start = time.perf_counter()
+    eg = EGraph()
+    cache: dict[int, int] = {}
+    root_ids: list[int] = []
+    for binding in tdfg.results:
+        root_ids.append(add_node(eg, binding.node, cache))
+    for stream in tdfg.scalar_results:
+        root_ids.append(add_node(eg, stream, cache))
+
+    array_domains: dict[str, Hyperrect] = {
+        name: decl.domain for name, decl in tdfg.arrays.items()
+    }
+    rules = default_rules(array_domains)
+
+    baseline_best, _ = best_nodes(eg, params)
+    cost_before = dag_cost(eg, baseline_best, root_ids, params)
+
+    iterations = 0
+    saturated = False
+    for _ in range(max_iterations):
+        iterations += 1
+        before_version = eg.version
+        before_nodes = eg.num_nodes
+        for rule in rules:
+            for a, b in rule(eg):
+                eg.union(a, b)
+            eg.rebuild()
+            if eg.num_nodes > node_budget:
+                break
+        if eg.num_nodes > node_budget:
+            break
+        if eg.version == before_version and eg.num_nodes == before_nodes:
+            saturated = True
+            break
+
+    best, _cost = best_nodes(eg, params)
+    cost_after = dag_cost(eg, best, root_ids, params)
+
+    if cost_after >= cost_before:
+        report = OptimizationReport(
+            iterations=iterations,
+            saturated=saturated,
+            num_classes=len(eg.classes()),
+            num_nodes=eg.num_nodes,
+            cost_before=cost_before,
+            cost_after=cost_before,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+        return tdfg, report
+
+    # Rebuild the tDFG around the extracted nodes.
+    node_cache: dict[int, Node] = {}
+    out = TensorDFG(name=tdfg.name)
+    for decl in tdfg.arrays.values():
+        out.declare(decl)
+    idx = 0
+    for binding in tdfg.results:
+        new_node = build_node(eg, best, root_ids[idx], node_cache)
+        out.bind(binding.array, binding.region, new_node)
+        idx += 1
+    for _stream in tdfg.scalar_results:
+        new_node = build_node(eg, best, root_ids[idx], node_cache)
+        assert isinstance(new_node, StreamNode)
+        out.scalar_results.append(new_node)
+        idx += 1
+    out.hints = tdfg.hints
+    out.sdfg = tdfg.sdfg
+    out.params = dict(tdfg.params)
+    report = OptimizationReport(
+        iterations=iterations,
+        saturated=saturated,
+        num_classes=len(eg.classes()),
+        num_nodes=eg.num_nodes,
+        cost_before=cost_before,
+        cost_after=cost_after,
+        elapsed_seconds=time.perf_counter() - start,
+    )
+    return out, report

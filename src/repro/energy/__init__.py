@@ -1,0 +1,6 @@
+"""Energy and area models (§8, Fig 18)."""
+
+from repro.energy.model import EnergyModel, EnergyParams
+from repro.energy.area import AreaModel
+
+__all__ = ["EnergyModel", "EnergyParams", "AreaModel"]

@@ -1,0 +1,62 @@
+"""Exception hierarchy for the Infinity Stream reproduction.
+
+Every package raises subclasses of :class:`ReproError` so that callers can
+catch failures from this library without intercepting unrelated exceptions.
+The hierarchy mirrors the pipeline stages: frontend (kernel DSL), IR
+construction, e-graph optimization, backend scheduling, runtime lowering,
+and the microarchitectural simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid lattice-space geometry (malformed hyperrectangle, bad dim)."""
+
+
+class FrontendError(ReproError):
+    """Kernel DSL could not be compiled into an sDFG/tDFG."""
+
+
+class IRError(ReproError):
+    """Malformed tensor dataflow graph (broken SSA, bad operand types)."""
+
+
+class OptimizationError(ReproError):
+    """E-graph optimization failed (no extractable term, rule misuse)."""
+
+
+class SchedulingError(ReproError):
+    """Backend scheduling or register allocation failed."""
+
+
+class RegisterSpillError(SchedulingError):
+    """The tDFG needs more wordline registers than the SRAM array offers.
+
+    Mirrors the paper's implementation limitation #3: register spilling is
+    unsupported; all studied kernels fit in the available registers.
+    """
+
+
+class LoweringError(ReproError):
+    """JIT lowering of the tDFG to bit-serial commands failed."""
+
+
+class LayoutError(ReproError):
+    """No valid transposed data layout exists (tiling constraints unmet)."""
+
+
+class SimulationError(ReproError):
+    """The microarchitecture model was driven into an inconsistent state."""
+
+
+class CoherenceError(SimulationError):
+    """Illegal access to transposed data (e.g. core access while trans=1)."""
+
+
+class ConfigError(ReproError):
+    """Inconsistent system configuration parameters."""

@@ -1,0 +1,20 @@
+"""The static compiler frontend: plain loop-nest kernels → sDFG → tDFG.
+
+The paper extracts sDFGs from plain C with an LLVM pass (§7); this package
+plays that role for a pseudo-C kernel language that matches the paper's
+own listings, e.g. Fig 4(a)::
+
+    for i in [1, N-1):
+        B[i] = A[i-1] + A[i] + A[i+1]
+
+:func:`parse_kernel` compiles the source into a :class:`KernelProgram`:
+loops indexing arrays affinely with unit coefficients are fully unrolled
+into tensors (*tensor loops*), while loops carrying scalar dependences or
+sequential semantics stay on the host (*host loops*) and re-instantiate
+the tDFG per iteration — exactly the JIT specialization the paper relies
+on for Gaussian elimination.
+"""
+
+from repro.frontend.kernel import KernelProgram, parse_kernel
+
+__all__ = ["KernelProgram", "parse_kernel"]

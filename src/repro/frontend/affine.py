@@ -1,0 +1,129 @@
+"""Affine analysis of index and bound expressions.
+
+Streams (and hence tensors) require affine subscripts.  An
+:class:`AffineExpr` is a linear combination ``sum(coeff_i * var_i) +
+const``; extraction fails with :class:`~repro.errors.FrontendError` on
+non-affine forms (which the frontend then treats as indirect access — a
+candidate for an embedded stream rather than a tensor, §3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.errors import FrontendError
+from repro.frontend.kast import BinOp, Call, Expr, Num, Ref, UnaryOp, Var
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """``sum(coeffs[v] * v) + const`` over integer variables."""
+
+    coeffs: tuple[tuple[str, int], ...] = ()
+    const: int = 0
+
+    @staticmethod
+    def constant(value: int) -> "AffineExpr":
+        return AffineExpr((), int(value))
+
+    @staticmethod
+    def variable(name: str) -> "AffineExpr":
+        return AffineExpr(((name, 1),), 0)
+
+    def coeff_map(self) -> dict[str, int]:
+        return dict(self.coeffs)
+
+    @property
+    def is_constant(self) -> bool:
+        return not self.coeffs
+
+    @property
+    def vars(self) -> set[str]:
+        return {v for v, _ in self.coeffs}
+
+    def coeff(self, var: str) -> int:
+        return self.coeff_map().get(var, 0)
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other: "AffineExpr") -> "AffineExpr":
+        merged = self.coeff_map()
+        for v, c in other.coeffs:
+            merged[v] = merged.get(v, 0) + c
+        return AffineExpr(_normalize(merged), self.const + other.const)
+
+    def __sub__(self, other: "AffineExpr") -> "AffineExpr":
+        return self + other.scaled(-1)
+
+    def scaled(self, factor: int) -> "AffineExpr":
+        return AffineExpr(
+            _normalize({v: c * factor for v, c in self.coeffs}),
+            self.const * factor,
+        )
+
+    def substitute(self, bindings: Mapping[str, int]) -> "AffineExpr":
+        """Replace bound variables by their values."""
+        remaining: dict[str, int] = {}
+        const = self.const
+        for v, c in self.coeffs:
+            if v in bindings:
+                const += c * int(bindings[v])
+            else:
+                remaining[v] = remaining.get(v, 0) + c
+        return AffineExpr(_normalize(remaining), const)
+
+    def evaluate(self, bindings: Mapping[str, int]) -> int:
+        out = self.substitute(bindings)
+        if not out.is_constant:
+            raise FrontendError(
+                f"affine expression still has free vars {sorted(out.vars)}"
+            )
+        return out.const
+
+    def __str__(self) -> str:
+        parts = [f"{c}*{v}" if c != 1 else v for v, c in self.coeffs]
+        if self.const or not parts:
+            parts.append(str(self.const))
+        return " + ".join(parts)
+
+
+def _normalize(coeffs: Mapping[str, int]) -> tuple[tuple[str, int], ...]:
+    return tuple(sorted((v, c) for v, c in coeffs.items() if c != 0))
+
+
+def extract_affine(expr: Expr) -> AffineExpr:
+    """Extract an affine form, raising FrontendError on non-affine input."""
+    if isinstance(expr, Num):
+        if isinstance(expr.value, float) and not expr.value.is_integer():
+            raise FrontendError(f"non-integer index constant {expr.value}")
+        return AffineExpr.constant(int(expr.value))
+    if isinstance(expr, Var):
+        return AffineExpr.variable(expr.name)
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        return extract_affine(expr.operand).scaled(-1)
+    if isinstance(expr, BinOp):
+        if expr.op == "+":
+            return extract_affine(expr.left) + extract_affine(expr.right)
+        if expr.op == "-":
+            return extract_affine(expr.left) - extract_affine(expr.right)
+        if expr.op == "*":
+            left, right = expr.left, expr.right
+            lhs = extract_affine(left)
+            rhs = extract_affine(right)
+            if lhs.is_constant:
+                return rhs.scaled(lhs.const)
+            if rhs.is_constant:
+                return lhs.scaled(rhs.const)
+            raise FrontendError(f"non-affine product {expr}")
+        raise FrontendError(f"non-affine operator {expr.op!r} in index")
+    if isinstance(expr, (Ref, Call)):
+        raise FrontendError(f"indirect subscript {expr}")
+    raise FrontendError(f"cannot analyze index expression {expr!r}")
+
+
+def is_affine(expr: Expr) -> bool:
+    try:
+        extract_affine(expr)
+        return True
+    except FrontendError:
+        return False

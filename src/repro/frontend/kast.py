@@ -1,0 +1,183 @@
+"""Abstract syntax tree for the kernel language.
+
+The AST mirrors the paper's pseudo code: ``for`` range loops over
+half-open intervals, and assignments (plain or augmented) over array
+references with affine subscripts.  All nodes are frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: float | int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A scalar variable: loop index, size parameter, or local scalar."""
+
+    name: str
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Ref(Expr):
+    """An array reference ``A[e1][e0]`` (subscripts outermost first)."""
+
+    array: str
+    subscripts: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        subs = "".join(f"[{s}]" for s in self.subscripts)
+        return f"{self.array}{subs}"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str  # one of + - * /
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "-"
+    operand: Expr
+
+    def __str__(self) -> str:
+        return f"({self.op}{self.operand})"
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """Intrinsics: min, max, relu, abs, sqrt (lowered to ops we model)."""
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class Stmt:
+    """Base class for statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    """``target op= value`` where op is '' (plain), '+', '-', '*', '/'."""
+
+    target: Ref | Var
+    value: Expr
+    aug: str = ""  # "" | "+" | "-" | "*" | "/"
+
+    def __str__(self) -> str:
+        return f"{self.target} {self.aug}= {self.value}"
+
+
+@dataclass(frozen=True)
+class For(Stmt):
+    """``for var in [lo, hi):`` with an optional step, body is a block."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: tuple[Stmt, ...]
+    step: Expr | None = None
+
+    def __str__(self) -> str:
+        return f"for {self.var} in [{self.lo}, {self.hi})"
+
+
+def free_vars(expr: Expr) -> set[str]:
+    """All variable names appearing in *expr* (subscripts included)."""
+    if isinstance(expr, Num):
+        return set()
+    if isinstance(expr, Var):
+        return {expr.name}
+    if isinstance(expr, Ref):
+        out: set[str] = set()
+        for sub in expr.subscripts:
+            out |= free_vars(sub)
+        return out
+    if isinstance(expr, BinOp):
+        return free_vars(expr.left) | free_vars(expr.right)
+    if isinstance(expr, UnaryOp):
+        return free_vars(expr.operand)
+    if isinstance(expr, Call):
+        out = set()
+        for arg in expr.args:
+            out |= free_vars(arg)
+        return out
+    raise TypeError(f"unknown expression {expr!r}")
+
+
+def referenced_arrays(expr: Expr) -> set[str]:
+    """All array names referenced inside *expr*."""
+    if isinstance(expr, Ref):
+        out = {expr.array}
+        for sub in expr.subscripts:
+            out |= referenced_arrays(sub)
+        return out
+    if isinstance(expr, BinOp):
+        return referenced_arrays(expr.left) | referenced_arrays(expr.right)
+    if isinstance(expr, UnaryOp):
+        return referenced_arrays(expr.operand)
+    if isinstance(expr, Call):
+        out = set()
+        for arg in expr.args:
+            out |= referenced_arrays(arg)
+        return out
+    return set()
+
+
+def walk_refs(expr: Expr):
+    """Yield every array Ref in *expr*, including nested index refs."""
+    if isinstance(expr, Ref):
+        yield expr
+        for sub in expr.subscripts:
+            yield from walk_refs(sub)
+    elif isinstance(expr, BinOp):
+        yield from walk_refs(expr.left)
+        yield from walk_refs(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from walk_refs(expr.operand)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from walk_refs(arg)
+
+
+def outer_refs(expr: Expr):
+    """Yield top-level array Refs only — not refs nested in subscripts.
+
+    An index array (``idx`` in ``A[idx[m]]``) is read by the gather's
+    index stream, not placed on the lattice, so lattice-placement
+    analyses must not descend into subscript expressions.
+    """
+    if isinstance(expr, Ref):
+        yield expr
+    elif isinstance(expr, BinOp):
+        yield from outer_refs(expr.left)
+        yield from outer_refs(expr.right)
+    elif isinstance(expr, UnaryOp):
+        yield from outer_refs(expr.operand)
+    elif isinstance(expr, Call):
+        for arg in expr.args:
+            yield from outer_refs(arg)

@@ -1,0 +1,117 @@
+"""Tokenizer for the kernel language.
+
+Indentation-sensitive like Python: the lexer emits INDENT/DEDENT tokens so
+the parser can handle nested loop bodies written exactly as the paper's
+listings.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import FrontendError
+
+
+class TokKind(enum.Enum):
+    NUMBER = "number"
+    IDENT = "ident"
+    OP = "op"  # + - * / = += -= *= /=
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    COLON = ":"
+    FOR = "for"
+    IN = "in"
+    NEWLINE = "newline"
+    INDENT = "indent"
+    DEDENT = "dedent"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    text: str
+    line: int
+    col: int
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}({self.text!r})@{self.line}:{self.col}"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>\d+(\.\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\+=|-=|\*=|/=|[+\-*/=])
+  | (?P<punct>[\[\](),:])
+  | (?P<ws>[ \t]+)
+  | (?P<comment>\#[^\n]*|//[^\n]*)
+    """,
+    re.VERBOSE,
+)
+
+_PUNCT = {
+    "[": TokKind.LBRACKET,
+    "]": TokKind.RBRACKET,
+    "(": TokKind.LPAREN,
+    ")": TokKind.RPAREN,
+    ",": TokKind.COMMA,
+    ":": TokKind.COLON,
+}
+
+_KEYWORDS = {"for": TokKind.FOR, "in": TokKind.IN}
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize kernel source into a flat token list ending with EOF."""
+    tokens: list[Token] = []
+    indent_stack = [0]
+    lines = source.replace(";", "\n").splitlines()
+    for lineno, raw in enumerate(lines, start=1):
+        stripped = raw.split("#", 1)[0].split("//", 1)[0].rstrip()
+        if not stripped.strip():
+            continue  # blank / comment-only lines don't affect indentation
+        indent = len(stripped) - len(stripped.lstrip(" \t"))
+        indent = len(raw[: len(raw) - len(raw.lstrip(" \t"))].expandtabs(4))
+        if indent > indent_stack[-1]:
+            indent_stack.append(indent)
+            tokens.append(Token(TokKind.INDENT, "", lineno, 0))
+        while indent < indent_stack[-1]:
+            indent_stack.pop()
+            tokens.append(Token(TokKind.DEDENT, "", lineno, 0))
+        if indent != indent_stack[-1]:
+            raise FrontendError(f"line {lineno}: inconsistent indentation")
+        pos = 0
+        text = stripped.strip()
+        offset = indent
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise FrontendError(
+                    f"line {lineno}: unexpected character {text[pos]!r}"
+                )
+            pos = m.end()
+            if m.lastgroup in ("ws", "comment"):
+                continue
+            tok_text = m.group()
+            col = offset + m.start() + 1
+            if m.lastgroup == "number":
+                tokens.append(Token(TokKind.NUMBER, tok_text, lineno, col))
+            elif m.lastgroup == "ident":
+                kind = _KEYWORDS.get(tok_text, TokKind.IDENT)
+                tokens.append(Token(kind, tok_text, lineno, col))
+            elif m.lastgroup == "op":
+                tokens.append(Token(TokKind.OP, tok_text, lineno, col))
+            elif m.lastgroup == "punct":
+                tokens.append(Token(_PUNCT[tok_text], tok_text, lineno, col))
+        tokens.append(Token(TokKind.NEWLINE, "", lineno, len(raw) + 1))
+    while len(indent_stack) > 1:
+        indent_stack.pop()
+        tokens.append(Token(TokKind.DEDENT, "", len(lines) + 1, 0))
+    tokens.append(Token(TokKind.EOF, "", len(lines) + 1, 0))
+    return tokens

@@ -1,0 +1,201 @@
+"""Recursive-descent parser for the kernel language.
+
+Grammar (indentation-delimited blocks)::
+
+    program  := stmt+
+    stmt     := for | assign
+    for      := "for" IDENT "in" "[" expr "," expr ("," expr)? ")" ":"?
+                NEWLINE INDENT stmt+ DEDENT
+    assign   := target ("="|"+="|"-="|"*="|"/=") expr NEWLINE
+    target   := IDENT ("[" expr "]")*
+    expr     := term (("+"|"-") term)*
+    term     := unary (("*"|"/") unary)*
+    unary    := "-" unary | atom
+    atom     := NUMBER | IDENT ("[" expr "]")* | IDENT "(" expr, ... ")"
+              | "(" expr ")"
+
+The optional third range component is a step (the paper writes
+``for k in [0, T, K)`` for tiled loops with step T).
+"""
+
+from __future__ import annotations
+
+from repro.errors import FrontendError
+from repro.frontend.kast import (
+    Assign,
+    BinOp,
+    Call,
+    Expr,
+    For,
+    Num,
+    Ref,
+    Stmt,
+    UnaryOp,
+    Var,
+)
+from repro.frontend.lexer import TokKind, Token, tokenize
+
+_INTRINSICS = {"min", "max", "relu", "abs", "sqrt", "select"}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token helpers ---------------------------------------------------
+    def peek(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.tokens[self.pos]
+        self.pos += 1
+        return tok
+
+    def expect(self, kind: TokKind, text: str | None = None) -> Token:
+        tok = self.peek()
+        if tok.kind is not kind or (text is not None and tok.text != text):
+            want = text or kind.value
+            raise FrontendError(
+                f"line {tok.line}: expected {want!r}, found {tok.text or tok.kind.value!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: TokKind, text: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind is kind and (text is None or tok.text == text):
+            return self.advance()
+        return None
+
+    # -- grammar ----------------------------------------------------------
+    def parse_program(self) -> tuple[Stmt, ...]:
+        stmts: list[Stmt] = []
+        while self.peek().kind is not TokKind.EOF:
+            stmts.append(self.parse_stmt())
+        if not stmts:
+            raise FrontendError("empty kernel")
+        return tuple(stmts)
+
+    def parse_stmt(self) -> Stmt:
+        if self.peek().kind is TokKind.FOR:
+            return self.parse_for()
+        return self.parse_assign()
+
+    def parse_for(self) -> For:
+        self.expect(TokKind.FOR)
+        var = self.expect(TokKind.IDENT).text
+        self.expect(TokKind.IN)
+        self.expect(TokKind.LBRACKET)
+        first = self.parse_expr()
+        self.expect(TokKind.COMMA)
+        second = self.parse_expr()
+        step: Expr | None = None
+        if self.accept(TokKind.COMMA):
+            # "[lo, step, hi)" — paper's tiled-loop syntax (Fig 8).
+            third = self.parse_expr()
+            lo, step, hi = first, second, third
+        else:
+            lo, hi = first, second
+        self.expect(TokKind.RPAREN)
+        self.accept(TokKind.COLON)
+        self.expect(TokKind.NEWLINE)
+        self.expect(TokKind.INDENT)
+        body: list[Stmt] = []
+        while self.peek().kind not in (TokKind.DEDENT, TokKind.EOF):
+            body.append(self.parse_stmt())
+        self.accept(TokKind.DEDENT)
+        if not body:
+            raise FrontendError(f"loop over {var!r} has an empty body")
+        return For(var=var, lo=lo, hi=hi, body=tuple(body), step=step)
+
+    def parse_assign(self) -> Assign:
+        target = self.parse_target()
+        op_tok = self.expect(TokKind.OP)
+        if op_tok.text not in ("=", "+=", "-=", "*=", "/="):
+            raise FrontendError(
+                f"line {op_tok.line}: expected assignment, found {op_tok.text!r}"
+            )
+        value = self.parse_expr()
+        self.expect(TokKind.NEWLINE)
+        aug = op_tok.text[0] if len(op_tok.text) == 2 else ""
+        return Assign(target=target, value=value, aug=aug)
+
+    def parse_target(self) -> Ref | Var:
+        name = self.expect(TokKind.IDENT).text
+        subs = self.parse_subscripts()
+        if subs:
+            return Ref(name, subs)
+        return Var(name)
+
+    def parse_subscripts(self) -> tuple[Expr, ...]:
+        subs: list[Expr] = []
+        while self.accept(TokKind.LBRACKET):
+            subs.append(self.parse_expr())
+            self.expect(TokKind.RBRACKET)
+        return tuple(subs)
+
+    def parse_expr(self) -> Expr:
+        left = self.parse_term()
+        while True:
+            tok = self.peek()
+            if tok.kind is TokKind.OP and tok.text in ("+", "-"):
+                self.advance()
+                right = self.parse_term()
+                left = BinOp(tok.text, left, right)
+            else:
+                return left
+
+    def parse_term(self) -> Expr:
+        left = self.parse_unary()
+        while True:
+            tok = self.peek()
+            if tok.kind is TokKind.OP and tok.text in ("*", "/"):
+                self.advance()
+                right = self.parse_unary()
+                left = BinOp(tok.text, left, right)
+            else:
+                return left
+
+    def parse_unary(self) -> Expr:
+        if self.accept(TokKind.OP, "-"):
+            return UnaryOp("-", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> Expr:
+        tok = self.peek()
+        if tok.kind is TokKind.NUMBER:
+            self.advance()
+            value = float(tok.text) if "." in tok.text else int(tok.text)
+            return Num(value)
+        if tok.kind is TokKind.LPAREN:
+            self.advance()
+            inner = self.parse_expr()
+            self.expect(TokKind.RPAREN)
+            return inner
+        if tok.kind is TokKind.IDENT:
+            name = self.advance().text
+            if self.peek().kind is TokKind.LPAREN:
+                if name not in _INTRINSICS:
+                    raise FrontendError(
+                        f"line {tok.line}: unknown intrinsic {name!r}"
+                    )
+                self.advance()
+                args: list[Expr] = [self.parse_expr()]
+                while self.accept(TokKind.COMMA):
+                    args.append(self.parse_expr())
+                self.expect(TokKind.RPAREN)
+                return Call(name, tuple(args))
+            subs = self.parse_subscripts()
+            if subs:
+                return Ref(name, subs)
+            return Var(name)
+        raise FrontendError(
+            f"line {tok.line}: unexpected {tok.text or tok.kind.value!r}"
+        )
+
+
+def parse_source(source: str) -> tuple[Stmt, ...]:
+    """Parse kernel source text into an AST."""
+    import textwrap
+
+    return _Parser(tokenize(textwrap.dedent(source))).parse_program()

@@ -1,0 +1,15 @@
+"""Lattice-space geometry for the tensor dataflow graph.
+
+The paper positions every tDFG tensor on an *N*-dimensional global lattice
+space (§3.2).  A tensor is a hyperrectangle set of lattice cells; data
+alignment for bit-serial computing is expressed as hyperrectangle
+intersection; data movement is hyperrectangle translation.  This package
+provides the :class:`Hyperrect` value type and the tile-boundary
+decomposition of Algorithm 1.
+"""
+
+from repro.geometry.hyperrect import Hyperrect
+from repro.geometry.decompose import decompose_tensor
+from repro.geometry.lattice import LatticeSpace
+
+__all__ = ["Hyperrect", "decompose_tensor", "LatticeSpace"]

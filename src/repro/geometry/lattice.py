@@ -1,0 +1,73 @@
+"""The global lattice space (§3.2).
+
+All tDFG tensors are positioned on an N-dimensional global lattice space
+whose dimensionality is that of the data structure with the highest
+dimension.  The lattice is a *homogeneous coordinate system* abstracting
+the hardware hierarchy (bitlines, SRAM arrays, banks, NoC); at runtime,
+cells are mapped to physical bitlines by the transposed data layout
+(:mod:`repro.runtime.layout`).
+
+Semantically, data moved or broadcast outside the *global bounding
+hyperrectangle* is discarded.  :class:`LatticeSpace` tracks that bounding
+region and the arrays registered in it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import GeometryError
+from repro.geometry.hyperrect import Hyperrect
+
+
+@dataclass
+class LatticeSpace:
+    """A global lattice space with a bounding hyperrectangle.
+
+    Arrays are registered by name with their origin-anchored domain (the
+    paper implicitly aligns all data structures to the origin; an explicit
+    placement offset is supported for the relaxation mentioned in §3.2).
+    """
+
+    ndim: int
+    arrays: dict[str, Hyperrect] = field(default_factory=dict)
+
+    def register_array(
+        self, name: str, shape: tuple[int, ...], origin: tuple[int, ...] | None = None
+    ) -> Hyperrect:
+        """Place an array in the lattice and return its domain."""
+        if len(shape) > self.ndim:
+            raise GeometryError(
+                f"array {name!r} rank {len(shape)} exceeds lattice rank {self.ndim}"
+            )
+        # Lower-rank arrays are embedded with extent 1 on missing dims so
+        # that e.g. a 1D row can be broadcast across a 2D lattice.
+        full_shape = tuple(shape) + (1,) * (self.ndim - len(shape))
+        if origin is None:
+            origin = (0,) * self.ndim
+        if len(origin) != self.ndim:
+            raise GeometryError(f"origin rank {len(origin)} != {self.ndim}")
+        rect = Hyperrect(
+            tuple(origin), tuple(o + s for o, s in zip(origin, full_shape))
+        )
+        if name in self.arrays:
+            raise GeometryError(f"array {name!r} already registered")
+        self.arrays[name] = rect
+        return rect
+
+    @property
+    def bounding(self) -> Hyperrect:
+        """Minimal hyperrectangle containing all registered arrays (§3.2)."""
+        rect = Hyperrect.empty(self.ndim)
+        for r in self.arrays.values():
+            rect = rect.bounding_union(r)
+        return rect
+
+    def domain_of(self, name: str) -> Hyperrect:
+        if name not in self.arrays:
+            raise GeometryError(f"unknown array {name!r}")
+        return self.arrays[name]
+
+    def clip(self, rect: Hyperrect) -> Hyperrect:
+        """Discard cells outside the bounding hyperrectangle."""
+        return rect.intersect(self.bounding)

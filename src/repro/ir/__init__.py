@@ -1,0 +1,50 @@
+"""The Infinity Stream intermediate representations.
+
+Two IRs are defined, mirroring §3 of the paper:
+
+* the **stream dataflow graph** (sDFG, :mod:`repro.ir.sdfg`) — decoupled
+  memory-access streams with near-stream computation, used for
+  near-memory offloading; and
+* the **tensor dataflow graph** (tDFG, :mod:`repro.ir.tdfg`) — streams
+  fully unrolled into tensors positioned on a global lattice space, with
+  explicit ``mv``/``bc`` alignment nodes, used for in-memory computing.
+
+Both are embedded in the "fat binary" (:mod:`repro.backend.fatbinary`)
+so that the runtime can choose the paradigm dynamically.
+"""
+
+from repro.ir.dtypes import DType
+from repro.ir.ops import Op
+from repro.ir.nodes import (
+    Node,
+    ConstNode,
+    TensorNode,
+    ComputeNode,
+    MoveNode,
+    BroadcastNode,
+    ShrinkNode,
+    ReduceNode,
+    StreamNode,
+)
+from repro.ir.tdfg import TensorDFG, TensorBinding
+from repro.ir.sdfg import StreamDFG, Stream, AffinePattern, IndirectPattern
+
+__all__ = [
+    "DType",
+    "Op",
+    "Node",
+    "ConstNode",
+    "TensorNode",
+    "ComputeNode",
+    "MoveNode",
+    "BroadcastNode",
+    "ShrinkNode",
+    "ReduceNode",
+    "StreamNode",
+    "TensorDFG",
+    "TensorBinding",
+    "StreamDFG",
+    "Stream",
+    "AffinePattern",
+    "IndirectPattern",
+]

@@ -1,0 +1,302 @@
+"""A fluent builder for tensor dataflow graphs.
+
+This is the library's programmer-facing construction API (the frontend in
+:mod:`repro.frontend` lowers loop-nest kernels onto it).  Expressions wrap
+tDFG nodes with Python operator overloading so a 1D filter reads::
+
+    b = TDFGBuilder("filter1d")
+    a = b.array("A", (n,))
+    out = b.array("B", (n,))
+    center = a[1:n-1]
+    left = a[0:n-2].mv(0, 1)
+    right = a[2:n].mv(0, -1)
+    b.store(out, (1, n - 1), left + center + right)
+    tdfg = b.finish()
+
+matching Fig 4(a) of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IRError
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.nodes import (
+    BroadcastNode,
+    ComputeNode,
+    ConstNode,
+    MoveNode,
+    Node,
+    ReduceNode,
+    ShrinkNode,
+    StreamKind,
+    StreamNode,
+)
+from repro.ir.nodes import TensorNode
+from repro.ir.ops import Op
+from repro.ir.sdfg import StreamDFG
+from repro.ir.tdfg import ArrayDecl, LayoutHints, TensorDFG
+
+
+@dataclass(frozen=True)
+class TExpr:
+    """A tDFG node with operator sugar; produced and consumed by builders."""
+
+    node: Node
+
+    # -- arithmetic ----------------------------------------------------
+    def _binary(self, op: Op, other) -> "TExpr":
+        return TExpr(ComputeNode(op, (self.node, _as_node(other, self.node))))
+
+    def _rbinary(self, op: Op, other) -> "TExpr":
+        return TExpr(ComputeNode(op, (_as_node(other, self.node), self.node)))
+
+    def __add__(self, other) -> "TExpr":
+        return self._binary(Op.ADD, other)
+
+    def __radd__(self, other) -> "TExpr":
+        return self._rbinary(Op.ADD, other)
+
+    def __sub__(self, other) -> "TExpr":
+        return self._binary(Op.SUB, other)
+
+    def __rsub__(self, other) -> "TExpr":
+        return self._rbinary(Op.SUB, other)
+
+    def __mul__(self, other) -> "TExpr":
+        return self._binary(Op.MUL, other)
+
+    def __rmul__(self, other) -> "TExpr":
+        return self._rbinary(Op.MUL, other)
+
+    def __truediv__(self, other) -> "TExpr":
+        return self._binary(Op.DIV, other)
+
+    def __rtruediv__(self, other) -> "TExpr":
+        return self._rbinary(Op.DIV, other)
+
+    def __neg__(self) -> "TExpr":
+        return TExpr(ComputeNode(Op.NEG, (self.node,)))
+
+    def min(self, other) -> "TExpr":
+        return self._binary(Op.MIN, other)
+
+    def max(self, other) -> "TExpr":
+        return self._binary(Op.MAX, other)
+
+    def relu(self) -> "TExpr":
+        return TExpr(ComputeNode(Op.RELU, (self.node,)))
+
+    def square(self) -> "TExpr":
+        return TExpr(ComputeNode(Op.SQUARE, (self.node,)))
+
+    def lt(self, other) -> "TExpr":
+        return self._binary(Op.CMP_LT, other)
+
+    def select(self, if_true, if_false) -> "TExpr":
+        return TExpr(
+            ComputeNode(
+                Op.SELECT,
+                (
+                    self.node,
+                    _as_node(if_true, self.node),
+                    _as_node(if_false, self.node),
+                ),
+            )
+        )
+
+    # -- alignment -----------------------------------------------------
+    def mv(self, dim: int, dist: int) -> "TExpr":
+        return TExpr(MoveNode(self.node, dim, dist))
+
+    def bc(self, dim: int, dist: int, count: int) -> "TExpr":
+        return TExpr(BroadcastNode(self.node, dim, dist, count))
+
+    def shrink(self, dim: int, start: int, end: int) -> "TExpr":
+        return TExpr(ShrinkNode(self.node, dim, start, end))
+
+    def reduce(self, op: Op, dim: int) -> "TExpr":
+        return TExpr(ReduceNode(self.node, op, dim))
+
+    @property
+    def domain(self) -> Hyperrect | None:
+        return self.node.domain
+
+    @property
+    def dtype(self) -> DType:
+        return self.node.dtype
+
+
+def _as_node(value, like: Node) -> Node:
+    if isinstance(value, TExpr):
+        return value.node
+    if isinstance(value, Node):
+        return value
+    if isinstance(value, (int, float)):
+        return ConstNode(value, like.dtype)
+    if isinstance(value, str):
+        return ConstNode(value, like.dtype)  # symbolic runtime constant
+    raise IRError(f"cannot coerce {value!r} into a tDFG node")
+
+
+class ArrayHandle:
+    """A declared array; slicing yields :class:`TExpr` tensor views."""
+
+    def __init__(self, decl: ArrayDecl) -> None:
+        self.decl = decl
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.decl.shape
+
+    def __getitem__(self, key) -> TExpr:
+        region = _region_from_key(key, self.decl.shape)
+        return TExpr(TensorNode(self.decl.name, region, self.decl.elem_type))
+
+    def all(self) -> TExpr:
+        return TExpr(
+            TensorNode(self.decl.name, self.decl.domain, self.decl.elem_type)
+        )
+
+
+def _region_from_key(key, shape: tuple[int, ...]) -> Hyperrect:
+    """Translate Python slices into a hyperrectangle.
+
+    Index order follows the lattice convention: ``a[i0, i1]`` has ``i0`` on
+    dimension 0 (innermost).  Plain integers select extent-1 intervals.
+    """
+    if not isinstance(key, tuple):
+        key = (key,)
+    if len(key) > len(shape):
+        raise IRError(f"too many indices ({len(key)}) for rank {len(shape)}")
+    bounds: list[tuple[int, int]] = []
+    for dim, k in enumerate(key):
+        size = shape[dim]
+        if isinstance(k, slice):
+            if k.step not in (None, 1):
+                raise IRError("strided tensor views are not supported")
+            start = 0 if k.start is None else _resolve(k.start, size)
+            stop = size if k.stop is None else _resolve(k.stop, size)
+            bounds.append((start, stop))
+        elif isinstance(k, int):
+            idx = _resolve(k, size)
+            bounds.append((idx, idx + 1))
+        else:
+            raise IRError(f"bad index {k!r}")
+    for dim in range(len(key), len(shape)):
+        bounds.append((0, shape[dim]))
+    return Hyperrect.from_bounds(bounds)
+
+
+def _resolve(idx: int, size: int) -> int:
+    return idx + size if idx < 0 else idx
+
+
+class TDFGBuilder:
+    """Builds a validated :class:`TensorDFG` step by step."""
+
+    def __init__(self, name: str, dtype: DType = DType.FP32) -> None:
+        self._tdfg = TensorDFG(name=name)
+        self._dtype = dtype
+
+    # -- declarations ----------------------------------------------------
+    def array(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: DType | None = None,
+    ) -> ArrayHandle:
+        decl = ArrayDecl(name, tuple(int(s) for s in shape), dtype or self._dtype)
+        self._tdfg.declare(decl)
+        return ArrayHandle(decl)
+
+    def const(self, value: float | int | str, dtype: DType | None = None) -> TExpr:
+        if isinstance(value, str):
+            self._tdfg.params.setdefault(value, 0.0)
+        return TExpr(ConstNode(value, dtype or self._dtype))
+
+    def param(self, name: str, default: float = 0.0) -> TExpr:
+        """A runtime constant passed through ``inf_cfg`` (§3.4)."""
+        self._tdfg.params[name] = default
+        return TExpr(ConstNode(name, self._dtype))
+
+    # -- outputs ----------------------------------------------------------
+    def store(self, array: ArrayHandle, region, expr: TExpr) -> None:
+        rect = (
+            region
+            if isinstance(region, Hyperrect)
+            else _region_from_key(_bounds_to_key(region), array.shape)
+        )
+        self._tdfg.bind(array.name, rect, expr.node)
+
+    def reduce_stream(
+        self, name: str, expr: TExpr, op: Op = Op.ADD
+    ) -> StreamNode:
+        """Near-memory final reduction of in-memory partial results."""
+        node = StreamNode(
+            stream=name,
+            stream_kind=StreamKind.REDUCE,
+            inputs=(expr.node,),
+            elem_type=expr.dtype,
+            combiner=op,
+        )
+        self._tdfg.scalar_results.append(node)
+        return node
+
+    def load_stream(
+        self,
+        name: str,
+        region: Hyperrect,
+        dtype: DType | None = None,
+    ) -> TExpr:
+        """A tensor produced by an embedded (e.g. indirect) load stream."""
+        node = StreamNode(
+            stream=name,
+            stream_kind=StreamKind.LOAD,
+            region=region,
+            elem_type=dtype or self._dtype,
+        )
+        return TExpr(node)
+
+    def store_stream(self, name: str, expr: TExpr, region: Hyperrect | None = None):
+        """An embedded store stream consuming a tensor (§3.3)."""
+        node = StreamNode(
+            stream=name,
+            stream_kind=StreamKind.STORE,
+            inputs=(expr.node,),
+            region=region,
+            elem_type=expr.dtype,
+        )
+        self._tdfg.scalar_results.append(node)
+        return node
+
+    # -- metadata ----------------------------------------------------------
+    def hints(self, **kwargs) -> None:
+        self._tdfg.hints = LayoutHints(**kwargs)
+
+    def attach_sdfg(self, sdfg: StreamDFG) -> None:
+        self._tdfg.sdfg = sdfg
+
+    def set_param(self, name: str, value: float) -> None:
+        self._tdfg.params[name] = value
+
+    # -- finish ----------------------------------------------------------
+    def finish(self, validate: bool = True) -> TensorDFG:
+        if validate:
+            self._tdfg.validate()
+        return self._tdfg
+
+
+def _bounds_to_key(region) -> tuple:
+    """Accept ``(start, stop)`` or ``[(s0, e0), (s1, e1), ...]`` regions."""
+    if isinstance(region, tuple) and len(region) == 2 and all(
+        isinstance(x, int) for x in region
+    ):
+        return (slice(region[0], region[1]),)
+    return tuple(slice(s, e) for s, e in region)

@@ -1,0 +1,98 @@
+"""Element data types and their bit-serial execution costs.
+
+Bit-serial logic computes one bit per cycle across all bitlines of an SRAM
+array (§2.2): an *n*-bit integer addition takes O(n) cycles and an integer
+multiplication O(n^2).  Floating point support follows the compute-SRAM
+circuits of Duality Cache [17]; we model fp32 with fixed cycle counts
+derived from its mantissa arithmetic (24-bit mantissa multiply =
+24^2 + 5*24 = 696 cycles, plus exponent/alignment handling).
+
+These latencies feed both the in-/near-memory decision heuristic (Eq. 2)
+and the cycle-level performance model.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+
+class DType(enum.Enum):
+    """Supported tensor element types."""
+
+    INT8 = "int8"
+    INT16 = "int16"
+    INT32 = "int32"
+    INT64 = "int64"
+    FP32 = "fp32"
+
+    @property
+    def bits(self) -> int:
+        return _BITS[self]
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def is_float(self) -> bool:
+        return self is DType.FP32
+
+    @property
+    def numpy(self) -> np.dtype:
+        return _NUMPY[self]
+
+    @property
+    def mantissa_bits(self) -> int:
+        """Significand width including the hidden bit (fp only)."""
+        if self is DType.FP32:
+            return 24
+        raise ValueError(f"{self} has no mantissa")
+
+
+_BITS = {
+    DType.INT8: 8,
+    DType.INT16: 16,
+    DType.INT32: 32,
+    DType.INT64: 64,
+    DType.FP32: 32,
+}
+
+_NUMPY = {
+    DType.INT8: np.dtype(np.int8),
+    DType.INT16: np.dtype(np.int16),
+    DType.INT32: np.dtype(np.int32),
+    DType.INT64: np.dtype(np.int64),
+    DType.FP32: np.dtype(np.float32),
+}
+
+
+def int_add_cycles(bits: int) -> int:
+    """Bit-serial integer addition: n + 1 cycles (carry ripple) [17, 32]."""
+    return bits + 1
+
+
+def int_mul_cycles(bits: int) -> int:
+    """Bit-serial integer multiplication: n^2 + 5n cycles (§5.2)."""
+    return bits * bits + 5 * bits
+
+
+def int_cmp_cycles(bits: int) -> int:
+    """Bit-serial comparison: one pass over the bits."""
+    return bits
+
+
+def bitwise_cycles(bits: int) -> int:
+    """Bitwise and/or/xor: one cycle per bit."""
+    return bits
+
+
+# fp32 costs: mantissa multiply dominates fp mul; fp add additionally pays
+# exponent comparison, mantissa alignment (a variable shift implemented as
+# a bit-serial multiplexer cascade) and renormalization, making bit-serial
+# fp add *more* expensive than fp mul, as reported by Duality Cache [17].
+FP32_ADD_CYCLES = 900
+FP32_MUL_CYCLES = 760
+FP32_DIV_CYCLES = 3200
+FP32_CMP_CYCLES = 32

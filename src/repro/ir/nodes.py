@@ -1,0 +1,350 @@
+"""tDFG node types and their lattice-space semantics (Fig 5).
+
+Nodes form an immutable DAG in SSA form: every node produces a new tensor
+(or scalar) and never overwrites an existing one.  Each node exposes
+
+* ``domain`` — the hyperrectangle of lattice cells it defines.  ``None``
+  means *infinite* (a ``const`` broadcast to all lattice cells);
+* ``dtype`` — the element type, inherited from operand tensors;
+* ``operands`` — the value dependences.
+
+The node set is exactly the paper's: ``const``, ``tensor``, ``cmp``
+(compute), ``mv`` (move), ``bc`` (broadcast), ``strm`` (embedded stream),
+plus the appendix's ``shrink`` and the in-memory partial ``reduce``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.ops import Op
+
+
+@dataclass(frozen=True)
+class Node:
+    """Base class for tDFG nodes.  Subclasses are frozen value types."""
+
+    @property
+    def operands(self) -> tuple["Node", ...]:
+        return ()
+
+    @property
+    def domain(self) -> Hyperrect | None:
+        raise NotImplementedError
+
+    @property
+    def dtype(self) -> DType:
+        raise NotImplementedError
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.removesuffix("Node").lower()
+
+    def produces_tensor(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class ConstNode(Node):
+    """An infinite tensor with a compile-/run-time constant at all cells.
+
+    Runtime constants (e.g. ``akk`` in Gaussian elimination) are modelled
+    by *symbolic* constants: ``value`` holds a parameter name, resolved by
+    the runtime when the region is configured (``inf_cfg``).
+    """
+
+    value: float | int | str
+    elem_type: DType = DType.FP32
+
+    @property
+    def domain(self) -> Hyperrect | None:
+        return None  # infinite: intersects to the other operand's domain
+
+    @property
+    def dtype(self) -> DType:
+        return self.elem_type
+
+    @property
+    def is_symbolic(self) -> bool:
+        return isinstance(self.value, str)
+
+    def __str__(self) -> str:
+        return f"const({self.value})"
+
+
+@dataclass(frozen=True)
+class TensorNode(Node):
+    """A hyperrectangle of elements of a named array, placed in the lattice.
+
+    ``region`` is in *array* coordinates, dimension 0 innermost; the array
+    is assumed anchored at the lattice origin (§3.2).
+    """
+
+    array: str
+    region: Hyperrect
+    elem_type: DType = DType.FP32
+
+    @property
+    def domain(self) -> Hyperrect:
+        return self.region
+
+    @property
+    def dtype(self) -> DType:
+        return self.elem_type
+
+    def __str__(self) -> str:
+        return f"{self.array}{self.region}"
+
+
+@dataclass(frozen=True)
+class ComputeNode(Node):
+    """Element-wise ``f`` applied to the intersection of input tensors.
+
+    No inter-element order is assumed — this is the massive data
+    parallelism the bit-serial SRAM exploits.  Operand elements must be
+    aligned in the same lattice cell, which is why ``mv``/``bc`` nodes
+    exist.
+    """
+
+    op: Op
+    inputs: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.inputs) != self.op.arity:
+            raise IRError(
+                f"{self.op.value} expects {self.op.arity} operands, "
+                f"got {len(self.inputs)}"
+            )
+
+    @property
+    def operands(self) -> tuple[Node, ...]:
+        return self.inputs
+
+    @property
+    def domain(self) -> Hyperrect | None:
+        out: Hyperrect | None = None
+        for node in self.inputs:
+            d = node.domain
+            if d is None:
+                continue
+            out = d if out is None else out.intersect(d)
+        return out
+
+    @property
+    def dtype(self) -> DType:
+        for node in self.inputs:
+            if not isinstance(node, ConstNode):
+                return node.dtype
+        return self.inputs[0].dtype
+
+    def __str__(self) -> str:
+        return f"cmp({self.op.value})"
+
+
+@dataclass(frozen=True)
+class MoveNode(Node):
+    """Shift the input tensor by ``dist`` along ``dim`` (Fig 5 ``mv``)."""
+
+    src: Node
+    dim: int
+    dist: int
+
+    @property
+    def operands(self) -> tuple[Node, ...]:
+        return (self.src,)
+
+    @property
+    def domain(self) -> Hyperrect | None:
+        d = self.src.domain
+        if d is None:
+            return None
+        return d.shifted(self.dim, self.dist)
+
+    @property
+    def dtype(self) -> DType:
+        return self.src.dtype
+
+    def __str__(self) -> str:
+        return f"mv(dim={self.dim},dist={self.dist})"
+
+
+@dataclass(frozen=True)
+class BroadcastNode(Node):
+    """Broadcast the tensor ``count`` times along ``dim`` with offset ``dist``.
+
+    Captures reuse spatially: e.g. broadcasting one matrix row across all
+    rows of the output for the outer-product GEMM (Fig 8).
+    """
+
+    src: Node
+    dim: int
+    dist: int
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise IRError(f"broadcast count must be positive, got {self.count}")
+
+    @property
+    def operands(self) -> tuple[Node, ...]:
+        return (self.src,)
+
+    @property
+    def domain(self) -> Hyperrect | None:
+        d = self.src.domain
+        if d is None:
+            return None
+        return d.broadcast(self.dim, self.dist, self.count)
+
+    @property
+    def dtype(self) -> DType:
+        return self.src.dtype
+
+    def __str__(self) -> str:
+        return f"bc(dim={self.dim},dist={self.dist},count={self.count})"
+
+
+@dataclass(frozen=True)
+class ShrinkNode(Node):
+    """Resize dimension ``dim`` to ``[start, end)`` (Appendix Eq. 5).
+
+    Shrink nodes only track tensor-size information during optimization;
+    the JIT lowers them to a nop, like SSA phi nodes.
+    """
+
+    src: Node
+    dim: int
+    start: int
+    end: int
+
+    @property
+    def operands(self) -> tuple[Node, ...]:
+        return (self.src,)
+
+    def __post_init__(self) -> None:
+        if self.src.domain is None:
+            raise IRError("shrink applies to finite tensors only")
+        if self.end < self.start:
+            raise IRError(f"negative shrink extent [{self.start},{self.end})")
+
+    @property
+    def domain(self) -> Hyperrect | None:
+        d = self.src.domain
+        assert d is not None
+        return d.with_interval(self.dim, self.start, self.end)
+
+    @property
+    def dtype(self) -> DType:
+        return self.src.dtype
+
+    def __str__(self) -> str:
+        return f"shrink(dim={self.dim},[{self.start},{self.end}))"
+
+
+@dataclass(frozen=True)
+class ReduceNode(Node):
+    """In-memory partial reduction along ``dim`` with a combiner op.
+
+    Lowered to a sequence of interleaved compute and intra-tile shift
+    commands that fully reduce each tile on the reduced dimension (§4.2).
+    The output domain collapses the reduced dimension to extent 1 *per
+    tile*; the per-tile partial results are then combined by a near-memory
+    reduce stream (the ``strm`` consumer), as in Fig 4(b).
+    """
+
+    src: Node
+    op: Op
+    dim: int
+
+    def __post_init__(self) -> None:
+        if not self.op.is_reduction_friendly:
+            raise IRError(f"{self.op.value} cannot be used as a reduction")
+
+    @property
+    def operands(self) -> tuple[Node, ...]:
+        return (self.src,)
+
+    @property
+    def domain(self) -> Hyperrect | None:
+        d = self.src.domain
+        if d is None:
+            return None
+        p, _ = d.interval(self.dim)
+        return d.with_interval(self.dim, p, p + 1)
+
+    @property
+    def dtype(self) -> DType:
+        return self.src.dtype
+
+    def __str__(self) -> str:
+        return f"reduce(op={self.op.value},dim={self.dim})"
+
+
+class StreamKind(enum.Enum):
+    """Roles an embedded stream can play inside a tDFG (§3.3)."""
+
+    LOAD = "load"  # produce a tensor (e.g. indirect gather into lattice)
+    STORE = "store"  # consume a tensor, write by (possibly indirect) pattern
+    REDUCE = "reduce"  # consume a tensor, produce a scalar near-memory
+
+
+@dataclass(frozen=True)
+class StreamNode(Node):
+    """An embedded (non-unrolled) stream inside the tDFG (§3.3).
+
+    Load streams produce tensor values laid out in lattice format;
+    store streams update existing arrays; reduce streams collapse a tensor
+    of partial results into a normal (scalar) value near the L3 banks.
+    """
+
+    stream: str
+    stream_kind: StreamKind
+    inputs: tuple[Node, ...] = ()
+    region: Hyperrect | None = None
+    elem_type: DType = DType.FP32
+    combiner: Op | None = None
+
+    def __post_init__(self) -> None:
+        if self.stream_kind is not StreamKind.LOAD and not self.inputs:
+            raise IRError(f"{self.stream_kind.value} stream needs an operand")
+        if self.stream_kind is StreamKind.REDUCE and self.combiner is None:
+            raise IRError("reduce stream needs a combiner op")
+
+    @property
+    def operands(self) -> tuple[Node, ...]:
+        return self.inputs
+
+    @property
+    def domain(self) -> Hyperrect | None:
+        if self.stream_kind is StreamKind.LOAD:
+            return self.region
+        if self.stream_kind is StreamKind.STORE:
+            return self.region or (
+                self.inputs[0].domain if self.inputs else None
+            )
+        return None  # reduce: scalar value, no lattice domain
+
+    @property
+    def dtype(self) -> DType:
+        return self.elem_type
+
+    def produces_tensor(self) -> bool:
+        return self.stream_kind is not StreamKind.REDUCE
+
+    def __str__(self) -> str:
+        return f"strm({self.stream},{self.stream_kind.value})"
+
+
+def walk(node: Node, _seen: set[int] | None = None):
+    """Yield *node* and its transitive operands, each exactly once."""
+    seen = _seen if _seen is not None else set()
+    if id(node) in seen:
+        return
+    seen.add(id(node))
+    for operand in node.operands:
+        yield from walk(operand, seen)
+    yield node

@@ -1,0 +1,210 @@
+"""Element-wise operations of tDFG compute nodes.
+
+Each op carries its algebraic properties (used by the e-graph rewrite
+rules: associativity for Eq. 3a, commutativity for Eq. 3b, distribution
+pairs for Eq. 3c) and its bit-serial latency per data type (used by the
+cost model, the in-/near-memory decision of Eq. 2, and the cycle model).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+import numpy as np
+
+from repro.ir.dtypes import (
+    DType,
+    FP32_ADD_CYCLES,
+    FP32_CMP_CYCLES,
+    FP32_DIV_CYCLES,
+    FP32_MUL_CYCLES,
+    bitwise_cycles,
+    int_add_cycles,
+    int_cmp_cycles,
+    int_mul_cycles,
+)
+
+
+class Op(enum.Enum):
+    """Element-wise operations supported by the bit-serial SRAM."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"
+    MIN = "min"
+    MAX = "max"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    CMP_LT = "lt"
+    SELECT = "select"  # ternary: cond ? a : b
+    NEG = "neg"
+    ABS = "abs"
+    RELU = "relu"
+    SQUARE = "square"
+    COPY = "copy"
+
+    # ------------------------------------------------------------------
+    # Algebraic properties (drive the rewrite rules)
+    # ------------------------------------------------------------------
+    @property
+    def is_associative(self) -> bool:
+        return self in _ASSOCIATIVE
+
+    @property
+    def is_commutative(self) -> bool:
+        return self in _COMMUTATIVE
+
+    @property
+    def arity(self) -> int:
+        return _ARITY[self]
+
+    @property
+    def is_reduction_friendly(self) -> bool:
+        """Ops usable as a tree-reduction combiner (assoc + commutative)."""
+        return self in {Op.ADD, Op.MUL, Op.MIN, Op.MAX, Op.AND, Op.OR, Op.XOR}
+
+    def distributes_over(self, other: "Op") -> bool:
+        """True when ``a self (x other y) == (a self x) other (a self y)``."""
+        return (self, other) in _DISTRIBUTES
+
+    # ------------------------------------------------------------------
+    # Costs
+    # ------------------------------------------------------------------
+    def bitserial_cycles(self, dtype: DType) -> int:
+        """In-memory latency of one op over all bitlines in parallel."""
+        if dtype.is_float:
+            return _FP32_CYCLES[self]
+        bits = dtype.bits
+        return _INT_CYCLES[self](bits)
+
+    def core_latency(self, dtype: DType) -> int:
+        """Pipelined latency on the OOO core's functional units (Table 2)."""
+        if self in {Op.MUL, Op.SQUARE}:
+            return 3 if not dtype.is_float else 4
+        if self is Op.DIV:
+            return 12
+        return 1 if not dtype.is_float else 4
+
+    # ------------------------------------------------------------------
+    # Functional semantics (numpy) — used by the functional simulator
+    # ------------------------------------------------------------------
+    def apply(self, *operands: np.ndarray) -> np.ndarray:
+        fn = _NUMPY_FN[self]
+        return fn(*operands)
+
+    @property
+    def identity(self):
+        """Reduction identity value, when the op has one."""
+        return _IDENTITY[self]
+
+
+_ARITY = {
+    Op.ADD: 2,
+    Op.SUB: 2,
+    Op.MUL: 2,
+    Op.DIV: 2,
+    Op.MIN: 2,
+    Op.MAX: 2,
+    Op.AND: 2,
+    Op.OR: 2,
+    Op.XOR: 2,
+    Op.CMP_LT: 2,
+    Op.SELECT: 3,
+    Op.NEG: 1,
+    Op.ABS: 1,
+    Op.RELU: 1,
+    Op.SQUARE: 1,
+    Op.COPY: 1,
+}
+
+_ASSOCIATIVE = {Op.ADD, Op.MUL, Op.MIN, Op.MAX, Op.AND, Op.OR, Op.XOR}
+_COMMUTATIVE = {Op.ADD, Op.MUL, Op.MIN, Op.MAX, Op.AND, Op.OR, Op.XOR}
+_DISTRIBUTES = {
+    (Op.MUL, Op.ADD),
+    (Op.MUL, Op.SUB),
+    (Op.AND, Op.OR),
+    (Op.AND, Op.XOR),
+    (Op.ADD, Op.MIN),
+    (Op.ADD, Op.MAX),
+}
+
+_INT_CYCLES: dict[Op, Callable[[int], int]] = {
+    Op.ADD: int_add_cycles,
+    Op.SUB: lambda b: int_add_cycles(b) + 1,  # complement + add
+    Op.MUL: int_mul_cycles,
+    Op.DIV: lambda b: 2 * b * b + 8 * b,  # restoring division
+    Op.MIN: lambda b: int_cmp_cycles(b) + b,  # compare + select
+    Op.MAX: lambda b: int_cmp_cycles(b) + b,
+    Op.AND: bitwise_cycles,
+    Op.OR: bitwise_cycles,
+    Op.XOR: bitwise_cycles,
+    Op.CMP_LT: int_cmp_cycles,
+    Op.SELECT: lambda b: b + 1,
+    Op.NEG: lambda b: b + 2,
+    Op.ABS: lambda b: 2 * b + 2,
+    Op.RELU: lambda b: b + 1,  # sign test + select
+    Op.SQUARE: int_mul_cycles,
+    Op.COPY: lambda b: b,
+}
+
+_FP32_CYCLES = {
+    Op.ADD: FP32_ADD_CYCLES,
+    Op.SUB: FP32_ADD_CYCLES + 1,
+    Op.MUL: FP32_MUL_CYCLES,
+    Op.DIV: FP32_DIV_CYCLES,
+    Op.MIN: FP32_CMP_CYCLES + 32,
+    Op.MAX: FP32_CMP_CYCLES + 32,
+    Op.AND: 32,
+    Op.OR: 32,
+    Op.XOR: 32,
+    Op.CMP_LT: FP32_CMP_CYCLES,
+    Op.SELECT: 33,
+    Op.NEG: 1,  # flip sign bit
+    Op.ABS: 1,
+    Op.RELU: 33,
+    Op.SQUARE: FP32_MUL_CYCLES,
+    Op.COPY: 32,
+}
+
+_NUMPY_FN: dict[Op, Callable[..., np.ndarray]] = {
+    Op.ADD: np.add,
+    Op.SUB: np.subtract,
+    Op.MUL: np.multiply,
+    Op.DIV: lambda a, b: np.divide(a, b).astype(a.dtype)
+    if np.issubdtype(a.dtype, np.floating)
+    else (a // b),
+    Op.MIN: np.minimum,
+    Op.MAX: np.maximum,
+    Op.AND: np.bitwise_and,
+    Op.OR: np.bitwise_or,
+    Op.XOR: np.bitwise_xor,
+    Op.CMP_LT: lambda a, b: (a < b).astype(a.dtype),
+    Op.SELECT: lambda c, a, b: np.where(c != 0, a, b),
+    Op.NEG: np.negative,
+    Op.ABS: np.abs,
+    Op.RELU: lambda a: np.maximum(a, a.dtype.type(0)),
+    Op.SQUARE: lambda a: a * a,
+    Op.COPY: lambda a: a.copy(),
+}
+
+_IDENTITY = {
+    Op.ADD: 0,
+    Op.MUL: 1,
+    Op.MIN: float("inf"),
+    Op.MAX: float("-inf"),
+    Op.AND: -1,
+    Op.OR: 0,
+    Op.XOR: 0,
+    Op.SUB: None,
+    Op.DIV: None,
+    Op.CMP_LT: None,
+    Op.SELECT: None,
+    Op.NEG: None,
+    Op.ABS: None,
+    Op.RELU: None,
+    Op.SQUARE: None,
+    Op.COPY: None,
+}

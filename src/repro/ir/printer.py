@@ -1,0 +1,228 @@
+"""Textual and JSON serialization of tDFGs.
+
+The fat binary (:mod:`repro.backend.fatbinary`) embeds serialized tDFG
+configurations; this module provides the round-trippable encoding plus a
+human-readable pretty printer used in examples and debugging.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import IRError
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.nodes import (
+    BroadcastNode,
+    ComputeNode,
+    ConstNode,
+    MoveNode,
+    Node,
+    ReduceNode,
+    ShrinkNode,
+    StreamKind,
+    StreamNode,
+    TensorNode,
+)
+from repro.ir.ops import Op
+from repro.ir.tdfg import ArrayDecl, LayoutHints, TensorBinding, TensorDFG
+
+
+# ----------------------------------------------------------------------
+# Node <-> dict
+# ----------------------------------------------------------------------
+def _rect_to_list(rect: Hyperrect) -> list[list[int]]:
+    return [list(pair) for pair in rect.bounds()]
+
+
+def _rect_from_list(data: list[list[int]]) -> Hyperrect:
+    return Hyperrect.from_bounds((p, q) for p, q in data)
+
+
+def node_to_dict(node: Node, ids: dict[int, int], out: list[dict]) -> int:
+    """Serialize a node DAG into a flat list with operand indices."""
+    if id(node) in ids:
+        return ids[id(node)]
+    operand_ids = [node_to_dict(op, ids, out) for op in node.operands]
+    entry: dict[str, Any] = {"kind": node.kind, "operands": operand_ids}
+    if isinstance(node, ConstNode):
+        entry["value"] = node.value
+        entry["dtype"] = node.elem_type.value
+    elif isinstance(node, TensorNode):
+        entry["array"] = node.array
+        entry["region"] = _rect_to_list(node.region)
+        entry["dtype"] = node.elem_type.value
+    elif isinstance(node, ComputeNode):
+        entry["op"] = node.op.value
+    elif isinstance(node, MoveNode):
+        entry["dim"] = node.dim
+        entry["dist"] = node.dist
+    elif isinstance(node, BroadcastNode):
+        entry["dim"] = node.dim
+        entry["dist"] = node.dist
+        entry["count"] = node.count
+    elif isinstance(node, ShrinkNode):
+        entry["dim"] = node.dim
+        entry["start"] = node.start
+        entry["end"] = node.end
+    elif isinstance(node, ReduceNode):
+        entry["op"] = node.op.value
+        entry["dim"] = node.dim
+    elif isinstance(node, StreamNode):
+        entry["stream"] = node.stream
+        entry["stream_kind"] = node.stream_kind.value
+        entry["dtype"] = node.elem_type.value
+        if node.region is not None:
+            entry["region"] = _rect_to_list(node.region)
+        if node.combiner is not None:
+            entry["combiner"] = node.combiner.value
+    else:
+        raise IRError(f"cannot serialize node kind {node.kind!r}")
+    out.append(entry)
+    idx = len(out) - 1
+    ids[id(node)] = idx
+    return idx
+
+
+def node_from_dict(entries: list[dict], idx: int, cache: dict[int, Node]) -> Node:
+    if idx in cache:
+        return cache[idx]
+    entry = entries[idx]
+    operands = tuple(
+        node_from_dict(entries, i, cache) for i in entry["operands"]
+    )
+    kind = entry["kind"]
+    node: Node
+    if kind == "const":
+        node = ConstNode(entry["value"], DType(entry["dtype"]))
+    elif kind == "tensor":
+        node = TensorNode(
+            entry["array"], _rect_from_list(entry["region"]), DType(entry["dtype"])
+        )
+    elif kind == "compute":
+        node = ComputeNode(Op(entry["op"]), operands)
+    elif kind == "move":
+        node = MoveNode(operands[0], entry["dim"], entry["dist"])
+    elif kind == "broadcast":
+        node = BroadcastNode(operands[0], entry["dim"], entry["dist"], entry["count"])
+    elif kind == "shrink":
+        node = ShrinkNode(operands[0], entry["dim"], entry["start"], entry["end"])
+    elif kind == "reduce":
+        node = ReduceNode(operands[0], Op(entry["op"]), entry["dim"])
+    elif kind == "stream":
+        node = StreamNode(
+            stream=entry["stream"],
+            stream_kind=StreamKind(entry["stream_kind"]),
+            inputs=operands,
+            region=_rect_from_list(entry["region"]) if "region" in entry else None,
+            elem_type=DType(entry["dtype"]),
+            combiner=Op(entry["combiner"]) if "combiner" in entry else None,
+        )
+    else:
+        raise IRError(f"unknown node kind {kind!r}")
+    cache[idx] = node
+    return node
+
+
+# ----------------------------------------------------------------------
+# tDFG <-> dict / JSON
+# ----------------------------------------------------------------------
+def tdfg_to_dict(tdfg: TensorDFG) -> dict[str, Any]:
+    nodes: list[dict] = []
+    ids: dict[int, int] = {}
+    results = []
+    for binding in tdfg.results:
+        node_id = node_to_dict(binding.node, ids, nodes)
+        results.append(
+            {
+                "array": binding.array,
+                "region": _rect_to_list(binding.region),
+                "node": node_id,
+            }
+        )
+    scalars = [node_to_dict(s, ids, nodes) for s in tdfg.scalar_results]
+    return {
+        "name": tdfg.name,
+        "arrays": [
+            {
+                "name": d.name,
+                "shape": list(d.shape),
+                "dtype": d.elem_type.value,
+            }
+            for d in tdfg.arrays.values()
+        ],
+        "nodes": nodes,
+        "results": results,
+        "scalar_results": scalars,
+        "hints": {
+            "shift_dims": list(tdfg.hints.shift_dims),
+            "broadcast_dims": list(tdfg.hints.broadcast_dims),
+            "reduce_dims": list(tdfg.hints.reduce_dims),
+            "primary_array": tdfg.hints.primary_array,
+            "aligned_arrays": list(tdfg.hints.aligned_arrays),
+        },
+        "params": dict(tdfg.params),
+    }
+
+
+def tdfg_from_dict(data: dict[str, Any]) -> TensorDFG:
+    tdfg = TensorDFG(name=data["name"])
+    for arr in data["arrays"]:
+        tdfg.declare(
+            ArrayDecl(arr["name"], tuple(arr["shape"]), DType(arr["dtype"]))
+        )
+    cache: dict[int, Node] = {}
+    entries = data["nodes"]
+    for res in data["results"]:
+        node = node_from_dict(entries, res["node"], cache)
+        tdfg.bind(res["array"], _rect_from_list(res["region"]), node)
+    for idx in data["scalar_results"]:
+        node = node_from_dict(entries, idx, cache)
+        if not isinstance(node, StreamNode):
+            raise IRError("scalar results must be stream nodes")
+        tdfg.scalar_results.append(node)
+    h = data["hints"]
+    tdfg.hints = LayoutHints(
+        shift_dims=tuple(h["shift_dims"]),
+        broadcast_dims=tuple(h["broadcast_dims"]),
+        reduce_dims=tuple(h["reduce_dims"]),
+        primary_array=h["primary_array"],
+        aligned_arrays=tuple(h["aligned_arrays"]),
+    )
+    tdfg.params = dict(data.get("params", {}))
+    return tdfg
+
+
+def tdfg_to_json(tdfg: TensorDFG) -> str:
+    return json.dumps(tdfg_to_dict(tdfg), indent=2, sort_keys=True)
+
+
+def tdfg_from_json(text: str) -> TensorDFG:
+    return tdfg_from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Pretty printer
+# ----------------------------------------------------------------------
+def format_tdfg(tdfg: TensorDFG) -> str:
+    """Render the tDFG as numbered SSA lines, operands-first."""
+    lines = [f"tdfg {tdfg.name} {{"]
+    for decl in tdfg.arrays.values():
+        shape = "x".join(str(s) for s in decl.shape)
+        lines.append(f"  array {decl.name}[{shape}] : {decl.elem_type.value}")
+    numbering: dict[int, int] = {}
+    for i, node in enumerate(tdfg.nodes()):
+        numbering[id(node)] = i
+        args = ", ".join(f"%{numbering[id(op)]}" for op in node.operands)
+        domain = node.domain
+        dstr = str(domain) if domain is not None else "inf"
+        sep = " " if args else ""
+        lines.append(f"  %{i} = {node}{sep}{args}  ; {dstr}")
+    for binding in tdfg.results:
+        idx = numbering[id(binding.node)]
+        lines.append(f"  store %{idx} -> {binding.array}{binding.region}")
+    for node in tdfg.scalar_results:
+        lines.append(f"  yield %{numbering[id(node)]}")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""The stream dataflow graph (sDFG, §3.1).
+
+The compiler decouples memory accesses into *streams* — long-term access
+patterns with associated near-stream computation.  Streams are inherently
+sequential (they imply an access order), which is why they suit
+near-memory offloading but must be unrolled into tensors for in-memory
+computing.
+
+Access patterns follow Fig 5: up to three affine dimensions
+(``start[:stride:count]+``) and dependent one-level indirect access
+(``A[B[i]]``).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.ir.dtypes import DType
+from repro.ir.ops import Op
+
+
+@dataclass(frozen=True)
+class AffinePattern:
+    """An affine access pattern ``start[:stride:count]+`` (up to 3 dims).
+
+    ``dims`` is ordered innermost first: ``dims[0]`` iterates fastest.
+    Strides are in *elements* of the accessed array.
+    """
+
+    start: int
+    dims: tuple[tuple[int, int], ...]  # (stride, count) pairs
+
+    def __post_init__(self) -> None:
+        if not 1 <= len(self.dims) <= 3:
+            raise IRError(f"affine patterns support 1-3 dims, got {len(self.dims)}")
+        if any(count <= 0 for _, count in self.dims):
+            raise IRError("pattern counts must be positive")
+
+    @property
+    def trip_count(self) -> int:
+        return math.prod(count for _, count in self.dims)
+
+    def addresses(self):
+        """Yield element indices in stream order (tests / small inputs)."""
+
+        def rec(level: int, base: int):
+            if level < 0:
+                yield base
+                return
+            stride, count = self.dims[level]
+            for i in range(count):
+                yield from rec(level - 1, base + i * stride)
+
+        yield from rec(len(self.dims) - 1, self.start)
+
+    @property
+    def is_contiguous(self) -> bool:
+        return self.dims[0][0] == 1
+
+    def __str__(self) -> str:
+        suffix = "".join(f"[:{s}:{c}]" for s, c in self.dims)
+        return f"{self.start}{suffix}"
+
+
+@dataclass(frozen=True)
+class IndirectPattern:
+    """Dependent one-level indirect access ``A[B[i]]`` (§3.3).
+
+    ``index_stream`` names the stream producing indices; ``scale`` and
+    ``offset`` map an index value to an element offset in the target array
+    (e.g. row gathers use ``scale = row_length``).
+    """
+
+    index_stream: str
+    scale: int = 1
+    offset: int = 0
+    trip_count: int = 0
+
+    def __str__(self) -> str:
+        return f"ind({self.index_stream})*{self.scale}+{self.offset}"
+
+
+class StreamType(enum.Enum):
+    LOAD = "load"
+    STORE = "store"
+    REDUCE = "reduce"  # load + reduction into a single value
+
+
+@dataclass(frozen=True)
+class Stream:
+    """One decoupled memory-access stream with optional computation.
+
+    ``compute_op``/``compute_inputs`` express near-stream computation:
+    e.g. the store stream ``C[i]`` of Fig 1(b) computes ``A[i] + B[i]``
+    from its two input streams.  ``reuse`` is the number of times each
+    element is reused by an inner loop (Fig 4(c): ``m`` reused N-k-1
+    times), which near-memory computing cannot exploit but in-memory
+    broadcast can.
+    """
+
+    name: str
+    array: str
+    stype: StreamType
+    pattern: AffinePattern | IndirectPattern
+    elem_type: DType = DType.FP32
+    compute_op: Op | None = None
+    compute_inputs: tuple[str, ...] = ()
+    reuse: int = 1
+
+    @property
+    def is_affine(self) -> bool:
+        return isinstance(self.pattern, AffinePattern)
+
+    @property
+    def trip_count(self) -> int:
+        return self.pattern.trip_count
+
+    @property
+    def bytes_accessed(self) -> int:
+        return self.trip_count * self.elem_type.bytes
+
+
+@dataclass
+class StreamDFG:
+    """Streams plus their dependence edges, for one program region.
+
+    The binary stores the sDFG alongside the tDFG so the runtime can
+    choose near-memory execution when in-memory is unprofitable (§3.4).
+    """
+
+    name: str
+    streams: dict[str, Stream] = field(default_factory=dict)
+    edges: list[tuple[str, str]] = field(default_factory=list)  # producer->consumer
+
+    def add(self, stream: Stream) -> Stream:
+        if stream.name in self.streams:
+            raise IRError(f"duplicate stream {stream.name!r}")
+        self.streams[stream.name] = stream
+        for src in stream.compute_inputs:
+            self.edges.append((src, stream.name))
+        if isinstance(stream.pattern, IndirectPattern):
+            self.edges.append((stream.pattern.index_stream, stream.name))
+        return stream
+
+    def validate(self) -> None:
+        for src, dst in self.edges:
+            for endpoint in (src, dst):
+                if endpoint not in self.streams:
+                    raise IRError(f"edge references unknown stream {endpoint!r}")
+
+    @property
+    def load_streams(self) -> list[Stream]:
+        return [s for s in self.streams.values() if s.stype is StreamType.LOAD]
+
+    @property
+    def store_streams(self) -> list[Stream]:
+        return [s for s in self.streams.values() if s.stype is StreamType.STORE]
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_accessed for s in self.streams.values())
+
+    def has_indirect(self) -> bool:
+        return any(not s.is_affine for s in self.streams.values())

@@ -1,0 +1,228 @@
+"""The tensor dataflow graph container (§3.2).
+
+A :class:`TensorDFG` bundles, for one ``inf_cfg`` region:
+
+* the array declarations (from ``inf_array`` calls — §3.4),
+* the result bindings (which node's tensor is stored to which array),
+* scalar results produced by embedded reduce streams,
+* layout hints for the runtime's tiling heuristics (§3.4), and
+* the companion sDFG for the near-memory fallback.
+
+The graph itself is the immutable node DAG from :mod:`repro.ir.nodes`;
+this container adds naming, validation and traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IRError
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.nodes import (
+    BroadcastNode,
+    ComputeNode,
+    ConstNode,
+    MoveNode,
+    Node,
+    ReduceNode,
+    ShrinkNode,
+    StreamNode,
+    TensorNode,
+    walk,
+)
+from repro.ir.sdfg import StreamDFG
+
+
+@dataclass(frozen=True)
+class ArrayDecl:
+    """An ``inf_array`` declaration: name, shape (dim 0 innermost), dtype."""
+
+    name: str
+    shape: tuple[int, ...]
+    elem_type: DType = DType.FP32
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def domain(self) -> Hyperrect:
+        return Hyperrect.from_shape(self.shape)
+
+    @property
+    def total_bytes(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n * self.elem_type.bytes
+
+
+@dataclass(frozen=True)
+class TensorBinding:
+    """Bind a result node to a destination array region (a store)."""
+
+    array: str
+    region: Hyperrect
+    node: Node
+
+    def __post_init__(self) -> None:
+        d = self.node.domain
+        if d is not None and d.shape != self.region.shape:
+            raise IRError(
+                f"store to {self.array}{self.region} shape {self.region.shape} "
+                f"!= produced {d.shape}"
+            )
+
+
+@dataclass(frozen=True)
+class LayoutHints:
+    """Compiler-generated hints for the runtime tiling heuristic (§3.4/4.1).
+
+    * ``shift_dims`` — dimensions along which tensors are moved;
+    * ``broadcast_dims`` — dimensions along which tensors are broadcast;
+    * ``reduce_dims`` — dimensions reduced in-memory;
+    * ``primary_array`` — the output / reduced array whose tile size
+      the other arrays inherit;
+    * ``aligned_arrays`` — arrays used by the same computation (must be
+      bitline-aligned, so they share one tile size).
+    """
+
+    shift_dims: tuple[int, ...] = ()
+    broadcast_dims: tuple[int, ...] = ()
+    reduce_dims: tuple[int, ...] = ()
+    primary_array: str | None = None
+    aligned_arrays: tuple[str, ...] = ()
+
+
+@dataclass
+class TensorDFG:
+    """One infinity-stream region in tDFG form."""
+
+    name: str
+    arrays: dict[str, ArrayDecl] = field(default_factory=dict)
+    results: list[TensorBinding] = field(default_factory=list)
+    scalar_results: list[StreamNode] = field(default_factory=list)
+    hints: LayoutHints = field(default_factory=LayoutHints)
+    sdfg: StreamDFG | None = None
+    params: dict[str, float] = field(default_factory=dict)  # runtime consts
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def declare(self, decl: ArrayDecl) -> ArrayDecl:
+        if decl.name in self.arrays:
+            raise IRError(f"array {decl.name!r} already declared")
+        self.arrays[decl.name] = decl
+        return decl
+
+    def bind(self, array: str, region: Hyperrect, node: Node) -> TensorBinding:
+        binding = TensorBinding(array, region, node)
+        self.results.append(binding)
+        return binding
+
+    # ------------------------------------------------------------------
+    # Traversal
+    # ------------------------------------------------------------------
+    @property
+    def roots(self) -> list[Node]:
+        out: list[Node] = [b.node for b in self.results]
+        out.extend(self.scalar_results)
+        return out
+
+    def nodes(self) -> list[Node]:
+        """All nodes in topological (operands-first) order, deduplicated."""
+        seen: set[int] = set()
+        order: list[Node] = []
+        for root in self.roots:
+            for node in walk(root, seen):
+                order.append(node)
+        return order
+
+    @property
+    def ndim(self) -> int:
+        """Lattice rank: that of the highest-dimension array (§3.2)."""
+        if not self.arrays:
+            raise IRError("tDFG has no declared arrays")
+        return max(decl.ndim for decl in self.arrays.values())
+
+    # ------------------------------------------------------------------
+    # Statistics consumed by Eq. 2 and the cost model
+    # ------------------------------------------------------------------
+    def count_by_kind(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for node in self.nodes():
+            counts[node.kind] = counts.get(node.kind, 0) + 1
+        return counts
+
+    def compute_nodes(self) -> list[ComputeNode]:
+        return [n for n in self.nodes() if isinstance(n, ComputeNode)]
+
+    def move_nodes(self) -> list[MoveNode]:
+        return [n for n in self.nodes() if isinstance(n, MoveNode)]
+
+    def broadcast_nodes(self) -> list[BroadcastNode]:
+        return [n for n in self.nodes() if isinstance(n, BroadcastNode)]
+
+    def reduce_nodes(self) -> list[ReduceNode]:
+        return [n for n in self.nodes() if isinstance(n, ReduceNode)]
+
+    def stream_nodes(self) -> list[StreamNode]:
+        return [n for n in self.nodes() if isinstance(n, StreamNode)]
+
+    def elements_touched(self) -> int:
+        """Total elements across input tensors (the N_elem of Eq. 2)."""
+        total = 0
+        for node in self.nodes():
+            if isinstance(node, TensorNode):
+                total += node.region.volume
+        return total
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check SSA well-formedness, array references and domains."""
+        if not self.results and not self.scalar_results:
+            raise IRError(f"tDFG {self.name!r} produces nothing")
+        for node in self.nodes():
+            if isinstance(node, TensorNode):
+                if node.array not in self.arrays:
+                    raise IRError(f"tensor references undeclared {node.array!r}")
+                decl = self.arrays[node.array]
+                if node.region.ndim != decl.ndim:
+                    raise IRError(
+                        f"tensor {node.array} rank {node.region.ndim} != "
+                        f"declared rank {decl.ndim}"
+                    )
+                if not decl.domain.contains(node.region):
+                    raise IRError(
+                        f"tensor {node}{node.region} outside array "
+                        f"domain {decl.domain}"
+                    )
+            if isinstance(node, ComputeNode):
+                d = node.domain
+                if d is not None and d.is_empty:
+                    raise IRError(f"compute node {node} has empty domain")
+            if isinstance(node, ConstNode) and node.is_symbolic:
+                if node.value not in self.params:
+                    raise IRError(
+                        f"symbolic const {node.value!r} missing from params"
+                    )
+        for binding in self.results:
+            if binding.array not in self.arrays:
+                raise IRError(f"store to undeclared array {binding.array!r}")
+            decl = self.arrays[binding.array]
+            if not decl.domain.contains(binding.region):
+                raise IRError(
+                    f"store region {binding.region} outside {binding.array} "
+                    f"domain {decl.domain}"
+                )
+        if self.sdfg is not None:
+            self.sdfg.validate()
+
+    def describe(self) -> str:
+        """A short human-readable summary (used by printers and logs)."""
+        counts = self.count_by_kind()
+        body = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        return f"tDFG {self.name}: {body}"

@@ -1,0 +1,43 @@
+"""Runtime support: transposed layout, JIT lowering, offload decision.
+
+The tDFG is neutral to hardware details and input sizes; this package is
+the runtime library that (§4):
+
+* decides the transposed data layout with tiling (:mod:`.layout`),
+* tracks it in the Layout Override Table (:mod:`.lot`),
+* JIT-lowers the tDFG into bit-serial commands (:mod:`.lower`, driven and
+  memoized by :mod:`.jit`), and
+* chooses between in-/near-memory execution (:mod:`.decision`, Eq. 2).
+"""
+
+from repro.runtime.commands import (
+    BroadcastCmd,
+    Command,
+    ComputeCmd,
+    Pattern,
+    ShiftCmd,
+    SyncCmd,
+)
+from repro.runtime.layout import TiledLayout, choose_layout, valid_tilings
+from repro.runtime.lot import LayoutOverrideTable, LOTEntry, TransposeState
+from repro.runtime.jit import JITCompiler, LoweredRegion
+from repro.runtime.decision import OffloadChoice, decide_offload
+
+__all__ = [
+    "Pattern",
+    "Command",
+    "ShiftCmd",
+    "ComputeCmd",
+    "BroadcastCmd",
+    "SyncCmd",
+    "TiledLayout",
+    "choose_layout",
+    "valid_tilings",
+    "LayoutOverrideTable",
+    "LOTEntry",
+    "TransposeState",
+    "JITCompiler",
+    "LoweredRegion",
+    "OffloadChoice",
+    "decide_offload",
+]

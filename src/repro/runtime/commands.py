@@ -1,0 +1,220 @@
+"""Bit-serial in-memory commands produced by JIT lowering (§4.2).
+
+Command kinds mirror the paper:
+
+* :class:`ShiftCmd` — intra-/inter-tile data movement (Alg 2, Fig 9),
+  with ``start[:stride:count]`` bitline and tile patterns expanded into
+  masks by TC_L3 at execution time;
+* :class:`ComputeCmd` — a bit-serial op over the bitlines of the covered
+  tiles, reading/writing wordline registers;
+* :class:`BroadcastCmd` — replicate a source line across tiles through
+  the buffered H-tree / NoC multicast;
+* :class:`SyncCmd` — the global memory barrier inserted between an
+  inter-tile shift and its consumer.
+
+Commands carry their lattice-space provenance (tensor, dim) so the
+microarchitecture model can account traffic precisely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import LoweringError
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.ops import Op
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """``start[:stride:count]`` — the paper's mask encoding (Fig 9)."""
+
+    start: int
+    stride: int = 1
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 0 or self.stride == 0:
+            raise LoweringError(f"bad pattern {self}")
+
+    def positions(self) -> list[int]:
+        return [self.start + i * self.stride for i in range(self.count)]
+
+    @property
+    def is_empty(self) -> bool:
+        return self.count == 0
+
+    def __str__(self) -> str:
+        return f"{self.start}:{self.stride}:{self.count}"
+
+
+@dataclass(frozen=True)
+class Command:
+    """Base class for lowered commands."""
+
+    @property
+    def is_inter_tile(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class ShiftCmd(Command):
+    """Move selected bitlines of selected tiles by a tile/bitline distance.
+
+    ``src_reg``/``dst_reg`` are wordline registers (SSA values); the
+    masks select which tile-local positions along ``dim`` participate.
+    """
+
+    tensor: Hyperrect  # decomposed subtensor being moved (lattice coords)
+    dim: int
+    mask_lo: int  # tile-local position interval [mask_lo, mask_hi)
+    mask_hi: int
+    inter_tile_dist: int
+    intra_tile_dist: int
+    src_reg: int
+    dst_reg: int
+    elements: int  # elements actually moved (mask ∩ tensor)
+    elem_type: DType = DType.FP32
+    wave: int = -1  # commands of one wave hit disjoint tiles: parallel
+
+    @property
+    def is_inter_tile(self) -> bool:
+        return self.inter_tile_dist != 0
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.elements * self.elem_type.bytes
+
+    def __str__(self) -> str:
+        kind = "inter" if self.is_inter_tile else "intra"
+        return (
+            f"sh[{kind}] {self.tensor} dim{self.dim} "
+            f"mask[{self.mask_lo},{self.mask_hi}) "
+            f"{self.inter_tile_dist:+d}t/{self.intra_tile_dist:+d}b "
+            f"r{self.src_reg}->r{self.dst_reg}"
+        )
+
+
+@dataclass(frozen=True)
+class ComputeCmd(Command):
+    """A bit-serial operation across all covered bitlines (§5.2).
+
+    ``operands`` preserves positional order: each entry is ``("reg", r)``
+    for a wordline register or ``("const", value)`` for a broadcast
+    constant (symbolic names are runtime ``inf_cfg`` parameters).
+    """
+
+    op: Op
+    domain: Hyperrect  # decomposed subtensor (tile-aligned or sub-tile)
+    dst_reg: int
+    operands: tuple[tuple[str, int | float | str], ...]
+    elem_type: DType = DType.FP32
+    wave: int = -1  # commands of one wave hit disjoint tiles: parallel
+
+    @property
+    def src_regs(self) -> tuple[int, ...]:
+        return tuple(v for k, v in self.operands if k == "reg")  # type: ignore[misc]
+
+    @property
+    def const_operands(self) -> tuple[float | str, ...]:
+        return tuple(v for k, v in self.operands if k == "const")  # type: ignore[misc]
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.op.bitserial_cycles(self.elem_type)
+
+    @property
+    def elements(self) -> int:
+        return self.domain.volume
+
+    def __str__(self) -> str:
+        srcs = ",".join(f"r{r}" for r in self.src_regs)
+        return f"cmp {self.op.value} {self.domain} {srcs}->r{self.dst_reg}"
+
+
+@dataclass(frozen=True)
+class BroadcastCmd(Command):
+    """Replicate an extent-1 source line along a dimension (Fig 5 ``bc``).
+
+    The H-tree multicasts within a bank; crossing banks uses NoC
+    multicast.  ``copies`` is the replication count.
+    """
+
+    tensor: Hyperrect  # source line (lattice coords)
+    dim: int
+    dest_lo: int
+    copies: int
+    src_reg: int
+    dst_reg: int
+    elements: int  # source elements read
+    elem_type: DType = DType.FP32
+    wave: int = -1
+
+    @property
+    def is_inter_tile(self) -> bool:
+        return True  # destination tiles generally differ from the source
+
+    @property
+    def bytes_read(self) -> int:
+        return self.elements * self.elem_type.bytes
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self.elements * self.copies * self.elem_type.bytes
+
+    def __str__(self) -> str:
+        return (
+            f"bc {self.tensor} dim{self.dim} ->[{self.dest_lo},"
+            f"{self.dest_lo + self.copies}) r{self.src_reg}->r{self.dst_reg}"
+        )
+
+
+@dataclass(frozen=True)
+class SyncCmd(Command):
+    """Global barrier: all prior inter-tile movement must be visible."""
+
+    def __str__(self) -> str:
+        return "sync"
+
+
+@dataclass
+class CommandStats:
+    """Aggregate statistics of a lowered command list."""
+
+    num_shift: int = 0
+    num_inter_tile: int = 0
+    num_compute: int = 0
+    num_broadcast: int = 0
+    num_sync: int = 0
+    intra_tile_bytes: int = 0
+    inter_tile_bytes: int = 0
+    broadcast_bytes: int = 0
+    compute_ops: int = 0
+
+    @classmethod
+    def collect(cls, commands: list[Command]) -> "CommandStats":
+        st = cls()
+        for cmd in commands:
+            if isinstance(cmd, ShiftCmd):
+                st.num_shift += 1
+                if cmd.is_inter_tile:
+                    st.num_inter_tile += 1
+                    st.inter_tile_bytes += cmd.bytes_moved
+                else:
+                    st.intra_tile_bytes += cmd.bytes_moved
+            elif isinstance(cmd, ComputeCmd):
+                st.num_compute += 1
+                st.compute_ops += cmd.elements
+            elif isinstance(cmd, BroadcastCmd):
+                st.num_broadcast += 1
+                st.broadcast_bytes += cmd.bytes_delivered
+            elif isinstance(cmd, SyncCmd):
+                st.num_sync += 1
+        return st
+
+    @property
+    def total_commands(self) -> int:
+        return (
+            self.num_shift + self.num_compute + self.num_broadcast + self.num_sync
+        )

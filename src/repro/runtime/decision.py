@@ -1,0 +1,88 @@
+"""The in-/near-memory offload decision (Eq. 2, §4.3).
+
+The runtime compares the core's best-case latency against the in-memory
+latency plus JIT time::
+
+    N_elem * N_op / TP_core  >  sum_i Lat_op_i + N_node * Lat_JIT
+
+The left side models the core at peak throughput; the right side has no
+N_elem factor because in-memory computation is fully parallelized.  The
+compiler ships aggregate op counts as configuration hints so the runtime
+decides without analyzing the tDFG.  This is deliberately a basic,
+conservative heuristic (peak core performance assumed).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config.system import SystemConfig, default_system
+from repro.ir.nodes import ComputeNode, ReduceNode
+from repro.ir.tdfg import TensorDFG
+
+
+class OffloadChoice(enum.Enum):
+    IN_MEMORY = "in-memory"
+    NEAR_MEMORY = "near-memory"
+
+
+@dataclass(frozen=True)
+class DecisionInputs:
+    """The aggregate hints the compiler embeds in the configuration."""
+
+    n_elem: int
+    n_op: int
+    op_latency_sum: float  # sum of bit-serial latencies of all tDFG ops
+    n_node: int
+
+    @staticmethod
+    def from_tdfg(tdfg: TensorDFG) -> "DecisionInputs":
+        n_elem = tdfg.elements_touched()
+        n_op = 0
+        lat = 0.0
+        n_node = 0
+        for node in tdfg.nodes():
+            n_node += 1
+            if isinstance(node, ComputeNode):
+                n_op += 1
+                lat += node.op.bitserial_cycles(node.dtype)
+            elif isinstance(node, ReduceNode):
+                d = node.src.domain
+                extent = d.shape[node.dim] if d is not None else 256
+                rounds = max(1, extent - 1).bit_length()
+                n_op += rounds
+                lat += rounds * (
+                    node.op.bitserial_cycles(node.dtype) + 2 * node.dtype.bits
+                )
+        return DecisionInputs(
+            n_elem=n_elem, n_op=max(1, n_op), op_latency_sum=lat, n_node=n_node
+        )
+
+
+def decide_offload(
+    inputs: DecisionInputs,
+    system: SystemConfig | None = None,
+    jit_latency_per_node: float = 500.0,
+    jit_memoized: bool = False,
+) -> OffloadChoice:
+    """Evaluate Eq. 2 and pick the offload target."""
+    system = system or default_system()
+    tp_core = float(system.core_peak_ops_per_cycle())
+    lhs = inputs.n_elem * inputs.n_op / tp_core
+    jit = 0.0 if jit_memoized else inputs.n_node * jit_latency_per_node
+    rhs = inputs.op_latency_sum + jit
+    return (
+        OffloadChoice.IN_MEMORY if lhs > rhs else OffloadChoice.NEAR_MEMORY
+    )
+
+
+def decide_tdfg(
+    tdfg: TensorDFG,
+    system: SystemConfig | None = None,
+    jit_memoized: bool = False,
+) -> OffloadChoice:
+    """Convenience wrapper: decision straight from a tDFG."""
+    return decide_offload(
+        DecisionInputs.from_tdfg(tdfg), system, jit_memoized=jit_memoized
+    )

@@ -1,0 +1,314 @@
+"""Transposed data layout with runtime tiling (§4.1).
+
+A *tile* is the set of data dimensions mapped to one SRAM array.  Tiling
+is decided at runtime because it needs input sizes, SRAM geometry and NoC
+characteristics.  Constraints (for an N-dim ``S_0 x ... x S_{N-1}`` array
+with ``L`` elements per cache line, ``B`` bitlines per SRAM array and
+``W`` compute arrays per L3 bank):
+
+1. ``prod(T_i) == B`` — each tile fills all bitlines of one array;
+2. ``T_0 * W % L == 0`` — dimension-0 elements per bank align with cache
+   lines, so a transposed line maps to exactly one L3 bank;
+3. ``S_0 % L == 0`` — the innermost dimension is line-aligned.
+
+Heuristics (priority: reduction > shift > broadcast):
+
+* shifts favor close-to-square tiles (traffic stays within the tile);
+* reductions favor a large tile size along the reduced dimension (more
+  rounds of in-memory reduction, fewer partials);
+* broadcast reads favor a small innermost tile (spread the source row
+  over more banks — no hotspot).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Sequence
+
+from repro.config.system import SystemConfig
+from repro.errors import LayoutError
+from repro.geometry.decompose import tile_index_range
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.tdfg import ArrayDecl, LayoutHints
+
+
+@dataclass(frozen=True)
+class TiledLayout:
+    """A transposed array's placement across the SRAM grid."""
+
+    array: str
+    shape: tuple[int, ...]  # dim 0 innermost, padded to the lattice rank
+    tile: tuple[int, ...]
+    elem_type: DType
+    register: int  # wordline register (wl = register * elem_bits)
+    arrays_per_bank: int  # W
+    num_banks: int
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def tile_grid(self) -> tuple[int, ...]:
+        """Number of tiles along each dimension (boundary tiles included)."""
+        return tuple(
+            (s + t - 1) // t for s, t in zip(self.shape, self.tile)
+        )
+
+    @property
+    def num_tiles(self) -> int:
+        return math.prod(self.tile_grid)
+
+    @property
+    def slots_per_layer(self) -> int:
+        """SRAM arrays available before stacking into more registers."""
+        return self.arrays_per_bank * self.num_banks
+
+    @property
+    def layers(self) -> int:
+        """Wordline-register layers used when tiles exceed the array count."""
+        return (self.num_tiles + self.slots_per_layer - 1) // self.slots_per_layer
+
+    def tile_linear(self, tile_index: Sequence[int]) -> int:
+        """Linearize a multi-dimensional tile index (dim 0 fastest)."""
+        grid = self.tile_grid
+        lin = 0
+        for d in reversed(range(self.ndim)):
+            lin = lin * grid[d] + tile_index[d]
+        return lin
+
+    def tile_of_cell(self, cell: Sequence[int]) -> tuple[int, ...]:
+        return tuple(c // t for c, t in zip(cell, self.tile))
+
+    def bank_of_tile(self, tile_index: Sequence[int]) -> int:
+        """Which L3 bank holds a tile (contiguous tiles fill a bank's W
+        arrays first, satisfying constraint 2)."""
+        lin = self.tile_linear(tile_index)
+        return (lin // self.arrays_per_bank) % self.num_banks
+
+    def slot_of_tile(self, tile_index: Sequence[int]) -> tuple[int, int, int]:
+        """(bank, array-within-bank, register-layer) of a tile."""
+        lin = self.tile_linear(tile_index)
+        layer = lin // self.slots_per_layer
+        within = lin % self.slots_per_layer
+        return (
+            (within // self.arrays_per_bank) % self.num_banks,
+            within % self.arrays_per_bank,
+            layer,
+        )
+
+    def banks_covering(self, region: Hyperrect) -> set[int]:
+        """All banks holding tiles that intersect *region* (lowering step 3)."""
+        tiles = tile_index_range(region, self.tile)
+        return set(
+            _banks_covering_cached(
+                tiles.starts,
+                tiles.ends,
+                self.tile_grid,
+                self.arrays_per_bank,
+                self.num_banks,
+            )
+        )
+
+    @property
+    def total_elements(self) -> int:
+        return math.prod(self.shape)
+
+
+@lru_cache(maxsize=65536)
+def _banks_covering_cached(
+    starts: tuple[int, ...],
+    ends: tuple[int, ...],
+    grid: tuple[int, ...],
+    w: int,
+    num_banks: int,
+) -> frozenset[int]:
+    count = math.prod(max(0, e - s) for s, e in zip(starts, ends))
+    if count >= w * num_banks:
+        return frozenset(range(num_banks))
+    if count > 4096:
+        # Large sparse coverage: contiguous tile runs wrap all banks once
+        # they exceed W tiles; avoid enumerating millions.
+        spread = min(num_banks, max(1, count // w))
+        return frozenset(range(spread))
+    banks = set()
+    rect = Hyperrect(starts, ends)
+    for idx in rect.points():
+        lin = 0
+        for d in reversed(range(len(grid))):
+            lin = lin * grid[d] + idx[d]
+        banks.add((lin // w) % num_banks)
+    return frozenset(banks)
+
+
+def _factorizations(b: int, ndim: int) -> Iterable[tuple[int, ...]]:
+    """All ordered factorizations of *b* into *ndim* positive factors."""
+    if ndim == 1:
+        yield (b,)
+        return
+    for t0 in _divisors(b):
+        for rest in _factorizations(b // t0, ndim - 1):
+            yield (t0,) + rest
+
+
+def _divisors(n: int) -> list[int]:
+    return [d for d in range(1, n + 1) if n % d == 0]
+
+
+def valid_tilings(
+    shape: Sequence[int],
+    config: SystemConfig,
+    elem_type: DType = DType.FP32,
+) -> list[tuple[int, ...]]:
+    """All tile sizes meeting constraints 1–3 for the given array shape.
+
+    Trailing padded dimensions (extent 1) are constrained to tile size 1.
+    Returns an empty list when constraint 3 fails (the array is then not
+    transposed and in-memory computing is disabled, §4.1).
+    """
+    cache = config.cache
+    bitlines = cache.sram.bitlines
+    line_elems = cache.line_bytes // elem_type.bytes
+    w = cache.compute_arrays_per_bank
+    if shape[0] % line_elems != 0:
+        return []  # constraint 3: innermost dim not line aligned
+    real_dims = [d for d, s in enumerate(shape) if s > 1]
+    if not real_dims:
+        return []
+    out: list[tuple[int, ...]] = []
+    for fact in _factorizations(bitlines, len(real_dims)):
+        tile = [1] * len(shape)
+        for d, t in zip(real_dims, fact):
+            tile[d] = t
+        # A tile must not be larger than the (padded) array extent in any
+        # dimension, or bitlines would always be unused.
+        if any(t > _pad(s, t) for t, s in zip(tile, shape)):
+            continue
+        if any(t > s and s > 1 for t, s in zip(tile, shape)):
+            continue
+        if (tile[0] * w) % line_elems != 0:  # constraint 2
+            continue
+        out.append(tuple(tile))
+    return out
+
+
+def _pad(s: int, t: int) -> int:
+    return ((s + t - 1) // t) * t
+
+
+def score_tiling(
+    tile: Sequence[int],
+    shape: Sequence[int],
+    hints: LayoutHints,
+) -> tuple:
+    """Heuristic ordering key — smaller is better (§4.1).
+
+    Priority: reduction, then shift, then broadcast, because "reduction
+    is usually more expensive due to low compute intensity, while
+    broadcast is inexpensive".
+    """
+    reduce_score = 0.0
+    for d in hints.reduce_dims:
+        if d < len(tile):
+            # Larger tile on the reduced dimension => fewer partials.
+            reduce_score += -math.log2(max(1, tile[d]))
+    shift_score = 0.0
+    if hints.shift_dims:
+        sizes = [tile[d] for d in hints.shift_dims if d < len(tile)]
+        involved = [tile[d] for d, s in enumerate(shape) if s > 1]
+        if involved:
+            # Close-to-square: penalize aspect-ratio spread.
+            shift_score = math.log2(max(involved)) - math.log2(
+                max(1, min(involved))
+            )
+        if sizes and min(sizes) <= 1:
+            shift_score += 4.0  # shifting along a dim with tile 1 is all
+            # inter-tile traffic: strongly discouraged
+    bc_score = 0.0
+    if hints.broadcast_dims:
+        bc_score = math.log2(max(1, tile[0]))  # smaller innermost tile
+    return (reduce_score, shift_score, bc_score, tuple(tile))
+
+
+def choose_tile(
+    shape: Sequence[int],
+    hints: LayoutHints,
+    config: SystemConfig,
+    elem_type: DType = DType.FP32,
+) -> tuple[int, ...] | None:
+    """Pick one valid tile size using the configuration hints."""
+    candidates = valid_tilings(shape, config, elem_type)
+    if not candidates:
+        return None
+    return min(candidates, key=lambda t: score_tiling(t, shape, hints))
+
+
+def choose_layout(
+    arrays: dict[str, ArrayDecl],
+    hints: LayoutHints,
+    config: SystemConfig,
+    registers: dict[str, int] | None = None,
+    tile_override: tuple[int, ...] | None = None,
+    resident: set[str] | None = None,
+) -> dict[str, TiledLayout]:
+    """Choose the transposed layout for every array of a region.
+
+    The primary array (the output / reduced array) drives the tile-size
+    choice and the other arrays inherit it, which keeps runtime tensor
+    alignment simple (§4.1).  ``tile_override`` forces a tile size (used
+    by the Fig 16/17 sweeps and the oracle study).
+    """
+    if not arrays:
+        raise LayoutError("no arrays to lay out")
+    primary_name = hints.primary_array or next(iter(arrays))
+    if primary_name not in arrays:
+        primary_name = next(iter(arrays))
+    primary = arrays[primary_name]
+    tile = tile_override or choose_tile(
+        primary.shape, hints, config, primary.elem_type
+    )
+    if tile is None:
+        raise LayoutError(
+            f"no valid tiling for array {primary.name!r} shape "
+            f"{primary.shape}; in-memory computing disabled"
+        )
+    if tile_override is not None:
+        candidates = valid_tilings(primary.shape, config, primary.elem_type)
+        if tuple(tile_override) not in candidates:
+            raise LayoutError(
+                f"tile override {tile_override} violates the tiling "
+                f"constraints for shape {primary.shape}"
+            )
+    out: dict[str, TiledLayout] = {}
+    regs = registers or {name: i for i, name in enumerate(arrays)}
+    # Every array of the computation uses the primary's tile size, which
+    # keeps runtime tensor alignment simple (§4.1).  Only arrays the
+    # in-memory computation touches are transposed; e.g. a reduction's
+    # destination written by a near-memory stream stays in normal layout.
+    for name, decl in arrays.items():
+        if resident is not None and name not in resident:
+            continue
+        out[name] = TiledLayout(
+            array=name,
+            shape=decl.shape,
+            tile=tuple(tile),
+            elem_type=decl.elem_type,
+            register=regs.get(name, 0),
+            arrays_per_bank=config.cache.compute_arrays_per_bank,
+            num_banks=config.cache.l3_banks,
+        )
+    return out
+
+
+def fits_in_l3(
+    arrays: dict[str, ArrayDecl], config: SystemConfig
+) -> bool:
+    """§6 limitation 2: the working set must fit in the reserved ways."""
+    total = sum(decl.total_bytes for decl in arrays.values())
+    budget = (
+        config.cache.compute_bytes_per_bank * config.cache.l3_banks
+    )
+    return total <= budget

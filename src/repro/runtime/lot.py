@@ -1,0 +1,167 @@
+"""The Layout Override Table (Table 1, §5.2).
+
+The LOT overrides how physical addresses map to SRAM arrays for
+transposed data structures.  Each entry records the physical range, the
+element size, up to three array/tile dimensions, the starting wordline
+and the transpose state:
+
+* ``trans = 0`` (NORMAL)      — data cached in normal layout;
+* ``trans = 1`` (IN_PROGRESS) — transposition underway, core requests to
+  the range are blocked;
+* ``trans = 2`` (TRANSPOSED)  — data resident in transposed layout.
+
+The LOT is locked by one thread at a time (§6 implementation
+limitation 1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import CoherenceError, SimulationError
+from repro.ir.dtypes import DType
+from repro.runtime.layout import TiledLayout
+
+
+class TransposeState(enum.IntEnum):
+    NORMAL = 0
+    IN_PROGRESS = 1
+    TRANSPOSED = 2
+
+
+@dataclass
+class LOTEntry:
+    """One tracked transposed array (Table 1's fields)."""
+
+    base: int  # base physical address (48 bits in hardware)
+    end: int  # end physical address
+    elem_size: int  # element size in bytes
+    ndim: int  # array dimensionality (max 3)
+    sizes: tuple[int, int, int]  # S_i, dim 0 innermost
+    tiles: tuple[int, int, int]  # T_i
+    wordline: int  # starting wordline (wl field, 10 bits)
+    trans: TransposeState = TransposeState.NORMAL
+    array: str = ""
+
+    def __post_init__(self) -> None:
+        if self.ndim > 3:
+            raise SimulationError("LOT supports at most 3 dimensions")
+        if self.wordline >= 1024:
+            raise SimulationError("wordline field is 10 bits")
+
+    def contains(self, paddr: int) -> bool:
+        return self.base <= paddr < self.end
+
+    def element_index(self, paddr: int) -> int:
+        if not self.contains(paddr):
+            raise SimulationError(f"paddr {paddr:#x} outside entry")
+        return (paddr - self.base) // self.elem_size
+
+    def cell_of(self, paddr: int) -> tuple[int, int, int]:
+        """The lattice cell (up to 3D) of a physical address."""
+        idx = self.element_index(paddr)
+        coords = []
+        for d in range(3):
+            coords.append(idx % self.sizes[d] if self.sizes[d] else 0)
+            idx //= max(1, self.sizes[d])
+        return tuple(coords)  # type: ignore[return-value]
+
+    def bitline_of(self, paddr: int) -> tuple[int, int]:
+        """(tile-linear-id, bitline-within-tile) for a physical address.
+
+        Mirrors §5.2's "find the containing tile and coordinates within
+        that tile; tiles are mapped contiguously to SRAM arrays".
+        """
+        cell = self.cell_of(paddr)
+        tile_idx = [c // t for c, t in zip(cell, self.tiles)]
+        within = [c % t for c, t in zip(cell, self.tiles)]
+        grid = [
+            (s + t - 1) // t if s else 1
+            for s, t in zip(self.sizes, self.tiles)
+        ]
+        lin = 0
+        for d in reversed(range(3)):
+            lin = lin * grid[d] + tile_idx[d]
+        bitline = 0
+        for d in reversed(range(3)):
+            bitline = bitline * self.tiles[d] + within[d]
+        return lin, bitline
+
+
+@dataclass
+class LayoutOverrideTable:
+    """The 16-region LOT with its single-owner lock (§6)."""
+
+    capacity: int = 16
+    entries: list[LOTEntry] = field(default_factory=list)
+    owner: str | None = None
+
+    def lock(self, thread: str) -> None:
+        if self.owner is not None and self.owner != thread:
+            raise CoherenceError(
+                f"LOT already reserved by {self.owner!r}; only one thread "
+                "may reserve the L3 for in-memory computing (§6)"
+            )
+        self.owner = thread
+
+    def unlock(self, thread: str) -> None:
+        if self.owner != thread:
+            raise CoherenceError(f"{thread!r} does not hold the LOT lock")
+        self.owner = None
+
+    def install(self, entry: LOTEntry) -> LOTEntry:
+        if len(self.entries) >= self.capacity:
+            raise SimulationError(f"LOT is full ({self.capacity} regions)")
+        for existing in self.entries:
+            if entry.base < existing.end and existing.base < entry.end:
+                raise SimulationError(
+                    f"LOT ranges overlap: [{entry.base:#x},{entry.end:#x}) vs "
+                    f"[{existing.base:#x},{existing.end:#x})"
+                )
+        self.entries.append(entry)
+        return entry
+
+    def install_layout(
+        self,
+        layout: TiledLayout,
+        base: int,
+        register_bits: int = 32,
+    ) -> LOTEntry:
+        """Build and install an entry from a :class:`TiledLayout`."""
+        sizes = tuple(layout.shape) + (1,) * (3 - layout.ndim)
+        tiles = tuple(layout.tile) + (1,) * (3 - layout.ndim)
+        entry = LOTEntry(
+            base=base,
+            end=base + layout.total_elements * layout.elem_type.bytes,
+            elem_size=layout.elem_type.bytes,
+            ndim=layout.ndim,
+            sizes=sizes[:3],
+            tiles=tiles[:3],
+            wordline=layout.register * register_bits,
+            array=layout.array,
+        )
+        return self.install(entry)
+
+    def lookup(self, paddr: int) -> LOTEntry | None:
+        for entry in self.entries:
+            if entry.contains(paddr):
+                return entry
+        return None
+
+    def lookup_array(self, array: str) -> LOTEntry | None:
+        for entry in self.entries:
+            if entry.array == array:
+                return entry
+        return None
+
+    def check_core_access(self, paddr: int) -> None:
+        """Core requests block while transposition is in progress (§5.2)."""
+        entry = self.lookup(paddr)
+        if entry is not None and entry.trans == TransposeState.IN_PROGRESS:
+            raise CoherenceError(
+                f"core access to {paddr:#x} blocked: transposition in progress"
+            )
+
+    def release(self, array: str) -> None:
+        self.entries = [e for e in self.entries if e.array != array]

@@ -1,0 +1,31 @@
+"""Simulation: functional execution, cycle accounting, and campaigns.
+
+Three execution paths exist for every kernel, and the tests pin them to
+each other:
+
+1. the **golden AST interpreter** (:func:`repro.sim.functional.
+   interpret_kernel`) — sequential semantics of the kernel source;
+2. the **tDFG reference executor** — direct lattice-space evaluation of
+   compiled regions (validates the frontend and the optimizer);
+3. the **command-grid executor** — runs the JIT-lowered bit-serial
+   commands on the SRAM grid model (validates the lowering and the
+   microarchitecture model).
+
+The timing engine (:mod:`repro.sim.engine`) reuses path 3's command
+streams to produce the cycle/traffic/energy numbers of the evaluation.
+"""
+
+from repro.sim.functional import (
+    execute_kernel,
+    execute_region,
+    interpret_kernel,
+)
+from repro.sim.stats import CycleBreakdown, RunResult
+
+__all__ = [
+    "interpret_kernel",
+    "execute_region",
+    "execute_kernel",
+    "CycleBreakdown",
+    "RunResult",
+]

@@ -1,0 +1,468 @@
+"""Evaluation campaigns: one function per paper figure/table.
+
+Each function returns plain data rows (and a formatted text table via
+:func:`format_table`) so the pytest benchmarks, the ``run_all`` script
+and EXPERIMENTS.md all share one source of truth.
+
+``scale`` scales the input sizes (1.0 = the paper's Table 3 sizes);
+sweeps default to smaller scales to keep their many configurations
+tractable — noted in each docstring.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.baselines.core import BaseCoreModel
+from repro.config.system import SystemConfig, default_system
+from repro.energy.model import EnergyModel
+from repro.errors import LayoutError
+from repro.ir.tdfg import LayoutHints
+from repro.runtime.layout import valid_tilings
+from repro.sim.engine import InfinityStreamRunner, run_all_paradigms
+from repro.sim.stats import RunResult
+from repro.workloads.pointnet import run_pointnet, timeline, total_cycles
+from repro.workloads.suite import (
+    array_sum,
+    gather_mlp,
+    kmeans,
+    mm,
+    paper_workloads,
+    vec_add,
+    workload,
+)
+
+PARADIGMS = ("base", "near-l3", "in-l3", "inf-s", "inf-s-nojit")
+
+
+def geomean(values: Iterable[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    widths = [
+        max(len(str(h)), *(len(_fmt(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    out = ["  ".join(str(h).ljust(w) for h, w in zip(headers, widths))]
+    for row in rows:
+        out.append(
+            "  ".join(_fmt(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(out)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+# ----------------------------------------------------------------------
+# Fig 2: paradigm speedups vs input size (microbenchmarks)
+# ----------------------------------------------------------------------
+def fig02_microbench(
+    sizes=(16_384, 65_536, 262_144, 1_048_576, 4_194_304),
+    system: SystemConfig | None = None,
+):
+    """Speedup over Base-Thread-1 for vec_add and array_sum (fp32)."""
+    system = system or default_system()
+    energy = EnergyModel()
+    rows = []
+    speedup_lists: dict[str, list[float]] = {}
+    for factory in (vec_add, array_sum):
+        for n in sizes:
+            wl = factory(n)
+            base1 = energy.annotate(
+                BaseCoreModel(system=system, threads=1).run(wl)
+            )
+            res = run_all_paradigms(wl, system=system)
+            row = [wl.name]
+            for key, label in (
+                ("base", "base-64"),
+                ("near-l3", "near-l3"),
+                ("in-l3", "in-l3"),
+            ):
+                sp = base1.total_cycles / res[key].total_cycles
+                row.append(sp)
+                speedup_lists.setdefault(label, []).append(sp)
+            rows.append(row)
+    rows.append(
+        ["geomean"]
+        + [geomean(speedup_lists[l]) for l in ("base-64", "near-l3", "in-l3")]
+    )
+    headers = ["workload", "Base-64", "Near-L3", "In-L3"]
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Fig 11: overall speedup
+# ----------------------------------------------------------------------
+def fig11_speedup(scale: float = 1.0, system: SystemConfig | None = None):
+    """Speedup over Base for the ten Table 3 workloads."""
+    rows = []
+    per_cfg: dict[str, list[float]] = {p: [] for p in PARADIGMS[1:]}
+    results: dict[str, dict[str, RunResult]] = {}
+    for wl in paper_workloads(scale):
+        res = run_all_paradigms(wl, system=system)
+        results[wl.name] = res
+        base = res["base"].total_cycles
+        row = [wl.name]
+        for p in PARADIGMS[1:]:
+            sp = base / res[p].total_cycles
+            row.append(sp)
+            per_cfg[p].append(sp)
+        rows.append(row)
+    rows.append(["geomean"] + [geomean(per_cfg[p]) for p in PARADIGMS[1:]])
+    headers = ["workload", "Near-L3", "In-L3", "Inf-S", "Inf-S-noJIT"]
+    return headers, rows, results
+
+
+# ----------------------------------------------------------------------
+# Fig 12: NoC traffic breakdown + utilization
+# ----------------------------------------------------------------------
+def fig12_noc_traffic(results: dict[str, dict[str, RunResult]]):
+    """Per-workload bytes x hops (normalized to Base) per category."""
+    rows = []
+    for name, res in results.items():
+        base_total = max(1e-9, res["base"].traffic.total)
+        for cfg in ("base", "near-l3", "inf-s"):
+            t = res[cfg].traffic
+            rows.append(
+                [
+                    name,
+                    cfg,
+                    t.control / base_total,
+                    t.data / base_total,
+                    t.offload / base_total,
+                    t.inter_tile / base_total,
+                    t.total / base_total,
+                    res[cfg].noc_utilization(),
+                ]
+            )
+    headers = [
+        "workload",
+        "config",
+        "control",
+        "data",
+        "offload",
+        "inter-tile",
+        "total",
+        "noc-util",
+    ]
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Fig 13 + Fig 14: Inf-S traffic and cycle breakdowns (13 variants)
+# ----------------------------------------------------------------------
+def _thirteen_variants(scale: float):
+    out = [
+        workload("stencil1d", scale),
+        workload("stencil2d", scale),
+        workload("stencil3d", scale),
+        workload("dwt2d", scale),
+        workload("gauss_elim", scale),
+        workload("conv2d", scale),
+        workload("conv3d", scale),
+    ]
+    for df in ("inner", "outer"):
+        out.append(mm(scale, df))
+        out.append(kmeans(scale, df))
+        out.append(gather_mlp(scale, df))
+    return out
+
+
+def fig13_infs_traffic(scale: float = 1.0, system=None):
+    """Inf-S traffic breakdown across the 13 workload variants."""
+    rows = []
+    for wl in _thirteen_variants(scale):
+        runner = InfinityStreamRunner(
+            system=system or default_system(), paradigm="inf-s"
+        )
+        res = runner.run(wl)
+        total = max(1e-9, res.traffic.total + res.meta["intra_tile_bytes"])
+        rows.append(
+            [
+                wl.name,
+                res.meta["intra_tile_bytes"] / total,
+                res.traffic.inter_tile / total,
+                res.traffic.data / total,
+                res.traffic.offload / total,
+                res.traffic.control / total,
+            ]
+        )
+    headers = [
+        "workload",
+        "intra-tile",
+        "inter-tile(noc)",
+        "noc-data",
+        "noc-offload",
+        "noc-control",
+    ]
+    return headers, rows
+
+
+def fig14_cycles(scale: float = 1.0, system=None):
+    """Inf-S cycle breakdown + fraction of ops executed in-memory."""
+    rows = []
+    for wl in _thirteen_variants(scale):
+        runner = InfinityStreamRunner(
+            system=system or default_system(), paradigm="inf-s"
+        )
+        res = runner.run(wl)
+        cy = res.cycles
+        total = max(1e-9, cy.total)
+        rows.append(
+            [
+                wl.name,
+                cy.dram / total,
+                cy.jit / total,
+                cy.move / total,
+                cy.compute / total,
+                cy.final_reduce / total,
+                cy.mix / total,
+                cy.near_mem / total,
+                cy.sync / total,
+                res.ops.in_memory_fraction,
+            ]
+        )
+    headers = [
+        "workload",
+        "dram",
+        "jit",
+        "move",
+        "compute",
+        "final-red",
+        "mix",
+        "near-mem",
+        "sync",
+        "inmem-ops",
+    ]
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Fig 15: inner vs outer product dataflow
+# ----------------------------------------------------------------------
+def fig15_dataflow(scale: float = 1.0, system=None):
+    """mm/kmeans/gather_mlp under both dataflows, per paradigm.
+
+    Speedups are normalized to Base running the (tiled) inner product,
+    as in the paper.
+    """
+    system = system or default_system()
+    rows = []
+    for factory in (mm, kmeans, gather_mlp):
+        res_in = run_all_paradigms(factory(scale, "inner"), system=system)
+        res_out = run_all_paradigms(factory(scale, "outer"), system=system)
+        base = res_in["base"].total_cycles  # Base-In is the reference
+        name = factory(scale, "inner").name.split("/")[0]
+        rows.append(
+            [
+                name,
+                base / res_out["base"].total_cycles,
+                base / res_in["near-l3"].total_cycles,
+                base / res_out["near-l3"].total_cycles,
+                base / res_in["inf-s"].total_cycles,
+                base / res_out["inf-s"].total_cycles,
+            ]
+        )
+    headers = [
+        "workload",
+        "Base-Out",
+        "NearL3-In",
+        "NearL3-Out",
+        "InfS-In",
+        "InfS-Out",
+    ]
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Fig 16 / Fig 17: tile-size sweeps (+ heuristic vs oracle)
+# ----------------------------------------------------------------------
+def fig16_tile_sweep_2d(
+    names=("stencil2d", "dwt2d", "conv2d"),
+    scale: float = 0.25,
+    system=None,
+):
+    """Cycles vs 2D tile size; marks the heuristic's pick and the oracle.
+
+    Runs at a reduced default scale: the sweep multiplies every workload
+    by ~9 tile configurations.
+    """
+    system = system or default_system()
+    rows = []
+    summary = []
+    for name in names:
+        wl = workload(name, scale)
+        region = wl.kernel.first_region()
+        primary = region.tdfg.hints.primary_array or next(
+            iter(region.tdfg.arrays)
+        )
+        shape = region.tdfg.arrays[primary].shape
+        tilings = valid_tilings(shape, system)
+        # The sweep studies the in-memory layout: disable the runtime's
+        # in-/near-memory selection so every point runs on the bitlines.
+        default_runner = InfinityStreamRunner(
+            system=system, paradigm="inf-s", use_decision=False
+        )
+        default_cycles = default_runner.run(wl).total_cycles
+        best = None
+        for tile in tilings:
+            runner = InfinityStreamRunner(
+                system=system,
+                paradigm="inf-s",
+                tile_override=tile,
+                use_decision=False,
+            )
+            try:
+                cycles = runner.run(wl).total_cycles
+            except LayoutError:
+                continue
+            rows.append([name, "x".join(map(str, tile)), cycles])
+            if best is None or cycles < best[1]:
+                best = (tile, cycles)
+        assert best is not None
+        summary.append(
+            [
+                name,
+                "x".join(map(str, best[0])),
+                best[1],
+                default_cycles,
+                default_cycles / best[1],
+            ]
+        )
+    headers = ["workload", "tile", "cycles"]
+    sum_headers = [
+        "workload",
+        "oracle-tile",
+        "oracle-cycles",
+        "heuristic-cycles",
+        "heuristic/oracle",
+    ]
+    return (headers, rows), (sum_headers, summary)
+
+
+def fig17_tile_sweep_3d(
+    names=("stencil3d", "conv3d"),
+    scale: float | dict[str, float] | None = None,
+    system=None,
+):
+    """Speedup (vs worst tiling) across 3D tile sizes.
+
+    Tile choice matters when move traffic is significant relative to
+    compute, which needs realistic array sizes: stencil3d runs at the
+    paper's full scale by default; conv3d (576 regions) at half scale.
+    """
+    system = system or default_system()
+    if scale is None:
+        scale = {"stencil3d": 1.0, "conv3d": 0.5}
+    rows = []
+    for name in names:
+        wl_scale = scale[name] if isinstance(scale, dict) else scale
+        wl = workload(name, wl_scale)
+        region = wl.kernel.first_region()
+        primary = region.tdfg.hints.primary_array or next(
+            iter(region.tdfg.arrays)
+        )
+        shape = region.tdfg.arrays[primary].shape
+        tilings = valid_tilings(shape, system)
+        cycles = {}
+        for tile in tilings:
+            runner = InfinityStreamRunner(
+                system=system,
+                paradigm="inf-s",
+                tile_override=tile,
+                use_decision=False,
+            )
+            try:
+                cycles[tile] = runner.run(wl).total_cycles
+            except LayoutError:
+                continue
+        worst = max(cycles.values())
+        for tile, c in sorted(cycles.items()):
+            rows.append([name, "x".join(map(str, tile)), worst / c])
+    headers = ["workload", "tile", "speedup-vs-worst"]
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Fig 18: energy efficiency
+# ----------------------------------------------------------------------
+def fig18_energy(scale: float = 1.0, system=None):
+    """Energy efficiency over Base for every configuration."""
+    rows = []
+    per_cfg: dict[str, list[float]] = {p: [] for p in PARADIGMS[1:]}
+    for wl in paper_workloads(scale):
+        res = run_all_paradigms(wl, system=system)
+        base = res["base"].energy_nj
+        row = [wl.name]
+        for p in PARADIGMS[1:]:
+            eff = base / res[p].energy_nj
+            row.append(eff)
+            per_cfg[p].append(eff)
+        rows.append(row)
+    rows.append(["geomean"] + [geomean(per_cfg[p]) for p in PARADIGMS[1:]])
+    headers = ["workload", "Near-L3", "In-L3", "Inf-S", "Inf-S-noJIT"]
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Fig 19: PointNet++ timelines
+# ----------------------------------------------------------------------
+def fig19_pointnet(system=None):
+    rows = []
+    speed_rows = []
+    for arch in ("ssg", "msg"):
+        res = run_pointnet(arch, system=system)
+        base = total_cycles(res["base"])
+        for cfg in ("base", "near-l3", "in-l3", "inf-s"):
+            speed_rows.append(
+                [arch, cfg, base / total_cycles(res[cfg])]
+            )
+            for sa, stage, frac, where in timeline(res[cfg]):
+                if frac > 0.005:
+                    rows.append([arch, cfg, sa, stage, frac, where])
+    headers = ["arch", "config", "sa", "stage", "fraction", "where"]
+    return ("arch config speedup".split(), speed_rows), (headers, rows)
+
+
+# ----------------------------------------------------------------------
+# §8: JIT overheads
+# ----------------------------------------------------------------------
+def jit_overheads(scale: float = 1.0, system=None):
+    """JIT share of runtime, memo hit rates, Inf-S-noJIT gain."""
+    rows = []
+    for name in ("stencil1d", "stencil2d", "gauss_elim", "conv3d"):
+        wl = workload(name, scale)
+        runner = InfinityStreamRunner(
+            system=system or default_system(), paradigm="inf-s"
+        )
+        res = runner.run(wl)
+        nojit = InfinityStreamRunner(
+            system=system or default_system(), paradigm="inf-s-nojit"
+        ).run(wl)
+        rows.append(
+            [
+                name,
+                res.cycles.jit / max(1e-9, res.total_cycles),
+                res.jit_memo_hits / max(1, res.regions),
+                res.total_cycles / nojit.total_cycles,
+                res.cycles.jit / 2000.0,  # us at 2 GHz
+            ]
+        )
+    headers = [
+        "workload",
+        "jit-fraction",
+        "memo-hit-rate",
+        "nojit-gain",
+        "jit-us@2GHz",
+    ]
+    return headers, rows

@@ -1,0 +1,100 @@
+"""Cycle, traffic and op accounting (the Fig 12–14 categories)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.uarch.noc import TrafficLedger
+
+
+@dataclass
+class CycleBreakdown:
+    """Cycles per phase — the stacked bars of Fig 14/16."""
+
+    dram: float = 0.0  # DRAM transfer + transposition
+    jit: float = 0.0  # JIT lowering on the host
+    move: float = 0.0  # tensor moves (intra-/inter-tile shifts)
+    compute: float = 0.0  # bit-serial in-memory compute
+    final_reduce: float = 0.0  # near-memory reduction of partials
+    mix: float = 0.0  # hybrid in-/near-memory stream statements
+    near_mem: float = 0.0  # pure near-memory execution
+    core: float = 0.0  # host-core execution (Base or host scalars)
+    sync: float = 0.0  # barriers
+
+    @property
+    def total(self) -> float:
+        return (
+            self.dram
+            + self.jit
+            + self.move
+            + self.compute
+            + self.final_reduce
+            + self.mix
+            + self.near_mem
+            + self.core
+            + self.sync
+        )
+
+    def merge(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        return CycleBreakdown(
+            **{
+                k: getattr(self, k) + getattr(other, k)
+                for k in self.__dataclass_fields__
+            }
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class OpAccounting:
+    """Where the arithmetic executed (the dots of Fig 14)."""
+
+    in_memory: int = 0
+    near_memory: int = 0
+    core: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.in_memory + self.near_memory + self.core
+
+    @property
+    def in_memory_fraction(self) -> float:
+        return self.in_memory / self.total if self.total else 0.0
+
+
+@dataclass
+class RunResult:
+    """One workload execution under one configuration."""
+
+    workload: str
+    paradigm: str
+    cycles: CycleBreakdown = field(default_factory=CycleBreakdown)
+    traffic: TrafficLedger = field(default_factory=TrafficLedger)
+    ops: OpAccounting = field(default_factory=OpAccounting)
+    regions: int = 0
+    jit_memo_hits: int = 0
+    energy_nj: float = 0.0
+    meta: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return self.cycles.total
+
+    def speedup_over(self, other: "RunResult") -> float:
+        if self.total_cycles <= 0:
+            return float("inf")
+        return other.total_cycles / self.total_cycles
+
+    def traffic_reduction_vs(self, other: "RunResult") -> float:
+        if other.traffic.total <= 0:
+            return 0.0
+        return 1.0 - self.traffic.total / other.traffic.total
+
+    def noc_utilization(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        from repro.uarch.noc import MeshNoC
+
+        return MeshNoC().utilization(self.traffic.total, self.total_cycles)

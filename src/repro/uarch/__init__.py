@@ -1,0 +1,17 @@
+"""Microarchitecture models (§5): compute SRAM, H-tree, NoC, caches,
+stream engines, tensor controllers, and the composed chip.
+
+Two levels of fidelity coexist:
+
+* **bit-level** (:mod:`.bitserial`) — a bit-exact model of the bit-serial
+  SRAM PEs, used to validate the latency formulas and the arithmetic;
+* **value-level** (:mod:`.sram`, :mod:`.tensor_ctrl`) — a functional +
+  timing model executing lowered commands over lattice-space value
+  arrays, used by the simulator and cross-validated against direct tDFG
+  evaluation.
+"""
+
+from repro.uarch.sram import SRAMGrid
+from repro.uarch.chip import Chip
+
+__all__ = ["SRAMGrid", "Chip"]

@@ -1,0 +1,141 @@
+"""NUCA L3 cache model: bank mapping, way reservation, coherence rules.
+
+The L3 is statically NUCA-interleaved at 1 kB granularity across 64
+banks (Table 2).  For in-memory computing, TC_core flushes and reserves
+16 of the 18 ways per bank (§5.2); the tiling constraints guarantee each
+transposed cache line still maps to exactly one bank, so coherence state
+stays trackable in the (possibly different) home bank (§5.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.config.system import CacheConfig
+from repro.errors import CoherenceError, SimulationError
+from repro.runtime.lot import LayoutOverrideTable, TransposeState
+
+
+class WayState(enum.Enum):
+    NORMAL = "normal"
+    RESERVED = "reserved"  # held by in-memory computing
+
+
+@dataclass
+class L3Bank:
+    """One L3 bank: way reservation + simple occupancy tracking."""
+
+    index: int
+    config: CacheConfig
+    reserved_ways: int = 0
+    resident_bytes: int = 0
+
+    @property
+    def normal_ways(self) -> int:
+        return self.config.l3_ways - self.reserved_ways
+
+    @property
+    def normal_capacity(self) -> int:
+        arrays = self.config.arrays_per_way * self.normal_ways
+        return arrays * self.config.sram.size_bytes
+
+    def reserve(self, ways: int) -> None:
+        if ways > self.config.l3_compute_ways:
+            raise SimulationError(
+                f"cannot reserve {ways} ways; only "
+                f"{self.config.l3_compute_ways} are compute-capable"
+            )
+        self.reserved_ways = ways
+
+    def release(self) -> None:
+        self.reserved_ways = 0
+
+
+@dataclass
+class NUCACache:
+    """The shared L3: static-NUCA address interleaving plus the LOT."""
+
+    config: CacheConfig
+    lot: LayoutOverrideTable = field(default_factory=LayoutOverrideTable)
+    banks: list[L3Bank] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.banks = [
+            L3Bank(index=i, config=self.config)
+            for i in range(self.config.l3_banks)
+        ]
+
+    # ------------------------------------------------------------------
+    # Address mapping
+    # ------------------------------------------------------------------
+    def home_bank(self, paddr: int) -> int:
+        """Static NUCA: 1 kB interleaving across banks (Table 2)."""
+        entry = self.lot.lookup(paddr)
+        if entry is not None and entry.trans == TransposeState.TRANSPOSED:
+            # The LOT overrides the mapping: the line lives with its tile.
+            tile_lin, _ = entry.bitline_of(paddr)
+            w = self.config.compute_arrays_per_bank
+            return (tile_lin // w) % self.config.l3_banks
+        return (paddr // self.config.nuca_interleave_bytes) % self.config.l3_banks
+
+    def line_of(self, paddr: int) -> int:
+        return paddr // self.config.line_bytes
+
+    def check_line_single_bank(self, paddr: int) -> None:
+        """Verify a transposed line is not split across banks (§4.1)."""
+        line_start = (paddr // self.config.line_bytes) * self.config.line_bytes
+        first = self.home_bank(line_start)
+        last = self.home_bank(line_start + self.config.line_bytes - 1)
+        if first != last:
+            raise CoherenceError(
+                f"transposed line at {line_start:#x} splits across banks "
+                f"{first} and {last}: tiling constraint 2 violated"
+            )
+
+    # ------------------------------------------------------------------
+    # Way reservation for in-memory computing (§5.2)
+    # ------------------------------------------------------------------
+    def reserve_compute_ways(self, ways: int | None = None) -> int:
+        """Flush + reserve ways on every bank; returns flushed bytes."""
+        w = self.config.l3_compute_ways if ways is None else ways
+        flushed = 0
+        for bank in self.banks:
+            flushed += min(
+                bank.resident_bytes,
+                w * self.config.arrays_per_way * self.config.sram.size_bytes,
+            )
+            bank.reserve(w)
+        return flushed
+
+    def release_compute_ways(self) -> None:
+        for bank in self.banks:
+            bank.release()
+
+    @property
+    def reserved(self) -> bool:
+        return any(b.reserved_ways for b in self.banks)
+
+    # ------------------------------------------------------------------
+    # Core access rules during in-memory computing (§5.3)
+    # ------------------------------------------------------------------
+    def core_access(self, paddr: int) -> str:
+        """Validate a core access; returns 'normal' or 'transposed'.
+
+        Transposed data is accessible by normal requests (with a longer
+        latency to transpose the line back); accesses during
+        transposition raise.
+        """
+        self.lot.check_core_access(paddr)
+        entry = self.lot.lookup(paddr)
+        if entry is None or entry.trans == TransposeState.NORMAL:
+            return "normal"
+        return "transposed"
+
+    def access_latency(self, kind: str) -> int:
+        base = self.config.l3_latency
+        if kind == "transposed":
+            # Transpose-back of one line through the TTU: one extra pass
+            # over the line's bits.
+            return base + self.config.line_bytes
+        return base

@@ -1,0 +1,51 @@
+"""The composed chip: every microarchitectural component of Table 2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.system import SystemConfig, default_system
+from repro.uarch.cache import NUCACache
+from repro.uarch.dram import DRAMModel
+from repro.uarch.noc import MeshNoC
+from repro.uarch.stream_engine import StreamEngineL3
+from repro.uarch.tensor_ctrl import DelayedRelease, TensorControllers
+from repro.uarch.ttu import TransposeUnit
+
+
+@dataclass
+class Chip:
+    """One instance of the evaluated system, ready to run regions."""
+
+    system: SystemConfig = field(default_factory=default_system)
+    noc: MeshNoC = field(init=False)
+    dram: DRAMModel = field(init=False)
+    l3: NUCACache = field(init=False)
+    ttu: TransposeUnit = field(init=False)
+    se_l3: StreamEngineL3 = field(init=False)
+    tc: TensorControllers = field(init=False)
+    release: DelayedRelease = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.noc = MeshNoC(config=self.system.noc)
+        self.dram = DRAMModel(
+            config=self.system.dram,
+            frequency_ghz=self.system.core.frequency_ghz,
+        )
+        self.l3 = NUCACache(config=self.system.cache)
+        self.ttu = TransposeUnit(system=self.system)
+        self.se_l3 = StreamEngineL3(system=self.system, noc=self.noc)
+        self.tc = TensorControllers(system=self.system, noc=self.noc)
+        self.release = DelayedRelease(system=self.system)
+
+    # ------------------------------------------------------------------
+    def peak_in_memory_ops(self, op_latency: int = 32) -> float:
+        """Eq. 1 (§2.2)."""
+        return self.system.in_memory_peak_ops_per_cycle(op_latency)
+
+    def peak_core_ops(self, elem_bits: int = 32) -> int:
+        return self.system.core_peak_ops_per_cycle(elem_bits)
+
+    def fresh(self) -> "Chip":
+        """A new chip with clean counters (same configuration)."""
+        return Chip(system=self.system)

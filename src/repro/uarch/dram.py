@@ -1,0 +1,37 @@
+"""DRAM timing model (Table 2: DDR4-3200, 25.6 GB/s, 16 controllers)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.system import DRAMConfig
+
+
+@dataclass
+class DRAMModel:
+    """Bandwidth/latency model with simple access accounting."""
+
+    config: DRAMConfig = field(default_factory=DRAMConfig)
+    frequency_ghz: float = 2.0
+    bytes_read: int = 0
+    bytes_written: int = 0
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        return self.config.bytes_per_cycle(self.frequency_ghz)
+
+    def read_cycles(self, num_bytes: int) -> float:
+        self.bytes_read += num_bytes
+        return self.config.latency_cycles + num_bytes / self.bytes_per_cycle
+
+    def write_cycles(self, num_bytes: int) -> float:
+        self.bytes_written += num_bytes
+        return self.config.latency_cycles + num_bytes / self.bytes_per_cycle
+
+    def stream_cycles(self, num_bytes: int) -> float:
+        """Bulk streaming: latency amortized away."""
+        return num_bytes / self.bytes_per_cycle
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_read + self.bytes_written

@@ -1,0 +1,134 @@
+"""In-DRAM computing extension (§9).
+
+"Infinity stream can be applied to both cases, as the abstraction (tDFG)
+is neutral to the hardware, and the JIT runtime can be extended for
+in-DRAM computing (e.g. triple-row activation)."  This module models that
+extension so the ablation benchmark can quantify the in-SRAM vs in-DRAM
+trade-off the related-work section describes:
+
+* **far more parallelism** — every DRAM mat contributes bitlines,
+  yielding an order of magnitude more lanes than the L3's 4M;
+* **far slower primitives** — triple-row activation (Ambit-style
+  majority logic) takes a full activate/precharge pair (~49 DRAM-clock
+  cycles at DDR4-3200 timings) per *logic level*, and bit-serial addition
+  needs several TRAs per bit;
+* **copy-heavy operand staging** — operands must be RowCloned into the
+  designated compute rows before every operation.
+
+The model reuses the tDFG op counts, so any compiled region can be
+estimated for an in-DRAM target without re-compiling — exactly the
+portability claim of the fat binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.system import SystemConfig, default_system
+from repro.ir.dtypes import DType
+from repro.ir.nodes import ComputeNode, MoveNode, ReduceNode
+from repro.ir.tdfg import TensorDFG
+
+
+@dataclass(frozen=True)
+class InDRAMConfig:
+    """Geometry and timing of the in-DRAM substrate (DDR4-3200-class)."""
+
+    banks: int = 32  # banks across all ranks/channels
+    subarrays_per_bank: int = 64
+    row_bits: int = 65536  # 8 kB row = 64k bitlines
+    tra_cycles: float = 49.0  # ACT-ACT-PRE triple-row activation, in
+    # CPU cycles at 2 GHz (tRAS + tRP at 3200 MT/s)
+    rowclone_cycles: float = 49.0  # in-bank row copy
+    tras_per_bit_add: float = 7.0  # MAJ/NOT network per full-adder bit
+    copies_per_op: float = 4.0  # operand staging RowClones per op
+
+    @property
+    def total_bitlines(self) -> int:
+        return self.banks * self.subarrays_per_bank * self.row_bits
+
+    def op_cycles(self, dtype: DType) -> float:
+        """One element-wise op over all lanes (bit-serial via TRA)."""
+        bits = dtype.bits if not dtype.is_float else 3 * dtype.bits
+        return (
+            bits * self.tras_per_bit_add * self.tra_cycles
+            + self.copies_per_op * self.rowclone_cycles
+        )
+
+
+@dataclass
+class InDRAMModel:
+    """Estimate a compiled region's runtime on the in-DRAM substrate."""
+
+    config: InDRAMConfig = field(default_factory=InDRAMConfig)
+    system: SystemConfig = field(default_factory=default_system)
+
+    def estimate_tdfg(self, tdfg: TensorDFG) -> float:
+        """Cycles for one region, all lanes in parallel."""
+        cycles = 0.0
+        lanes = self.config.total_bitlines
+        for node in tdfg.nodes():
+            if isinstance(node, ComputeNode):
+                d = node.domain
+                folds = 1.0
+                if d is not None:
+                    folds = max(1.0, d.volume / lanes)
+                cycles += self.config.op_cycles(node.dtype) * folds
+            elif isinstance(node, MoveNode):
+                # Inter-subarray movement uses RowClone pairs.
+                cycles += 2 * self.config.rowclone_cycles
+            elif isinstance(node, ReduceNode):
+                d = node.src.domain
+                extent = d.shape[node.dim] if d is not None else 256
+                rounds = max(1, extent - 1).bit_length()
+                cycles += rounds * (
+                    self.config.op_cycles(node.dtype)
+                    + self.config.rowclone_cycles
+                )
+        return cycles
+
+    def compare_with_sram(self, tdfg: TensorDFG) -> dict[str, float]:
+        """The ablation row: in-DRAM vs in-SRAM cycles for one region.
+
+        In-SRAM cycles use the same wave abstraction (one bit-serial op
+        per compute node, folds beyond 4M lanes serialize).
+        """
+        sram_lanes = self.system.cache.total_bitlines
+        sram_cycles = 0.0
+        for node in tdfg.nodes():
+            if isinstance(node, ComputeNode):
+                d = node.domain
+                folds = 1.0
+                if d is not None:
+                    folds = max(1.0, d.volume / sram_lanes)
+                sram_cycles += node.op.bitserial_cycles(node.dtype) * folds
+            elif isinstance(node, MoveNode):
+                sram_cycles += 2 * node.dtype.bits
+            elif isinstance(node, ReduceNode):
+                d = node.src.domain
+                extent = d.shape[node.dim] if d is not None else 256
+                rounds = max(1, extent - 1).bit_length()
+                sram_cycles += rounds * (
+                    node.op.bitserial_cycles(node.dtype) + 2 * node.dtype.bits
+                )
+        dram_cycles = self.estimate_tdfg(tdfg)
+        return {
+            "in_sram_cycles": sram_cycles,
+            "in_dram_cycles": dram_cycles,
+            "dram_over_sram": dram_cycles / max(1e-9, sram_cycles),
+            "dram_lanes": float(self.config.total_bitlines),
+            "sram_lanes": float(sram_lanes),
+        }
+
+    def crossover_elements(self, dtype: DType = DType.FP32) -> float:
+        """Working-set size where in-DRAM's extra lanes win.
+
+        Below the L3's lane count both substrates fold identically and
+        SRAM's faster primitives win; in-DRAM only pays off once the
+        element count exceeds SRAM lanes by the primitive-latency ratio.
+        """
+        from repro.ir.ops import Op
+
+        sram_op = Op.ADD.bitserial_cycles(dtype)
+        ratio = self.config.op_cycles(dtype) / sram_op
+        return self.system.cache.total_bitlines * ratio

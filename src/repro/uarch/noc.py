@@ -1,0 +1,128 @@
+"""Mesh network-on-chip model (Table 2: 8x8 mesh, 32B 1-cycle links,
+5-stage routers, X-Y routing, multicast support).
+
+The model accounts traffic as **bytes x hops** (the unit of Fig 12/13)
+per category, and estimates utilization and serialization latency from
+the bisection bandwidth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.system import NoCConfig
+
+
+@dataclass
+class TrafficLedger:
+    """bytes x hops per category (the Fig 12/13 breakdown)."""
+
+    control: float = 0.0  # coherence / flow-control / sync messages
+    data: float = 0.0  # demand data movement
+    offload: float = 0.0  # offload management (stream configs, commands)
+    inter_tile: float = 0.0  # in-memory inter-tile shifts crossing banks
+
+    @property
+    def total(self) -> float:
+        return self.control + self.data + self.offload + self.inter_tile
+
+    def merge(self, other: "TrafficLedger") -> "TrafficLedger":
+        return TrafficLedger(
+            control=self.control + other.control,
+            data=self.data + other.data,
+            offload=self.offload + other.offload,
+            inter_tile=self.inter_tile + other.inter_tile,
+        )
+
+
+@dataclass
+class MeshNoC:
+    """Hop counting and serialization for the 8x8 mesh."""
+
+    config: NoCConfig = field(default_factory=NoCConfig)
+    ledger: TrafficLedger = field(default_factory=TrafficLedger)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+    def hops(self, src: int, dst: int) -> int:
+        return self.config.hops(src, dst)
+
+    @property
+    def average_hops(self) -> float:
+        """Mean X-Y hop count between uniformly random distinct tiles.
+
+        For an n x n mesh the mean one-dimensional distance is
+        (n^2 - 1) / (3n); X and Y add.
+        """
+        n = self.config.mesh_width
+        m = self.config.mesh_height
+        return (n * n - 1) / (3 * n) + (m * m - 1) / (3 * m)
+
+    @property
+    def diameter(self) -> int:
+        return (self.config.mesh_width - 1) + (self.config.mesh_height - 1)
+
+    def multicast_hops(self, num_destinations: int) -> float:
+        """Hops of one multicast flit reaching k destinations.
+
+        An X-Y multicast tree covers k uniformly spread destinations in
+        roughly the tree size of the covered sub-mesh, far below k
+        unicasts — modeled as the mesh span scaled by coverage.
+        """
+        if num_destinations <= 0:
+            return 0.0
+        if num_destinations == 1:
+            return self.average_hops
+        total_tiles = self.config.num_tiles
+        coverage = min(1.0, num_destinations / total_tiles)
+        # A full-mesh multicast tree touches every link column once.
+        full_tree = total_tiles - 1
+        return max(self.average_hops, full_tree * coverage)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def add_traffic(self, category: str, byte_hops: float) -> None:
+        setattr(self.ledger, category, getattr(self.ledger, category) + byte_hops)
+
+    def unicast(self, category: str, bytes_: float, hops: float | None = None) -> float:
+        h = self.average_hops if hops is None else hops
+        bh = bytes_ * h
+        self.add_traffic(category, bh)
+        return bh
+
+    def multicast(self, category: str, bytes_: float, destinations: int) -> float:
+        bh = bytes_ * self.multicast_hops(destinations)
+        self.add_traffic(category, bh)
+        return bh
+
+    # ------------------------------------------------------------------
+    # Latency / utilization
+    # ------------------------------------------------------------------
+    def serialization_cycles(self, byte_hops: float) -> float:
+        """Cycles to drain the given bytes x hops through all links.
+
+        Total link capacity is ``2 * links * link_bytes`` bytes x hops per
+        cycle (each link moves link_bytes one hop per cycle).
+        """
+        links = (
+            (self.config.mesh_width - 1) * self.config.mesh_height
+            + (self.config.mesh_height - 1) * self.config.mesh_width
+        )
+        capacity = links * self.config.link_bytes * 2
+        return byte_hops / capacity
+
+    def utilization(self, byte_hops: float, cycles: float) -> float:
+        if cycles <= 0:
+            return 0.0
+        links = (
+            (self.config.mesh_width - 1) * self.config.mesh_height
+            + (self.config.mesh_height - 1) * self.config.mesh_width
+        )
+        capacity = links * self.config.link_bytes * 2
+        return min(1.0, byte_hops / (cycles * capacity))
+
+    def message_latency(self, hops: float | None = None) -> float:
+        h = self.average_hops if hops is None else hops
+        return h * (self.config.link_latency + self.config.router_stages)

@@ -1,0 +1,165 @@
+"""Value-level functional model of the compute-SRAM grid.
+
+The grid holds, per wordline register, the value of every lattice cell —
+a numpy array over the tile-padded lattice bounding box.  Bit-serial
+commands (:mod:`repro.runtime.commands`) execute functionally on these
+arrays; the bank/array placement (:class:`~repro.runtime.layout.
+TiledLayout`) is used by the timing model, not the functional one,
+because the lattice is the paper's homogeneous coordinate system.
+
+Cross-validation contract: executing the lowered commands on the grid
+must produce bit-identical results to evaluating the tDFG directly
+(:mod:`repro.sim.functional`), which is how the tests pin the compiler,
+the lowering and this model to each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.ops import Op
+from repro.runtime.commands import (
+    BroadcastCmd,
+    Command,
+    ComputeCmd,
+    ShiftCmd,
+    SyncCmd,
+)
+
+
+@dataclass
+class SRAMGrid:
+    """Registers of transposed values over the padded lattice space.
+
+    ``shape`` is the padded lattice bounding box (dimension 0 innermost);
+    numpy arrays are indexed outermost-first, so axes are reversed
+    relative to lattice dimensions.
+    """
+
+    shape: tuple[int, ...]
+    elem_type: DType = DType.FP32
+    tile: tuple[int, ...] = ()
+    registers: dict[int, np.ndarray] = field(default_factory=dict)
+    params: dict[str, float] = field(default_factory=dict)
+
+    def _new_plane(self) -> np.ndarray:
+        return np.zeros(tuple(reversed(self.shape)), dtype=self.elem_type.numpy)
+
+    def register(self, reg: int) -> np.ndarray:
+        if reg not in self.registers:
+            self.registers[reg] = self._new_plane()
+        return self.registers[reg]
+
+    # ------------------------------------------------------------------
+    # Data in/out (the TTU's functional role)
+    # ------------------------------------------------------------------
+    def load(self, reg: int, region: Hyperrect, data: np.ndarray) -> None:
+        """Place array data into a register over the given region."""
+        plane = self.register(reg)
+        view = plane[region.numpy_slices()]
+        if view.shape != data.shape:
+            raise SimulationError(
+                f"load shape mismatch: region {view.shape} vs data {data.shape}"
+            )
+        view[...] = data
+
+    def read(self, reg: int, region: Hyperrect) -> np.ndarray:
+        plane = self.register(reg)
+        return plane[region.numpy_slices()].copy()
+
+    # ------------------------------------------------------------------
+    # Command execution
+    # ------------------------------------------------------------------
+    def execute(self, cmd: Command) -> None:
+        if isinstance(cmd, ShiftCmd):
+            self._exec_shift(cmd)
+        elif isinstance(cmd, ComputeCmd):
+            self._exec_compute(cmd)
+        elif isinstance(cmd, BroadcastCmd):
+            self._exec_broadcast(cmd)
+        elif isinstance(cmd, SyncCmd):
+            pass  # ordering is already sequential in the functional model
+        else:
+            raise SimulationError(f"cannot execute command {cmd!r}")
+
+    def execute_all(self, commands: list[Command]) -> None:
+        for cmd in commands:
+            self.execute(cmd)
+
+    # -- shift ----------------------------------------------------------
+    def _exec_shift(self, cmd: ShiftCmd) -> None:
+        if not self.tile:
+            raise SimulationError("grid.tile must be set before shifts")
+        tk = self.tile[cmd.dim]
+        # Register ids may be negative: -2 is the reserved PE scratch rows.
+        src = self.register(cmd.src_reg)
+        dst = self.register(cmd.dst_reg)
+        p, q = cmd.tensor.interval(cmd.dim)
+        axis = len(self.shape) - 1 - cmd.dim  # numpy axis of this dim
+        dist = cmd.inter_tile_dist * tk + cmd.intra_tile_dist
+        # Positions within the tensor whose tile-local index is masked.
+        positions = [
+            pos
+            for pos in range(p, q)
+            if cmd.mask_lo <= pos % tk < cmd.mask_hi
+        ]
+        if not positions:
+            return
+        bound = self.shape[cmd.dim]
+        src_idx = [pos for pos in positions if 0 <= pos + dist < bound]
+        if not src_idx:
+            return  # every masked position shifts out of bounds
+        dst_idx = [pos + dist for pos in src_idx]
+        other_slices = [
+            slice(pp, qq)
+            for pp, qq in zip(
+                reversed(cmd.tensor.starts), reversed(cmd.tensor.ends)
+            )
+        ]
+        src_sel = list(other_slices)
+        dst_sel = list(other_slices)
+        src_sel[axis] = np.asarray(src_idx, dtype=np.intp)
+        dst_sel[axis] = np.asarray(dst_idx, dtype=np.intp)
+        dst[tuple(dst_sel)] = src[tuple(src_sel)]
+
+    # -- compute ---------------------------------------------------------
+    def _exec_compute(self, cmd: ComputeCmd) -> None:
+        sel = cmd.domain.numpy_slices()
+        args: list = []
+        for kind, value in cmd.operands:
+            if kind == "reg":
+                args.append(self.register(int(value))[sel])
+            else:
+                args.append(self._resolve_const(value))  # type: ignore[arg-type]
+        result = cmd.op.apply(*args)
+        self.register(cmd.dst_reg)[sel] = result.astype(self.elem_type.numpy)
+
+    def _resolve_const(self, value: float | str):
+        if isinstance(value, str):
+            if value not in self.params:
+                raise SimulationError(f"unresolved runtime constant {value!r}")
+            return self.elem_type.numpy.type(self.params[value])
+        return self.elem_type.numpy.type(value)
+
+    # -- broadcast --------------------------------------------------------
+    def _exec_broadcast(self, cmd: BroadcastCmd) -> None:
+        src = self.register(cmd.src_reg)
+        dst = self.register(cmd.dst_reg)
+        axis = len(self.shape) - 1 - cmd.dim
+        line = src[cmd.tensor.numpy_slices()]
+        dest_region = cmd.tensor.with_interval(
+            cmd.dim, cmd.dest_lo, cmd.dest_lo + cmd.copies
+        )
+        bounded = dest_region.intersect(Hyperrect.from_shape(self.shape))
+        if bounded.is_empty:
+            return
+        reps = [1] * line.ndim
+        reps[axis] = bounded.shape[cmd.dim]
+        dst[bounded.numpy_slices()] = np.tile(line, reps)
+
+

@@ -1,0 +1,111 @@
+"""Near-memory stream engines: SE_core and SE_L3 (§5.1, from NSC [64]).
+
+Streams execute at the L3 banks where their data lives: they read/write
+the bank directly and forward operands to consuming streams without
+round-tripping to the core.  The model charges
+
+* bank read/write bandwidth (the H-tree's 64 B/cycle per bank),
+* compute on the near-L3 units (4-cycle init + pipelined SIMD),
+* stream migration / flow-control messages (control traffic), and
+* forwarding traffic between producer and consumer streams when they
+  live at different banks.
+
+Indirect streams additionally pay a dependent lookup per element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config.system import SystemConfig
+from repro.ir.sdfg import Stream, StreamDFG, StreamType
+from repro.uarch.noc import MeshNoC
+
+
+@dataclass
+class StreamExecutionReport:
+    """Timing + traffic of one near-memory sDFG execution."""
+
+    cycles: float = 0.0
+    bank_bytes: float = 0.0  # bytes moved between SRAM and stream engine
+    forward_byte_hops: float = 0.0
+    control_byte_hops: float = 0.0
+    offload_byte_hops: float = 0.0
+    compute_ops: int = 0
+
+
+@dataclass
+class StreamEngineL3:
+    """Aggregate model of the 64 near-L3 stream engines."""
+
+    system: SystemConfig
+    noc: MeshNoC
+    htree_bytes_per_cycle: float = 64.0  # per bank (Table 2)
+
+    def execute_sdfg(
+        self,
+        sdfg: StreamDFG,
+        compute_ops_per_elem: float = 1.0,
+        forward_fraction: float = 0.25,
+    ) -> StreamExecutionReport:
+        """Model one sDFG region executing near the L3 banks.
+
+        ``forward_fraction`` is the share of stream data forwarded to a
+        consumer on a *different* bank (streams migrate to follow data, so
+        most forwarding is local; the NUCA interleaving leaves a fraction
+        remote).
+        """
+        report = StreamExecutionReport()
+        banks = self.system.cache.l3_banks
+        total_bytes = 0.0
+        elements = 0
+        for stream in sdfg.streams.values():
+            stream_bytes = float(stream.bytes_accessed)
+            # Near-memory cannot exploit outer-loop reuse: it re-reads.
+            stream_bytes *= max(1, stream.reuse)
+            total_bytes += stream_bytes
+            elements = max(elements, stream.trip_count * max(1, stream.reuse))
+            if not stream.is_affine:
+                # Dependent indirect access: one extra lookup per element.
+                total_bytes += stream.trip_count * self.system.cache.line_bytes * 0.5
+        report.bank_bytes = total_bytes
+        # Bank bandwidth: all banks stream in parallel through H-trees.
+        bank_cycles = total_bytes / (banks * self.htree_bytes_per_cycle)
+        # Forwarding between streams at different banks.
+        report.forward_byte_hops = self.noc.unicast(
+            "data", total_bytes * forward_fraction
+        )
+        # Flow control: one message per N cache lines per stream (§5.1).
+        lines = total_bytes / self.system.cache.line_bytes
+        ctrl_msgs = lines / self.system.stream.flow_control_lines
+        report.control_byte_hops = self.noc.unicast("control", ctrl_msgs * 8.0)
+        # Offload configuration: one config message per stream.
+        report.offload_byte_hops = self.noc.unicast(
+            "offload", 64.0 * len(sdfg.streams)
+        )
+        # Near-memory compute: pipelined, init latency per burst.
+        ops = int(elements * compute_ops_per_elem)
+        report.compute_ops = ops
+        compute_cycles = (
+            self.system.stream.l3_compute_init_latency
+            + ops / max(1, banks)  # one op/cycle per bank engine
+        )
+        noc_cycles = self.noc.serialization_cycles(
+            report.forward_byte_hops
+        )
+        report.cycles = max(bank_cycles, compute_cycles, noc_cycles)
+        return report
+
+    def reduce_partials_cycles(self, partials: int) -> float:
+        """Final reduction of in-memory partial results (Fig 10 ❷).
+
+        Each bank's stream engine reads its local partials and a
+        migrating stream combines per-bank results — latency is dominated
+        by reading partials plus a mesh traversal.
+        """
+        banks = self.system.cache.l3_banks
+        per_bank = partials / banks
+        read_cycles = per_bank  # one partial per cycle per bank
+        combine = self.noc.message_latency(self.noc.diameter)
+        self.noc.unicast("data", partials * 4.0, hops=2.0)
+        return read_cycles + combine

@@ -1,0 +1,265 @@
+"""Tensor controllers TC_core / TC_L3: command execution timing (§5.2).
+
+TC_core prepares transposed data, sends commands from its command cache
+to the TC_L3s at mapped banks, and coordinates synchronization.  TC_L3
+expands bitline/tile patterns into masks, drives the SRAM arrays, and
+configures the H-tree for inter-tile shifts, packing NoC packets when the
+destination tile lives in another bank.
+
+This module charges cycles and NoC traffic per lowered command; the
+functional effects run on :class:`repro.uarch.sram.SRAMGrid`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from functools import lru_cache
+
+from repro.config.system import SystemConfig
+from repro.runtime.commands import (
+    BroadcastCmd,
+    Command,
+    ComputeCmd,
+    ShiftCmd,
+    SyncCmd,
+)
+from repro.runtime.layout import TiledLayout
+from repro.runtime.lower import LoweredRegion
+from repro.uarch.noc import MeshNoC
+
+
+@dataclass
+class CommandTiming:
+    """Cycle/traffic totals of executing a command list."""
+
+    compute_cycles: float = 0.0
+    move_cycles: float = 0.0
+    sync_cycles: float = 0.0
+    command_dispatch_byte_hops: float = 0.0
+    inter_tile_byte_hops: float = 0.0
+    htree_bytes: float = 0.0  # intra-bank data movement (H-tree)
+    intra_tile_bytes: float = 0.0  # movement inside SRAM arrays
+    ops_in_memory: int = 0
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.move_cycles + self.sync_cycles
+
+
+@dataclass
+class TensorControllers:
+    """Aggregate TC_core + TC_L3 timing model."""
+
+    system: SystemConfig
+    noc: MeshNoC
+    htree_bytes_per_cycle: float = 64.0  # per bank (Table 2)
+    dispatch_overhead: float = 4.0  # hidden by command preprocessing
+
+    # ------------------------------------------------------------------
+    def cross_bank_fraction(self, cmd: ShiftCmd, layout: TiledLayout) -> float:
+        """Share of moved tiles whose destination is another L3 bank."""
+        if cmd.inter_tile_dist == 0:
+            return 0.0
+        grid = layout.tile_grid
+        stride = 1
+        for d in range(cmd.dim):
+            stride *= grid[d]
+        delta = cmd.inter_tile_dist * stride
+        return _cross_bank_fraction_cached(
+            delta,
+            layout.arrays_per_bank,
+            layout.num_banks,
+            min(layout.num_tiles, 4096),
+        )
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        lowered: LoweredRegion,
+        layout: TiledLayout,
+    ) -> CommandTiming:
+        """Charge cycles and traffic for a lowered region's commands."""
+        t = CommandTiming()
+        layers = layout.layers
+        bits = layout.elem_type.bits
+        banks_touched = max(1, lowered.banks_touched)
+        # Command distribution: TC_core multicasts each command to its
+        # mapped banks (offload traffic).
+        cmd_bytes = self.system.tc.command_bytes * lowered.num_commands
+        t.command_dispatch_byte_hops = self.noc.multicast(
+            "offload", float(cmd_bytes), banks_touched
+        )
+        for wave in _waves(lowered.commands):
+            cmd = wave[0]
+            n = len(wave)
+            if isinstance(cmd, ComputeCmd):
+                # Commands of one wave come from one tDFG node's tensor
+                # decomposition: they cover *disjoint tiles*, so their
+                # SRAM arrays compute in parallel; TC_L3 dispatch is the
+                # only serial part (and command preprocessing hides most
+                # of it, §5.2).
+                t.compute_cycles += (
+                    max(c.latency_cycles for c in wave) * layers
+                    + self.dispatch_overhead * n
+                )
+                t.ops_in_memory += sum(c.elements for c in wave)
+                continue
+            if isinstance(cmd, ShiftCmd) and not any(
+                c.is_inter_tile for c in wave
+            ):
+                # Pure intra-tile wave: one parallel bit-serial pass.
+                t.move_cycles += (
+                    2 * bits * layers + self.dispatch_overhead * n
+                )
+                t.intra_tile_bytes += sum(c.bytes_moved for c in wave)
+                continue
+            if isinstance(cmd, ShiftCmd):
+                # Mixed intra-/inter-tile wave (Alg 2 emits both).
+                local_total = 0.0
+                cross_total = 0.0
+                byte_hops = 0.0
+                for c in wave:
+                    if not c.is_inter_tile:
+                        t.intra_tile_bytes += c.bytes_moved
+                        continue
+                    frac = self.cross_bank_fraction(c, layout)
+                    cross = c.bytes_moved * frac
+                    local = c.bytes_moved - cross
+                    local_total += local
+                    cross_total += cross
+                    byte_hops += self.noc.unicast(
+                        "inter_tile",
+                        cross,
+                        hops=self._neighbor_hops(c, layout),
+                    )
+                t.htree_bytes += local_total
+                t.inter_tile_byte_hops += byte_hops
+                local_cycles = local_total / (
+                    banks_touched * self.htree_bytes_per_cycle
+                )
+                noc_cycles = self.noc.serialization_cycles(byte_hops)
+                t.move_cycles += (
+                    max(local_cycles, noc_cycles)
+                    + 2 * bits  # read out / write in bit-serially
+                    + self.dispatch_overhead * n
+                )
+                continue
+            cmd = wave[0]
+            if isinstance(cmd, BroadcastCmd):
+                src_banks = max(
+                    1, len(layout.banks_covering(cmd.tensor))
+                )
+                dest_banks = banks_touched
+                # The buffered H-tree broadcasts: only the *source* bytes
+                # traverse each tree root; destination arrays latch the
+                # multicast data in parallel with one bit-serial write
+                # pass.  Delivered bytes matter for energy, not bandwidth.
+                read_cycles = cmd.bytes_read / (
+                    src_banks * self.htree_bytes_per_cycle
+                )
+                byte_hops = self.noc.multicast(
+                    "inter_tile", float(cmd.bytes_read), dest_banks
+                )
+                t.inter_tile_byte_hops += byte_hops
+                t.htree_bytes += cmd.bytes_delivered
+                t.move_cycles += (
+                    max(read_cycles,
+                        self.noc.serialization_cycles(byte_hops))
+                    + 2 * bits  # parallel write pass into the arrays
+                    + self.dispatch_overhead
+                )
+            elif isinstance(cmd, SyncCmd):
+                # TC_L3s report packet counts, TC_core clears the barrier.
+                t.sync_cycles += 2 * self.noc.message_latency(
+                    self.noc.diameter
+                ) + 16
+                self.noc.unicast(
+                    "control", 16.0 * self.system.cache.l3_banks, hops=2.0
+                )
+        return t
+
+    @staticmethod
+    def _group_waves(commands):
+        return _waves(commands)
+
+    def _neighbor_hops(self, cmd: ShiftCmd, layout: TiledLayout) -> float:
+        """Inter-tile shifts usually target an adjacent bank."""
+        grid = layout.tile_grid
+        stride = 1
+        for d in range(cmd.dim):
+            stride *= grid[d]
+        delta_tiles = abs(cmd.inter_tile_dist) * stride
+        delta_banks = max(1, delta_tiles // layout.arrays_per_bank)
+        return float(min(self.noc.diameter, delta_banks))
+
+
+@lru_cache(maxsize=16384)
+def _cross_bank_fraction_cached(
+    delta: int, w: int, num_banks: int, total: int
+) -> float:
+    if total <= 0:
+        return 1.0
+    crossing = 0
+    for lin in range(total):
+        src_bank = (lin // w) % num_banks
+        dst_bank = ((lin + delta) // w) % num_banks
+        if src_bank != dst_bank:
+            crossing += 1
+    return crossing / total
+
+
+def _waves(commands) -> list[list]:
+    """Group consecutive commands sharing a wave id.
+
+    Sync commands and wave-less commands form singleton groups.
+    """
+    out: list[list] = []
+    current: list = []
+    current_wave: int | None = None
+    for cmd in commands:
+        wave = getattr(cmd, "wave", -1)
+        if wave >= 0 and wave == current_wave and current:
+            current.append(cmd)
+            continue
+        if current:
+            out.append(current)
+        current = [cmd]
+        current_wave = wave if wave >= 0 else None
+    if current:
+        out.append(current)
+    return out
+
+
+@dataclass
+class DelayedRelease:
+    """Delayed release of transposed data (§5.2).
+
+    TC_core keeps the reserved ways until one of: too many normal
+    requests to the transposed range, L3 miss-rate pressure, or a timer.
+    """
+
+    system: SystemConfig
+    normal_requests: int = 0
+    timer: int = 0
+    miss_rate: float = 0.0
+
+    def tick(self, cycles: int = 1) -> None:
+        self.timer += cycles
+
+    def record_normal_request(self, count: int = 1) -> None:
+        self.normal_requests += count
+
+    @property
+    def should_release(self) -> bool:
+        tc = self.system.tc
+        return (
+            self.normal_requests > tc.release_request_threshold
+            or self.timer > tc.release_timer_cycles
+            or self.miss_rate > tc.release_miss_rate
+        )
+
+    def reset(self) -> None:
+        self.normal_requests = 0
+        self.timer = 0
+        self.miss_rate = 0.0

@@ -1,0 +1,31 @@
+"""The Tensor Transpose Unit (§5.2).
+
+Converts between normal (horizontal) and transposed (vertical, bit-serial)
+layouts, similar to the transpose units of Neural Cache / Duality Cache
+[15, 17].  Each L3 bank has one TTU fed by its stream engine; throughput
+is one cache line per ``line_bytes / throughput_bytes`` cycles, with all
+banks operating in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config.system import SystemConfig
+
+
+@dataclass
+class TransposeUnit:
+    """Per-bank transpose throughput model."""
+
+    system: SystemConfig
+    bytes_per_cycle_per_bank: float = 64.0  # through the bank H-tree
+
+    def transpose_cycles(self, total_bytes: int, banks: int | None = None) -> float:
+        """Cycles to transpose data spread over the given banks."""
+        n = banks or self.system.cache.l3_banks
+        per_bank = total_bytes / max(1, n)
+        return per_bank / self.bytes_per_cycle_per_bank
+
+    def transpose_line_cycles(self) -> float:
+        return self.system.cache.line_bytes / self.bytes_per_cycle_per_bank

@@ -1,0 +1,19 @@
+"""The evaluated workloads (Table 3, Fig 2 microbenchmarks, PointNet++)."""
+
+from repro.workloads.base import NearMemPhase, Workload, WorkloadCosts
+from repro.workloads.suite import (
+    WORKLOADS,
+    microbenchmarks,
+    paper_workloads,
+    workload,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadCosts",
+    "NearMemPhase",
+    "WORKLOADS",
+    "workload",
+    "paper_workloads",
+    "microbenchmarks",
+]

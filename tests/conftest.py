@@ -1,0 +1,77 @@
+"""Shared fixtures and cross-validation helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config.system import default_system, small_test_system
+from repro.frontend import parse_kernel
+from repro.sim.functional import execute_kernel, interpret_kernel
+
+
+@pytest.fixture
+def system():
+    return default_system()
+
+
+@pytest.fixture
+def small_system():
+    return small_test_system()
+
+
+def make_arrays(arrays_spec, params, seed=0, index_pool_key="P"):
+    """Random fp32 arrays for a kernel spec (C declaration order)."""
+    rng = np.random.default_rng(seed)
+    out = {}
+    for arr, dims in arrays_spec.items():
+        shape = tuple(
+            params[d] if isinstance(d, str) else d for d in dims
+        )
+        if arr == "idx":
+            pool = params.get(index_pool_key, shape[0])
+            out[arr] = rng.integers(0, pool, size=shape).astype(np.float32)
+        else:
+            out[arr] = rng.uniform(1.0, 2.0, size=shape).astype(np.float32)
+    return out
+
+
+def crossvalidate(
+    name,
+    source,
+    arrays_spec,
+    params,
+    dataflow="inner",
+    seed=0,
+    modes=("reference", "grid"),
+    rtol=3e-4,
+    atol=1e-4,
+):
+    """Golden AST interpretation vs compiled execution paths.
+
+    Returns the golden arrays for further assertions; raises via pytest
+    assertions on any mismatch.
+    """
+    prog = parse_kernel(name, source, arrays=arrays_spec)
+    base = make_arrays(arrays_spec, params, seed=seed)
+    golden = {k: v.copy() for k, v in base.items()}
+    scalars_golden = interpret_kernel(prog, params, golden)
+    for mode in modes:
+        test = {k: v.copy() for k, v in base.items()}
+        kernel = prog.instantiate(params, dataflow=dataflow)
+        scalars = execute_kernel(kernel, test, mode=mode)
+        for arr in base:
+            np.testing.assert_allclose(
+                test[arr],
+                golden[arr],
+                rtol=rtol,
+                atol=atol,
+                err_msg=f"{name} [{mode}] array {arr} diverged",
+            )
+        for key, value in scalars_golden.items():
+            if key in scalars:
+                assert np.isclose(scalars[key], value, rtol=rtol), (
+                    f"{name} [{mode}] scalar {key}: "
+                    f"golden {value} got {scalars[key]}"
+                )
+    return golden

@@ -1,0 +1,93 @@
+"""The public API: compile / run / offload / simulate / optimize."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.runtime.decision import OffloadChoice
+
+
+SAXPY = api.compile_kernel(
+    "saxpy",
+    "for i in [0, N):\n    Y[i] = a * X[i] + Y[i]\n",
+    arrays={"X": ("N",), "Y": ("N",)},
+)
+
+
+class TestRun:
+    def test_reference_mode(self):
+        n = 128
+        x = np.arange(n, dtype=np.float32)
+        y = np.ones(n, dtype=np.float32)
+        api.run(SAXPY, {"N": n, "a": 3}, {"X": x, "Y": y})
+        np.testing.assert_allclose(y, 3 * np.arange(n) + 1)
+
+    def test_grid_mode_matches_reference(self):
+        n = 64
+        rng = np.random.default_rng(0)
+        x = rng.uniform(size=n).astype(np.float32)
+        y_ref = np.ones(n, dtype=np.float32)
+        y_grid = y_ref.copy()
+        api.run(SAXPY, {"N": n, "a": 2}, {"X": x, "Y": y_ref})
+        api.run(
+            SAXPY, {"N": n, "a": 2}, {"X": x, "Y": y_grid}, mode="grid"
+        )
+        np.testing.assert_allclose(y_grid, y_ref, rtol=1e-5)
+
+    def test_interpret_mode(self):
+        n = 32
+        x = np.ones(n, dtype=np.float32)
+        y = np.zeros(n, dtype=np.float32)
+        api.run(SAXPY, {"N": n, "a": 5}, {"X": x, "Y": y}, mode="interpret")
+        np.testing.assert_allclose(y, 5.0)
+
+    def test_scalar_results_returned(self):
+        prog = api.compile_kernel(
+            "sum", "v = 0\nfor i in [0, N):\n    v += A[i]\n",
+            arrays={"A": ("N",)},
+        )
+        a = np.ones(64, dtype=np.float32)
+        scalars = api.run(prog, {"N": 64}, {"A": a})
+        assert scalars["v"] == pytest.approx(64.0)
+
+
+class TestOffloadAndSimulate:
+    def test_offload_decision_scales_with_n(self):
+        small = api.offload(SAXPY, {"N": 16 * 1024, "a": 1})
+        large = api.offload(SAXPY, {"N": 8 * 1024 * 1024, "a": 1})
+        assert large is OffloadChoice.IN_MEMORY
+        assert small in (OffloadChoice.IN_MEMORY, OffloadChoice.NEAR_MEMORY)
+
+    def test_simulate_all_paradigms(self):
+        results = {}
+        for paradigm in ("base", "base-1", "near-l3", "in-l3", "inf-s"):
+            r = api.simulate(
+                SAXPY, {"N": 1024 * 1024, "a": 1}, paradigm=paradigm
+            )
+            assert r.total_cycles > 0
+            assert r.energy_nj > 0
+            results[paradigm] = r
+        assert (
+            results["inf-s"].total_cycles < results["base-1"].total_cycles
+        )
+
+    def test_simulate_iterations(self):
+        one = api.simulate(SAXPY, {"N": 1024 * 1024, "a": 1}, iterations=1)
+        five = api.simulate(SAXPY, {"N": 1024 * 1024, "a": 1}, iterations=5)
+        assert five.total_cycles > one.total_cycles
+
+
+class TestCompilerEntrypoints:
+    def test_optimize_returns_report(self):
+        prog = api.compile_kernel(
+            "f",
+            "for i in [1, N-1):\n    B[i] = V*A[i-1] + V*A[i+1]\n",
+            arrays={"A": ("N",), "B": ("N",)},
+        )
+        tdfg, report = api.optimize(prog, {"N": 32, "V": 2})
+        assert report.cost_after <= report.cost_before
+        assert tdfg.results
+
+    def test_fat_binary(self):
+        fb = api.fat_binary(SAXPY, {"N": 1024, "a": 1})
+        assert fb.sram_sizes == (256, 512)

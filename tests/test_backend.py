@@ -1,0 +1,101 @@
+"""Scheduling, wordline register allocation, and the fat binary (§3.4)."""
+
+import pytest
+
+from repro.backend import (
+    allocate_registers,
+    compile_fat_binary,
+    schedule_tdfg,
+)
+from repro.backend.regalloc import RegisterFile
+from repro.errors import RegisterSpillError, SchedulingError
+from repro.frontend import parse_kernel
+from repro.ir.builder import TDFGBuilder
+
+
+def _stencil_tdfg(n=64):
+    prog = parse_kernel(
+        "s1d",
+        "for i in [1, N-1):\n    B[i] = A[i-1] + A[i] + A[i+1]\n",
+        arrays={"A": ("N",), "B": ("N",)},
+    )
+    return prog.instantiate({"N": n}).first_region().tdfg
+
+
+class TestSchedule:
+    def test_topological_order(self):
+        sched = schedule_tdfg(_stencil_tdfg())
+        seen = set()
+        for op in sched.ops:
+            for operand in op.node.operands:
+                assert id(operand) in seen, "operand scheduled after use"
+            seen.add(id(op.node))
+
+    def test_result_writes_marked(self):
+        sched = schedule_tdfg(_stencil_tdfg())
+        writers = [op for op in sched.ops if op.writes_array]
+        assert [op.writes_array for op in writers] == ["B"]
+
+
+class TestRegalloc:
+    def test_register_file_capacity(self):
+        rf = RegisterFile(wordlines=256, elem_bits=32)
+        assert rf.num_registers == 7  # (256 - 8 reserved) / 32
+        assert rf.wordline_base(2) == 64
+        with pytest.raises(SchedulingError):
+            rf.wordline_base(9)
+
+    def test_arrays_pinned_first(self):
+        sched = allocate_registers(schedule_tdfg(_stencil_tdfg()))
+        assert sched.array_registers == {"A": 0, "B": 1}
+
+    def test_scratch_reuse_after_last_use(self):
+        """The stencil needs few live temps: high-water stays small."""
+        sched = allocate_registers(schedule_tdfg(_stencil_tdfg()))
+        assert sched.registers_used <= 4
+
+    def test_no_spill_on_paper_kernels(self):
+        """§3.4: no register spilling in the studied workloads."""
+        from repro.workloads.suite import paper_workloads
+
+        for wl in paper_workloads(scale=0.02):
+            region = wl.kernel.first_region()
+            if not region.tdfg.results and not region.tdfg.scalar_results:
+                continue
+            sched = allocate_registers(schedule_tdfg(region.tdfg))
+            assert sched.registers_used <= sched.registers_available
+
+    def test_spill_raises(self):
+        """A chain of many live temporaries exceeds 7 registers."""
+        b = TDFGBuilder("spill")
+        arrays = [b.array(f"A{i}", (16,)) for i in range(6)]
+        out = b.array("OUT", (16,))
+        # Build a wide expression keeping many intermediates live.
+        terms = [(a.all() * float(i + 2)).relu() for i, a in enumerate(arrays)]
+        expr = terms[0]
+        for t in terms[1:]:
+            expr = (expr + t).relu()
+        b.store(out, (0, 16), expr)
+        tdfg = b.finish()
+        with pytest.raises(RegisterSpillError):
+            allocate_registers(schedule_tdfg(tdfg, wordlines=256))
+
+
+class TestFatBinary:
+    def test_common_sram_sizes(self):
+        fb = compile_fat_binary(_stencil_tdfg())
+        assert fb.sram_sizes == (256, 512)
+        assert fb.config_for(256).wordlines == 256
+        assert fb.config_for(512).wordlines == 512
+
+    def test_unknown_size_rejected(self):
+        fb = compile_fat_binary(_stencil_tdfg())
+        with pytest.raises(SchedulingError):
+            fb.config_for(128)
+
+    def test_512_has_more_registers(self):
+        fb = compile_fat_binary(_stencil_tdfg())
+        assert (
+            fb.config_for(512).registers_available
+            > fb.config_for(256).registers_available
+        )

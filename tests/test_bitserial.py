@@ -1,0 +1,104 @@
+"""Bit-exact bit-serial arithmetic and its cycle counts (§2.2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch import bitserial as bs
+
+
+def lanes(values, bits=8):
+    return bs.to_bits(np.array(values, dtype=np.uint64), bits)
+
+
+class TestConversion:
+    def test_roundtrip(self):
+        v = np.array([0, 1, 127, 255], dtype=np.uint64)
+        assert (bs.from_bits(bs.to_bits(v, 8)) == v).all()
+
+    def test_lsb_first(self):
+        bits = bs.to_bits(np.array([1], dtype=np.uint64), 4)
+        assert bits[0, 0] == 1 and bits[1, 0] == 0
+
+
+class TestAdd:
+    def test_values(self):
+        r = bs.add(lanes([3, 100, 255]), lanes([5, 55, 1]))
+        assert list(r.values()) == [8, 155, 0]  # wraps mod 2^8
+
+    def test_cycles_linear(self):
+        """n + 1 cycles for n bits."""
+        assert bs.add(lanes([1], 8), lanes([2], 8)).cycles == 9
+        assert bs.add(lanes([1], 32), lanes([2], 32)).cycles == 33
+
+    @given(
+        a=st.integers(0, 2**16 - 1),
+        b=st.integers(0, 2**16 - 1),
+    )
+    @settings(max_examples=200)
+    def test_matches_integer_addition(self, a, b):
+        r = bs.add(lanes([a], 16), lanes([b], 16))
+        assert r.values()[0] == (a + b) % 2**16
+
+
+class TestSub:
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=150)
+    def test_matches_twos_complement(self, a, b):
+        r = bs.sub(lanes([a]), lanes([b]))
+        assert r.values()[0] == (a - b) % 256
+
+
+class TestMul:
+    def test_values(self):
+        r = bs.mul(lanes([3, 7, 16]), lanes([5, 11, 16]))
+        assert list(r.values()) == [15, 77, 0]  # 256 wraps in 8 bits
+
+    def test_cycles_quadratic(self):
+        """n^2 + 5n cycles (§5.2)."""
+        assert bs.mul(lanes([1], 8), lanes([1], 8)).cycles == 8 * 8 + 5 * 8
+        assert bs.mul(lanes([1], 16), lanes([1], 16)).cycles == 16 * 16 + 5 * 16
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=150)
+    def test_matches_integer_multiplication(self, a, b):
+        r = bs.mul(lanes([a], 8), lanes([b], 8))
+        assert r.values()[0] == (a * b) % 256
+
+
+class TestLogicAndCompare:
+    def test_bitwise(self):
+        a, b = lanes([0b1100]), lanes([0b1010])
+        assert bs.bitwise(a, b, "and").values()[0] == 0b1000
+        assert bs.bitwise(a, b, "or").values()[0] == 0b1110
+        assert bs.bitwise(a, b, "xor").values()[0] == 0b0110
+        assert bs.bitwise(a, b, "and").cycles == 8
+
+    @given(a=st.integers(0, 255), b=st.integers(0, 255))
+    @settings(max_examples=150)
+    def test_less_than(self, a, b):
+        r = bs.less_than(lanes([a]), lanes([b]))
+        assert bool(r.bits[0, 0]) == (a < b)
+        assert r.cycles == 8
+
+    def test_shift_rows_is_power_of_two_scaling(self):
+        r = bs.shift_rows(lanes([3]), 2)
+        assert r.values()[0] == 12
+
+    def test_shape_mismatch_rejected(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            bs.add(lanes([1], 8), lanes([1], 16))
+
+
+class TestLatencyFormulaConsistency:
+    def test_alu_matches_cost_model(self):
+        """The cycle counts used by the timing model match the circuit."""
+        from repro.ir.dtypes import DType, int_add_cycles, int_mul_cycles
+
+        measured_add = bs.add(lanes([1], 32), lanes([1], 32)).cycles
+        measured_mul = bs.mul(lanes([1], 16), lanes([1], 16)).cycles
+        assert measured_add == int_add_cycles(32)
+        assert measured_mul == int_mul_cycles(16)

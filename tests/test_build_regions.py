@@ -1,0 +1,189 @@
+"""tDFG region construction: alignment, broadcasts, reductions, gathers."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import parse_kernel
+from repro.geometry import Hyperrect
+from repro.ir.nodes import StreamKind
+
+
+def region_for(name, src, arrays, params, dataflow="inner", env=None):
+    prog = parse_kernel(name, src, arrays=arrays)
+    ik = prog.instantiate(params, dataflow=dataflow)
+    seg = ik.segments[0]
+    env = env if env is not None else next(ik.host_iterations(seg))
+    return ik.region_at(env, seg)
+
+
+class TestStencil:
+    def test_fig4a_structure(self):
+        r = region_for(
+            "s1d",
+            "for i in [1, N-1):\n    B[i] = A[i-1] + A[i] + A[i+1]\n",
+            {"A": ("N",), "B": ("N",)},
+            {"N": 64},
+        )
+        counts = r.tdfg.count_by_kind()
+        assert counts["move"] == 2  # A[i-1] and A[i+1] align via mv
+        assert counts["compute"] == 2
+        binding = r.tdfg.results[0]
+        assert binding.region == Hyperrect.from_bounds([(1, 63)])
+
+    def test_move_distances(self):
+        r = region_for(
+            "s1d",
+            "for i in [1, N-1):\n    B[i] = A[i-1] + A[i+1]\n",
+            {"A": ("N",), "B": ("N",)},
+            {"N": 64},
+        )
+        dists = sorted(n.dist for n in r.tdfg.move_nodes())
+        assert dists == [-1, 1]
+
+
+class TestBroadcast:
+    def test_outer_product_broadcasts(self):
+        """Fig 8: column of A and row of B broadcast to the whole C."""
+        r = region_for(
+            "mm",
+            "for k in [0, K):\n    for m in [0, M):\n        for n in [0, N):\n"
+            "            C[m][n] += A[m][k] * B[k][n]\n",
+            {"A": ("M", "K"), "B": ("K", "N"), "C": ("M", "N")},
+            {"M": 32, "N": 32, "K": 8},
+            dataflow="outer",
+        )
+        bcs = r.tdfg.broadcast_nodes()
+        assert len(bcs) == 2
+        assert {b.dim for b in bcs} == {0, 1}
+        assert all(b.count == 32 for b in bcs)
+
+    def test_cse_shares_repeated_subexpression(self):
+        """(x-y)*(x-y) emits each broadcast once (structural interning)."""
+        r = region_for(
+            "km",
+            "for d in [0, D):\n    for p in [0, P):\n        for c in [0, C):\n"
+            "            Dist[p][c] += (Pt[p][d] - Ct[d][c]) * (Pt[p][d] - Ct[d][c])\n",
+            {"Pt": ("P", "D"), "Ct": ("D", "C"), "Dist": ("P", "C")},
+            {"P": 32, "D": 4, "C": 16},
+            dataflow="outer",
+        )
+        assert len(r.tdfg.broadcast_nodes()) == 2
+        # sub, mul, add-accumulate: 3 computes after sharing.
+        assert len(r.tdfg.compute_nodes()) == 3
+
+
+class TestReduction:
+    def test_reduce_plus_stream(self):
+        r = region_for(
+            "mmin",
+            "for m in [0, M):\n    for n in [0, N):\n        for k in [0, K):\n"
+            "            C[m][n] += A[m][k] * Bt[n][k]\n",
+            {"A": ("M", "K"), "Bt": ("N", "K"), "C": ("M", "N")},
+            {"M": 8, "N": 8, "K": 16},
+        )
+        assert len(r.tdfg.reduce_nodes()) == 1
+        assert len(r.tdfg.scalar_results) == 1
+        stream = r.tdfg.scalar_results[0]
+        assert stream.stream_kind is StreamKind.REDUCE
+        assert stream.region is not None  # writes a row of C
+
+    def test_scalar_reduction(self):
+        r = region_for(
+            "asum",
+            "v = 0\nfor i in [0, N):\n    v += A[i]\n",
+            {"A": ("N",)},
+            {"N": 64},
+        )
+        stream = r.tdfg.scalar_results[0]
+        assert stream.region is None  # a normal (scalar) value
+
+
+class TestGather:
+    def test_indirect_load_becomes_stream_node(self):
+        r = region_for(
+            "g",
+            "for m in [0, M):\n    for k in [0, K):\n"
+            "        Out[m][k] = G[idx[m]][k]\n",
+            {"G": ("P", "K"), "Out": ("M", "K"), "idx": ("M",)},
+            {"M": 32, "K": 16, "P": 64},
+        )
+        streams = r.tdfg.stream_nodes()
+        assert len(streams) == 1
+        assert streams[0].stream_kind is StreamKind.LOAD
+        assert streams[0].stream in r.gathers
+
+
+class TestRuntimeParams:
+    def test_host_scalars_become_params(self):
+        r = region_for(
+            "gauss",
+            """
+            for k in [0, N-1):
+                akk = A[k][k]
+                for i in [k+1, N):
+                    for j in [k+1, N):
+                        A[i][j] = A[i][j] - A[k][j] * akk
+            """,
+            {"A": ("N", "N")},
+            {"N": 16},
+        )
+        assert "akk" in r.tdfg.params
+        assert [str(s.assign.target) for s in r.host_scalars] == ["akk"]
+
+    def test_division_strength_reduced(self):
+        """x / akk lowers to x * (1/akk): no bit-serial division."""
+        from repro.ir.ops import Op
+
+        r = region_for(
+            "divk",
+            """
+            for k in [0, 1):
+                akk = A[k][k]
+                for i in [1, N):
+                    for j in [1, N):
+                        A[i][j] = A[i][j] / akk
+            """,
+            {"A": ("N", "N")},
+            {"N": 16},
+        )
+        ops = {n.op for n in r.tdfg.compute_nodes()}
+        assert Op.DIV not in ops
+        assert Op.MUL in ops
+        assert any(p.startswith("__inv_") for p in r.tdfg.params)
+
+    def test_forwarding_within_region(self):
+        """A statement reading an array written earlier in the region
+        reads the SSA value, not the stale array."""
+        r = region_for(
+            "fwd",
+            """
+            for i in [0, N):
+                B[i] = A[i] + 1
+            for i2 in [0, N):
+                C[i2] = B[i2] * 2
+            """,
+            {"A": ("N",), "B": ("N",), "C": ("N",)},
+            {"N": 32},
+        )
+        # Only A is read as a TensorNode; B's read is forwarded.
+        from repro.ir.nodes import TensorNode
+
+        reads = {
+            n.array
+            for n in r.tdfg.nodes()
+            if isinstance(n, TensorNode)
+        }
+        assert reads == {"A"}
+
+
+class TestErrors:
+    def test_rank_above_three_rejected(self):
+        prog = parse_kernel(
+            "r4",
+            "for a in [0, N):\n    for b in [0, N):\n        for c in [0, N):\n"
+            "            for d in [0, N):\n                B[a][b][c][d] = A[a][b][c][d]\n",
+            arrays={"A": ("N", "N", "N", "N"), "B": ("N", "N", "N", "N")},
+        )
+        ik = prog.instantiate({"N": 4})
+        with pytest.raises(FrontendError):
+            ik.first_region()

@@ -1,0 +1,87 @@
+"""Campaign functions (the figure generators) at smoke scales."""
+
+import pytest
+
+from repro.sim.campaign import (
+    fig11_speedup,
+    fig12_noc_traffic,
+    fig13_infs_traffic,
+    fig14_cycles,
+    fig15_dataflow,
+    fig16_tile_sweep_2d,
+    fig19_pointnet,
+    format_table,
+    geomean,
+    jit_overheads,
+)
+
+SCALE = 0.05  # smoke scale: every generator must stay green end to end
+
+
+class TestGenerators:
+    def test_fig11_rows_complete(self):
+        headers, rows, results = fig11_speedup(SCALE)
+        assert len(rows) == 11  # 10 workloads + geomean
+        assert rows[-1][0] == "geomean"
+        assert set(results) == {r[0] for r in rows[:-1]}
+        assert all(len(r) == len(headers) for r in rows)
+
+    def test_fig12_consumes_fig11_results(self):
+        _h, _r, results = fig11_speedup(SCALE)
+        headers, rows = fig12_noc_traffic(results)
+        assert len(rows) == 3 * len(results)
+        base_rows = [r for r in rows if r[1] == "base"]
+        for r in base_rows:
+            assert r[6] == pytest.approx(1.0)  # normalized to itself
+
+    def test_fig13_fractions_sum_to_one(self):
+        headers, rows = fig13_infs_traffic(SCALE)
+        assert len(rows) == 13
+        for r in rows:
+            assert sum(r[1:]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_fig14_fractions_sum_to_one(self):
+        headers, rows = fig14_cycles(SCALE)
+        for r in rows:
+            assert sum(r[1:-1]) == pytest.approx(1.0, abs=1e-6)
+            assert 0.0 <= r[-1] <= 1.0
+
+    def test_fig15_shape(self):
+        headers, rows = fig15_dataflow(SCALE)
+        assert [r[0] for r in rows] == ["mm", "kmeans", "gather_mlp"]
+
+    def test_fig16_heuristic_tracks_oracle(self):
+        (sweep_h, sweep_rows), (h, summary) = fig16_tile_sweep_2d(
+            names=("stencil2d",), scale=0.25
+        )
+        assert sweep_rows
+        (row,) = summary
+        assert row[4] >= 1.0  # oracle is a lower bound by construction
+
+    def test_fig19_four_configs(self):
+        (sh, srows), (th, trows) = fig19_pointnet()
+        assert len(srows) == 8  # 2 archs x 4 configs
+        assert trows
+
+    def test_jit_overheads_rows(self):
+        headers, rows = jit_overheads(SCALE)
+        assert {r[0] for r in rows} == {
+            "stencil1d",
+            "stencil2d",
+            "gauss_elim",
+            "conv3d",
+        }
+        for r in rows:
+            assert 0.0 <= r[1] <= 1.0
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([2.0, 8.0]) == pytest.approx(4.0)
+        assert geomean([]) == 0.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.5], ["long", 22.0]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert all(len(l) == len(lines[0]) for l in lines)

@@ -1,0 +1,196 @@
+"""Loop/statement classification: tensor vs reduce vs host vs stream."""
+
+import pytest
+
+from repro.errors import FrontendError
+from repro.frontend import parse_kernel
+from repro.frontend.classify import LoopKind, StmtMode
+
+
+def kinds(kernel, params, dataflow="inner", **kw):
+    ik = kernel.instantiate(params, dataflow=dataflow, **kw)
+    return {l.var: l.kind for l in ik.classification.loops}, {
+        str(s.assign.target): s.mode for s in ik.classification.stmts
+    }
+
+
+GAUSS = parse_kernel(
+    "gauss",
+    """
+    for k in [0, N-1):
+        akk = A[k][k]
+        bk = B[k]
+        for i in [k+1, N):
+            m = A[i][k] / akk
+            B[i] = B[i] - m * bk
+            for j in [k+1, N):
+                A[i][j] = A[i][j] - A[k][j] * m
+    """,
+    arrays={"A": ("N", "N"), "B": ("N",)},
+)
+
+
+class TestGauss:
+    """Fig 4(c)/Fig 7: the paper's own hybrid classification."""
+
+    def test_loop_kinds(self):
+        loops, _ = kinds(GAUSS, {"N": 32})
+        assert loops["k"] is LoopKind.HOST  # loop-carried through A
+        assert loops["i"] is LoopKind.TENSOR
+        assert loops["j"] is LoopKind.TENSOR
+
+    def test_statement_modes(self):
+        _, modes = kinds(GAUSS, {"N": 32})
+        assert modes["akk"] is StmtMode.HOST_SCALAR
+        assert modes["bk"] is StmtMode.HOST_SCALAR
+        assert modes["m"] is StmtMode.TENSOR  # stream m writes tensor m
+        # B[i] is not unrolled: lattice dim conflict / low parallelism.
+        assert modes["B[i]"] is StmtMode.STREAM
+        assert modes["A[i][j]"] is StmtMode.TENSOR
+
+
+class TestMatmul:
+    MM_OUT = parse_kernel(
+        "mm",
+        """
+        for k in [0, K):
+            for m in [0, M):
+                for n in [0, N):
+                    C[m][n] += A[m][k] * B[k][n]
+        """,
+        arrays={"A": ("M", "K"), "B": ("K", "N"), "C": ("M", "N")},
+    )
+    MM_IN = parse_kernel(
+        "mm",
+        """
+        for m in [0, M):
+            for n in [0, N):
+                for k in [0, K):
+                    C[m][n] += A[m][k] * Bt[n][k]
+        """,
+        arrays={"A": ("M", "K"), "Bt": ("N", "K"), "C": ("M", "N")},
+    )
+
+    def test_outer_product_k_is_host(self):
+        loops, _ = kinds(self.MM_OUT, {"M": 32, "N": 32, "K": 32}, "outer")
+        assert loops["k"] is LoopKind.HOST
+        assert loops["m"] is LoopKind.TENSOR
+        assert loops["n"] is LoopKind.TENSOR
+
+    def test_inner_product_k_reduces_in_memory(self):
+        loops, _ = kinds(self.MM_IN, {"M": 32, "N": 32, "K": 32}, "inner")
+        assert loops["k"] is LoopKind.REDUCE
+        # m and n collide on the same lattice dimension: one is demoted.
+        demoted = {v for v, k in loops.items() if k is LoopKind.HOST}
+        assert demoted in ({"m"}, {"n"})
+
+    def test_outer_dataflow_demotes_reduction(self):
+        loops, _ = kinds(self.MM_IN, {"M": 32, "N": 32, "K": 32}, "outer")
+        assert loops["k"] is LoopKind.HOST
+
+    def test_collision_demotes_smaller_extent(self):
+        loops, _ = kinds(self.MM_IN, {"M": 64, "N": 16, "K": 32}, "inner")
+        assert loops["n"] is LoopKind.HOST  # 16 < 64
+        assert loops["m"] is LoopKind.TENSOR
+
+
+class TestDemotionRules:
+    def test_repetition_loop_is_host(self):
+        k = parse_kernel(
+            "rep",
+            "for t in [0, T):\n    for i in [0, N):\n        B[i] = A[i]\n",
+            arrays={"A": ("N",), "B": ("N",)},
+        )
+        loops, _ = kinds(k, {"T": 4, "N": 32})
+        assert loops["t"] is LoopKind.HOST
+        assert loops["i"] is LoopKind.TENSOR
+
+    def test_coefficient_two_is_host(self):
+        k = parse_kernel(
+            "strided",
+            "for i in [0, N):\n    B[i] = A[2*i]\n",
+            arrays={"A": ("M",), "B": ("N",)},
+        )
+        loops, _ = kinds(k, {"N": 16, "M": 32})
+        assert loops["i"] is LoopKind.HOST
+
+    def test_inplace_stencil_is_sequential(self):
+        k = parse_kernel(
+            "inplace",
+            "for i in [1, N):\n    A[i] = A[i-1] + A[i]\n",
+            arrays={"A": ("N",)},
+        )
+        loops, _ = kinds(k, {"N": 32})
+        assert loops["i"] is LoopKind.HOST
+
+    def test_pingpong_stencil_is_parallel(self):
+        k = parse_kernel(
+            "pp",
+            """
+            for i in [1, N-1):
+                B[i] = A[i-1] + A[i+1]
+            for i2 in [1, N-1):
+                C[i2] = B[i2]
+            """,
+            arrays={"A": ("N",), "B": ("N",), "C": ("N",)},
+        )
+        loops, _ = kinds(k, {"N": 32})
+        assert loops["i"] is LoopKind.TENSOR
+        assert loops["i2"] is LoopKind.TENSOR
+
+    def test_flow_dependence_within_loop_is_host(self):
+        k = parse_kernel(
+            "flow",
+            "for i in [1, N):\n    B[i] = A[i]\n    C[i] = B[i-1]\n",
+            arrays={"A": ("N",), "B": ("N",), "C": ("N",)},
+        )
+        loops, _ = kinds(k, {"N": 32})
+        assert loops["i"] is LoopKind.HOST
+
+    def test_explicit_host_annotation(self):
+        k = parse_kernel(
+            "annot",
+            "for i in [0, N):\n    B[i] = A[i]\n",
+            arrays={"A": ("N",), "B": ("N",)},
+        )
+        loops, _ = kinds(k, {"N": 32}, host_loops=("i",))
+        assert loops["i"] is LoopKind.HOST
+
+    def test_indirect_store_is_stream(self):
+        k = parse_kernel(
+            "scatter",
+            "for i in [0, N):\n    B[idx[i]] = A[i]\n",
+            arrays={"A": ("N",), "B": ("M",), "idx": ("N",)},
+        )
+        _, modes = kinds(k, {"N": 32, "M": 64})
+        assert modes["B[idx[i]]"] is StmtMode.STREAM
+
+    def test_unknown_dataflow_rejected(self):
+        k = parse_kernel(
+            "x", "for i in [0, N):\n    B[i] = A[i]\n",
+            arrays={"A": ("N",), "B": ("N",)},
+        )
+        with pytest.raises(FrontendError):
+            k.instantiate({"N": 16}, dataflow="sideways")
+
+
+class TestSegments:
+    def test_separate_nests_are_separate_segments(self):
+        k = parse_kernel(
+            "two",
+            """
+            for k in [0, K):
+                for m in [0, M):
+                    C[m] += At[k][m]
+            for m2 in [0, M):
+                D[m2] = relu(C[m2])
+            """,
+            arrays={"At": ("K", "M"), "C": ("M",), "D": ("M",)},
+        )
+        ik = k.instantiate({"M": 32, "K": 16}, dataflow="outer")
+        segs = ik.segments
+        assert len(segs) == 2
+        assert [l.var for l in segs[0].host_loops] == ["k"]
+        assert segs[1].host_loops == ()
+        # The relu segment runs once, not once per k.
+        assert ik.num_regions() == 16 + 1

@@ -1,0 +1,84 @@
+"""Table 2 system parameters and the Eq. 1 peak-throughput identity."""
+
+import pytest
+
+from repro.config import default_system
+from repro.config.system import SRAMArrayConfig, SystemConfig
+from repro.errors import ConfigError
+
+
+class TestTable2:
+    def test_core_parameters(self, system):
+        assert system.core.frequency_ghz == 2.0
+        assert system.core.issue_width == 8
+        assert system.core.rob_entries == 224
+        assert system.core.simd_lanes(32) == 16
+
+    def test_cache_hierarchy(self, system):
+        c = system.cache
+        assert c.l1_size_kb == 32 and c.l1_latency == 2
+        assert c.l2_size_kb == 256 and c.l2_latency == 16
+        assert c.l3_latency == 20
+        assert c.l3_banks == 64 and c.l3_ways == 18
+
+    def test_l3_total_is_144mb(self, system):
+        assert system.cache.l3_total_bytes == 144 * 1024 * 1024
+
+    def test_sram_array_is_8kb(self, system):
+        assert system.cache.sram.size_bytes == 8 * 1024
+        assert system.cache.sram.wordlines == 256
+        assert system.cache.sram.bitlines == 256
+
+    def test_total_compute_bitlines_4m(self, system):
+        """"In total, it has 4M bitlines" (§7)."""
+        assert system.cache.total_bitlines == 4 * 1024 * 1024
+
+    def test_mesh_is_8x8(self, system):
+        assert system.noc.num_tiles == 64
+        assert system.noc.link_bytes == 32
+        assert system.noc.memory_controllers == 16
+
+    def test_dram_bandwidth(self, system):
+        assert system.dram.bandwidth_gbps == 25.6
+        assert system.dram.bytes_per_cycle(2.0) == pytest.approx(12.8)
+
+    def test_stream_engine_params(self, system):
+        assert system.stream.core_streams == 12
+        assert system.stream.l3_streams == 768
+        assert system.stream.lot_regions == 16
+
+
+class TestEq1:
+    def test_peak_int32_add_throughput(self, system):
+        """Eq. 1: 64 * 16 * 16 * 256 / 32 = 131072 ops/cycle."""
+        assert system.in_memory_peak_ops_per_cycle(32) == 131072
+
+    def test_128x_over_core_simd(self, system):
+        """In-memory provides 128x peak speedup over 1024 SIMD ops/cy."""
+        core = system.core_peak_ops_per_cycle(32)
+        assert core == 1024
+        assert system.in_memory_peak_ops_per_cycle(32) / core == 128
+
+
+class TestConsistency:
+    def test_core_bank_pairing_enforced(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_cores=32)
+
+    def test_with_sram_size(self, system):
+        big = system.with_sram_size(512)
+        assert big.cache.sram.wordlines == 512
+        assert big.cache.sram.bitlines == 512
+        # 512x512 arrays quadruple per-array capacity.
+        assert big.cache.sram.size_bytes == 4 * system.cache.sram.size_bytes
+
+    def test_registers_per_array(self):
+        sram = SRAMArrayConfig()
+        assert sram.registers(32) == 8  # the paper's example (§3.4)
+        assert sram.registers(8) == 32
+
+    def test_hops_xy_routing(self, system):
+        # tile 0 = (0,0); tile 63 = (7,7): 14 hops.
+        assert system.noc.hops(0, 63) == 14
+        assert system.noc.hops(9, 9) == 0
+        assert system.noc.hops(0, 7) == 7

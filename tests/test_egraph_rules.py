@@ -1,0 +1,190 @@
+"""Individual rewrite rules (Appendix Eq. 3–9), fired in isolation."""
+
+from repro.egraph.egraph import EGraph
+from repro.egraph.lang import add_node, add_term, build_node
+from repro.egraph.rewrites import (
+    rule_assoc,
+    rule_bc_cmp,
+    rule_comm,
+    rule_distrib,
+    rule_expand,
+    rule_mv_cmp,
+    rule_mv_commute,
+    rule_mv_fuse,
+    rule_shrink_shrink,
+)
+from repro.geometry import Hyperrect
+from repro.ir.nodes import (
+    BroadcastNode,
+    ComputeNode,
+    ConstNode,
+    MoveNode,
+    TensorNode,
+)
+from repro.ir.ops import Op
+
+
+def setup(node):
+    eg = EGraph()
+    root = add_node(eg, node, {})
+    return eg, root
+
+
+def apply_until_fixed(eg, rule, rounds=4):
+    for _ in range(rounds):
+        for a, b in rule(eg):
+            eg.union(a, b)
+        eg.rebuild()
+
+
+def labels_of(eg, cid):
+    return {n.label[0] for n in eg.nodes(cid)}
+
+
+def t(lo, hi, arr="A"):
+    return TensorNode(arr, Hyperrect.from_bounds([(lo, hi)]))
+
+
+class TestAlgebraicRules:
+    def test_comm_adds_swapped_operands(self):
+        node = ComputeNode(Op.ADD, (t(0, 4), t(0, 4, "B")))
+        eg, root = setup(node)
+        apply_until_fixed(eg, rule_comm, 1)
+        nodes = eg.nodes(root)
+        children = {n.children for n in nodes}
+        assert len(children) == 2  # (a,b) and (b,a)
+
+    def test_assoc_regroups(self):
+        inner = ComputeNode(Op.ADD, (t(0, 4), t(0, 4, "B")))
+        node = ComputeNode(Op.ADD, (inner, t(0, 4, "C")))
+        eg, root = setup(node)
+        apply_until_fixed(eg, rule_assoc, 2)
+        # Some node in the root class now has C's class nested right.
+        assert len(eg.nodes(root)) >= 2
+
+    def test_distrib_factors_shared_const(self):
+        """c*A + c*B  ⇔  c*(A + B)."""
+        c = ConstNode(2.0)
+        node = ComputeNode(
+            Op.ADD,
+            (
+                ComputeNode(Op.MUL, (c, t(0, 4))),
+                ComputeNode(Op.MUL, (c, t(0, 4, "B"))),
+            ),
+        )
+        eg, root = setup(node)
+        apply_until_fixed(eg, rule_comm, 1)
+        apply_until_fixed(eg, rule_distrib, 2)
+        # The root class gains a mul-rooted alternative.
+        muls = [
+            n for n in eg.nodes(root) if n.label == ("cmp", "mul")
+        ]
+        assert muls
+
+
+class TestMoveRules:
+    def test_mv_cmp_exchange(self):
+        """Eq. 4a: cmp(f, mv(A)) ⇔ mv(cmp(f, A))."""
+        node = ComputeNode(Op.RELU, (MoveNode(t(0, 4), 0, 1),))
+        eg, root = setup(node)
+        apply_until_fixed(eg, rule_mv_cmp, 2)
+        assert "mv" in labels_of(eg, root)
+
+    def test_mv_cmp_with_const_operand(self):
+        node = ComputeNode(
+            Op.MUL, (ConstNode(3.0), MoveNode(t(0, 4), 0, 1))
+        )
+        eg, root = setup(node)
+        apply_until_fixed(eg, rule_mv_cmp, 2)
+        assert "mv" in labels_of(eg, root)
+
+    def test_mv_fuse_consecutive(self):
+        node = MoveNode(MoveNode(t(0, 4), 0, 2), 0, 3)
+        eg, root = setup(node)
+        apply_until_fixed(eg, rule_mv_fuse, 2)
+        fused = [
+            n
+            for n in eg.nodes(root)
+            if n.label[0] == "mv" and n.label[2] == 5
+        ]
+        assert fused
+
+    def test_mv_cancel_to_identity(self):
+        node = MoveNode(MoveNode(t(0, 4), 0, 2), 0, -2)
+        eg, root = setup(node)
+        base = add_node(eg, t(0, 4), {})
+        apply_until_fixed(eg, rule_mv_fuse, 3)
+        assert eg.find(root) == eg.find(base)
+
+    def test_mv_commute_dims(self):
+        src = TensorNode("A", Hyperrect.from_bounds([(0, 4), (0, 4)]))
+        node = MoveNode(MoveNode(src, 0, 1), 1, 2)
+        eg, root = setup(node)
+        apply_until_fixed(eg, rule_mv_commute, 1)
+        outers = {
+            (n.label[1], n.label[2])
+            for n in eg.nodes(root)
+            if n.label[0] == "mv"
+        }
+        assert (1, 2) in outers and (0, 1) in outers
+
+
+class TestBroadcastAndShrink:
+    def test_bc_cmp_exchange(self):
+        node = ComputeNode(
+            Op.RELU,
+            (BroadcastNode(
+                TensorNode("A", Hyperrect.from_bounds([(0, 4), (0, 1)])),
+                1, 0, 8,
+            ),),
+        )
+        eg, root = setup(node)
+        apply_until_fixed(eg, rule_bc_cmp, 2)
+        assert "bc" in labels_of(eg, root)
+
+    def test_expand_introduces_shrink_of_full_tensor(self):
+        """Eq. 5: T(p,q) ⇔ shrink(T(0,S))."""
+        eg, root = setup(t(2, 6))
+        full = Hyperrect.from_bounds([(0, 8)])
+        for a, b in rule_expand(eg, {"A": full}):
+            eg.union(a, b)
+        eg.rebuild()
+        shrinks = [n for n in eg.nodes(root) if n.label[0] == "shrink"]
+        assert shrinks
+        inner = shrinks[0].children[0]
+        assert eg.domain(inner) == full
+
+    def test_shrink_identity_elimination(self):
+        eg = EGraph()
+        base = add_node(eg, t(0, 8), {})
+        shrunk = add_term(eg, ("shrink", 0, 0, 8), (base,))
+        apply_until_fixed(eg, rule_shrink_shrink, 1)
+        assert eg.find(base) == eg.find(shrunk)
+
+    def test_shrink_fusion_same_dim(self):
+        eg = EGraph()
+        base = add_node(eg, t(0, 8), {})
+        s1 = add_term(eg, ("shrink", 0, 1, 7), (base,))
+        s2 = add_term(eg, ("shrink", 0, 2, 6), (s1,))
+        apply_until_fixed(eg, rule_shrink_shrink, 2)
+        fused = [
+            n
+            for n in eg.nodes(s2)
+            if n.label == ("shrink", 0, 2, 6) and eg.find(n.children[0]) == eg.find(base)
+        ]
+        assert fused
+
+
+class TestRoundTrip:
+    def test_build_node_reconstructs(self):
+        node = ComputeNode(
+            Op.ADD,
+            (MoveNode(t(0, 4), 0, 1), ConstNode(2.0)),
+        )
+        eg, root = setup(node)
+        from repro.egraph.cost import CostParams
+        from repro.egraph.extract import best_nodes
+
+        best, _ = best_nodes(eg, CostParams())
+        rebuilt = build_node(eg, best, root, {})
+        assert rebuilt == node

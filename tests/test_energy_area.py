@@ -1,0 +1,75 @@
+"""Energy model (Fig 18) and area accounting (§8)."""
+
+import pytest
+
+from repro.energy import AreaModel, EnergyModel, EnergyParams
+from repro.sim.stats import OpAccounting, RunResult
+from repro.uarch.noc import TrafficLedger
+
+
+class TestArea:
+    def test_paper_constants(self):
+        area = AreaModel()
+        assert area.in_memory_mm2 == pytest.approx(66.75)
+        assert area.near_memory_mm2 == pytest.approx(28.16)
+        assert area.overhead_fraction == pytest.approx(0.0652)
+
+    def test_overhead_identity(self):
+        """added / base == 6.52% (§8)."""
+        area = AreaModel()
+        assert area.added_mm2 / area.base_chip_mm2 == pytest.approx(
+            0.0652, rel=1e-6
+        )
+
+    def test_breakdown(self):
+        b = AreaModel().breakdown()
+        assert set(b) == {
+            "base_cpu",
+            "in_memory_compute",
+            "near_memory_support",
+            "overhead_fraction",
+        }
+
+
+class TestEnergyModel:
+    def _result(self, in_mem=0, near=0, core=0, **meta):
+        r = RunResult(workload="w", paradigm="p")
+        r.ops = OpAccounting(in_memory=in_mem, near_memory=near, core=core)
+        r.traffic = TrafficLedger(data=meta.pop("byte_hops", 0.0))
+        r.meta.update(meta)
+        return r
+
+    def test_in_memory_op_cheapest(self):
+        p = EnergyParams()
+        assert p.sram_op_pj < p.near_op_pj < p.core_op_pj
+
+    def test_core_run_costs_more_than_in_memory(self):
+        model = EnergyModel()
+        ops = 1_000_000
+        core = model.energy_pj(self._result(core=ops))
+        inmem = model.energy_pj(self._result(in_mem=ops))
+        assert core > 10 * inmem
+
+    def test_noc_traffic_charged(self):
+        model = EnergyModel()
+        quiet = model.energy_pj(self._result(in_mem=100))
+        loud = model.energy_pj(self._result(in_mem=100, byte_hops=1e6))
+        assert loud > quiet
+
+    def test_dram_heaviest_per_byte(self):
+        p = EnergyParams()
+        assert p.dram_pj_per_byte > p.noc_pj_per_byte_hop
+        assert p.dram_pj_per_byte > p.l3_access_pj_per_byte
+
+    def test_annotate_sets_nj(self):
+        model = EnergyModel()
+        r = model.annotate(self._result(in_mem=1000))
+        assert r.energy_nj == pytest.approx(
+            model.energy_pj(r) / 1000.0
+        )
+
+    def test_efficiency_metric(self):
+        model = EnergyModel()
+        a = model.annotate(self._result(in_mem=1000))
+        b = model.annotate(self._result(core=1000))
+        assert EnergyModel.efficiency(a, b) > 1.0

@@ -1,0 +1,152 @@
+"""The timing engine and baselines: paradigm ordering and accounting."""
+
+import pytest
+
+from repro.baselines.core import BaseCoreModel
+from repro.baselines.nsc import NearStreamModel
+from repro.runtime.decision import (
+    DecisionInputs,
+    OffloadChoice,
+    decide_offload,
+)
+from repro.sim.engine import (
+    InfinityStreamRunner,
+    run_all_paradigms,
+    speedups,
+)
+from repro.workloads.suite import (
+    array_sum,
+    gauss_elim,
+    kmeans,
+    stencil1d,
+    stencil2d,
+    vec_add,
+)
+
+
+class TestParadigmShapes:
+    """Fig 2 / Fig 11 qualitative shapes at laptop-friendly scales."""
+
+    def test_vec_add_4m_in_memory_wins(self):
+        res = run_all_paradigms(vec_add(4 * 1024 * 1024))
+        sp = speedups(res)
+        assert sp["in-l3"] > sp["near-l3"] > 2.0
+        # Fig 2: in-L3 over near-L3 by an order of magnitude at 4M.
+        assert sp["in-l3"] / sp["near-l3"] > 5.0
+
+    def test_small_inputs_favor_near_memory(self):
+        """Fig 2 crossover: tiny inputs cannot amortize bit-serial ops."""
+        res = run_all_paradigms(vec_add(16 * 1024))
+        sp = speedups(res)
+        assert sp["near-l3"] > 1.0
+        # Inf-S falls back to the better paradigm (fusion!).
+        assert sp["inf-s"] >= 0.9 * max(sp["near-l3"], sp["in-l3"])
+
+    def test_stencil_in_memory_wins(self):
+        res = run_all_paradigms(stencil1d(scale=1.0))
+        sp = speedups(res)
+        assert sp["inf-s"] > sp["near-l3"] > 1.0
+
+    def test_nojit_at_least_as_fast(self):
+        res = run_all_paradigms(stencil2d(scale=0.5))
+        assert (
+            res["inf-s-nojit"].total_cycles <= res["inf-s"].total_cycles
+        )
+
+    def test_hybrid_beats_pure_in_memory_on_gauss(self):
+        """Gaussian elimination has stream statements: Inf-S > In-L3."""
+        res = run_all_paradigms(gauss_elim(scale=0.125))
+        assert res["inf-s"].total_cycles <= res["in-l3"].total_cycles
+
+    def test_traffic_reduction(self):
+        res = run_all_paradigms(stencil2d(scale=0.5))
+        base_traffic = res["base"].traffic.total
+        assert res["inf-s"].traffic.total < 0.5 * base_traffic
+
+    def test_ops_mostly_in_memory(self):
+        """Fig 14 dots: nearly all arithmetic runs on the bitlines."""
+        res = run_all_paradigms(stencil2d(scale=0.5))
+        assert res["inf-s"].ops.in_memory_fraction > 0.9
+
+    def test_memoization_for_iterative_kernels(self):
+        runner = InfinityStreamRunner(paradigm="inf-s")
+        result = runner.run(stencil1d(scale=0.25))
+        assert result.jit_memo_hits >= 8  # 10 sweeps share one region
+
+    def test_energy_ordering(self):
+        res = run_all_paradigms(stencil2d(scale=0.5))
+        assert res["inf-s"].energy_nj < res["near-l3"].energy_nj
+        assert res["near-l3"].energy_nj < res["base"].energy_nj
+
+
+class TestBaselines:
+    def test_base_thread_scaling(self):
+        wl = stencil2d(scale=0.5)
+        t1 = BaseCoreModel(threads=1).run(wl)
+        t64 = BaseCoreModel(threads=64).run(wl)
+        assert t1.total_cycles > t64.total_cycles
+        assert t1.total_cycles / t64.total_cycles > 4
+
+    def test_sequential_loop_pays_barriers(self):
+        wl = gauss_elim(scale=0.06)
+        res = BaseCoreModel().run(wl)
+        assert res.cycles.sync > 0
+
+    def test_reorderable_loop_single_barrier(self):
+        from repro.workloads.suite import mm
+
+        res = BaseCoreModel().run(mm(scale=0.06, dataflow="outer"))
+        assert res.cycles.sync == pytest.approx(2500.0)
+
+    def test_nsc_reuse_penalty(self):
+        """Near-memory re-reads reused data (kmeans's 2.6x, §8)."""
+        wl = kmeans(scale=0.1)
+        res = NearStreamModel().run(wl)
+        assert res.meta["l3_bytes"] > wl.costs.unique_bytes
+
+    def test_paradigm_field(self):
+        res = BaseCoreModel(threads=1).run(vec_add(16 * 1024))
+        assert res.paradigm == "base-t1"
+
+
+class TestDecision:
+    def test_eq2_crossover_with_size(self, system):
+        small = DecisionInputs(
+            n_elem=16 * 1024, n_op=1, op_latency_sum=900.0, n_node=5
+        )
+        large = DecisionInputs(
+            n_elem=8 * 1024 * 1024, n_op=1, op_latency_sum=900.0, n_node=5
+        )
+        assert decide_offload(small, system) is OffloadChoice.NEAR_MEMORY
+        assert decide_offload(large, system) is OffloadChoice.IN_MEMORY
+
+    def test_memoized_jit_shifts_crossover(self, system):
+        mid = DecisionInputs(
+            n_elem=1024 * 1024, n_op=1, op_latency_sum=900.0, n_node=8
+        )
+        cold = decide_offload(mid, system, jit_memoized=False)
+        warm = decide_offload(mid, system, jit_memoized=True)
+        assert warm is OffloadChoice.IN_MEMORY
+        assert cold in (OffloadChoice.IN_MEMORY, OffloadChoice.NEAR_MEMORY)
+
+    def test_from_tdfg(self):
+        from repro.runtime.decision import decide_tdfg
+        from repro.workloads.suite import vec_add as va
+
+        wl = va(4 * 1024 * 1024)
+        region = wl.kernel.first_region()
+        assert decide_tdfg(region.tdfg) is OffloadChoice.IN_MEMORY
+
+
+class TestRunResult:
+    def test_speedup_and_traffic_helpers(self):
+        res = run_all_paradigms(vec_add(256 * 1024))
+        base, infs = res["base"], res["inf-s"]
+        assert infs.speedup_over(base) == pytest.approx(
+            base.total_cycles / infs.total_cycles
+        )
+        assert -5.0 < infs.traffic_reduction_vs(base) <= 1.0
+
+    def test_invalid_paradigm_rejected(self):
+        with pytest.raises(ValueError):
+            InfinityStreamRunner(paradigm="quantum")

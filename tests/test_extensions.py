@@ -1,0 +1,183 @@
+"""The paper's sketched extensions: spilling, virtual arrays, in-DRAM, CLI."""
+
+import numpy as np
+import pytest
+
+from repro.backend import allocate_registers, compile_fat_binary, schedule_tdfg
+from repro.errors import RegisterSpillError, SchedulingError
+from repro.ir.builder import TDFGBuilder
+from repro.ir.dtypes import DType
+from repro.uarch.dram_compute import InDRAMConfig, InDRAMModel
+
+
+def _register_hungry_tdfg(leaves: int = 64):
+    """A balanced combine tree whose evaluation keeps ~log2(leaves)
+    intermediates live at once — more than the 5 scratch registers left
+    after pinning the two arrays."""
+    b = TDFGBuilder("hungry")
+    a = b.array("A", (16,))
+    out = b.array("OUT", (16,))
+    terms = [(a.all() * float(i + 2)).relu() for i in range(leaves)]
+    while len(terms) > 1:
+        terms = [
+            (x + y).relu() for x, y in zip(terms[::2], terms[1::2])
+        ]
+    b.store(out, (0, 16), terms[0])
+    return b.finish()
+
+
+class TestSpilling:
+    def test_default_raises(self):
+        with pytest.raises(RegisterSpillError):
+            allocate_registers(schedule_tdfg(_register_hungry_tdfg()))
+
+    def test_stream_mode_compiles_with_spill_events(self):
+        """§6: spilling via DRAM streams instead of failing."""
+        sched = allocate_registers(
+            schedule_tdfg(_register_hungry_tdfg()), spill_mode="stream"
+        )
+        assert sched.spills, "the hungry kernel must actually spill"
+        kinds = {e.kind for e in sched.spills}
+        assert kinds == {"spill", "fill"}
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SchedulingError):
+            allocate_registers(
+                schedule_tdfg(_register_hungry_tdfg()), spill_mode="magic"
+            )
+
+
+class TestVirtualFusion:
+    def test_fusion_avoids_spill(self):
+        """§3.4 future work: N fused arrays give N x the registers."""
+        sched = allocate_registers(
+            schedule_tdfg(_register_hungry_tdfg()), virtual_fuse=2
+        )
+        assert not sched.spills
+        assert sched.registers_available == 14  # 2 x 7
+
+    def test_wordline_base_wraps_within_physical_array(self):
+        from repro.backend.regalloc import RegisterFile
+
+        rf = RegisterFile(wordlines=256, elem_bits=32, virtual_fuse=2)
+        assert rf.num_registers == 14
+        assert rf.wordline_base(7) == rf.wordline_base(0)
+
+    def test_fat_binary_threads_options(self):
+        fb = compile_fat_binary(
+            _register_hungry_tdfg(), (256,), virtual_fuse=2
+        )
+        assert fb.config_for(256).virtual_fuse == 2
+
+
+class TestInDRAM:
+    def _region_tdfg(self):
+        from repro.frontend import parse_kernel
+
+        prog = parse_kernel(
+            "vadd",
+            "for i in [0, N):\n    C[i] = A[i] + B[i]\n",
+            arrays={"A": ("N",), "B": ("N",), "C": ("N",)},
+        )
+        return prog.instantiate({"N": 4096}).first_region().tdfg
+
+    def test_dram_has_more_lanes_but_slower_ops(self):
+        model = InDRAMModel()
+        cmp = model.compare_with_sram(self._region_tdfg())
+        assert cmp["dram_lanes"] > cmp["sram_lanes"]
+        assert cmp["dram_over_sram"] > 1.0  # slower per region at L3 sizes
+
+    def test_tra_op_cost_scales_with_bits(self):
+        cfg = InDRAMConfig()
+        assert cfg.op_cycles(DType.INT8) < cfg.op_cycles(DType.INT32)
+        assert cfg.op_cycles(DType.FP32) > cfg.op_cycles(DType.INT32)
+
+    def test_crossover_beyond_sram_lanes(self):
+        """In-DRAM pays off only past the L3's 4M lanes x latency ratio."""
+        model = InDRAMModel()
+        crossover = model.crossover_elements()
+        assert crossover > model.system.cache.total_bitlines
+
+
+class TestCLI:
+    def _kernel_file(self, tmp_path):
+        f = tmp_path / "saxpy.k"
+        f.write_text("for i in [0, N):\n    Y[i] = a * X[i] + Y[i]\n")
+        return str(f)
+
+    def test_compile_prints_tdfg(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "compile",
+                self._kernel_file(tmp_path),
+                "--array", "X:N",
+                "--array", "Y:N",
+                "-p", "N=64",
+                "-p", "a=2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "tdfg" in out and "cmp(mul)" in out
+
+    def test_compile_with_lowering(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "compile",
+                self._kernel_file(tmp_path),
+                "--array", "X:N",
+                "--array", "Y:N",
+                "-p", "N=4096",
+                "-p", "a=2",
+                "--lower",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lowered commands" in out and "cmp mul" in out
+
+    def test_simulate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "simulate",
+                self._kernel_file(tmp_path),
+                "--array", "X:N",
+                "--array", "Y:N",
+                "-p", "N=1048576",
+                "-p", "a=2",
+                "--paradigm", "inf-s",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "cycles" in out and "energy" in out
+
+    def test_offload(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "offload",
+                self._kernel_file(tmp_path),
+                "--array", "X:N",
+                "--array", "Y:N",
+                "-p", "N=8388608",
+                "-p", "a=2",
+            ]
+        )
+        assert rc == 0
+        assert "in-memory" in capsys.readouterr().out
+
+    def test_bad_array_spec(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                ["compile", self._kernel_file(tmp_path), "--array", "X"]
+            )

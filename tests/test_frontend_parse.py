@@ -1,0 +1,171 @@
+"""Lexer, parser, and affine analysis of the kernel language."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrontendError
+from repro.frontend.affine import AffineExpr, extract_affine, is_affine
+from repro.frontend.kast import (
+    Assign,
+    BinOp,
+    Call,
+    For,
+    Num,
+    Ref,
+    Var,
+    free_vars,
+    outer_refs,
+    walk_refs,
+)
+from repro.frontend.lexer import TokKind, tokenize
+from repro.frontend.parser import parse_source
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        toks = tokenize("B[i] = A[i-1] + 2.5")
+        kinds = [t.kind for t in toks]
+        assert TokKind.IDENT in kinds
+        assert TokKind.NUMBER in kinds
+        assert kinds[-1] is TokKind.EOF
+
+    def test_indentation_blocks(self):
+        toks = tokenize("for i in [0, N):\n    B[i] = A[i]\n")
+        kinds = [t.kind for t in toks]
+        assert TokKind.INDENT in kinds and TokKind.DEDENT in kinds
+
+    def test_comments_stripped(self):
+        toks = tokenize("x = 1  # a comment\ny = 2 // another\n")
+        assert all(t.kind is not TokKind.OP or t.text != "//" for t in toks)
+
+    def test_augmented_ops(self):
+        toks = tokenize("v += 1")
+        assert any(t.text == "+=" for t in toks)
+
+    def test_bad_character(self):
+        with pytest.raises(FrontendError):
+            tokenize("B[i] = A[i] ? 1")
+
+
+class TestParser:
+    def test_simple_loop(self):
+        (loop,) = parse_source("for i in [1, N-1):\n    B[i] = A[i]\n")
+        assert isinstance(loop, For)
+        assert loop.var == "i"
+        assert isinstance(loop.body[0], Assign)
+
+    def test_stepped_loop(self):
+        """The paper's tiled syntax: for k in [0, T, K)."""
+        (loop,) = parse_source("for k in [0, T, K):\n    B[k] = A[k]\n")
+        assert loop.step is not None
+
+    def test_nested_loops_and_multiple_stmts(self):
+        stmts = parse_source(
+            """
+            for i in [0, N):
+                akk = A[i][i]
+                for j in [0, N):
+                    B[i][j] = A[i][j] * akk
+            """
+        )
+        outer = stmts[0]
+        assert isinstance(outer, For)
+        assert len(outer.body) == 2
+        assert isinstance(outer.body[1], For)
+
+    def test_precedence(self):
+        (stmt,) = parse_source("x = a + b * c\n")
+        assert isinstance(stmt.value, BinOp)
+        assert stmt.value.op == "+"
+        assert isinstance(stmt.value.right, BinOp)
+        assert stmt.value.right.op == "*"
+
+    def test_unary_minus(self):
+        (stmt,) = parse_source("x = -a * b\n")
+        assert isinstance(stmt.value, BinOp)
+
+    def test_intrinsics(self):
+        (stmt,) = parse_source("x = max(a, relu(b))\n")
+        assert isinstance(stmt.value, Call)
+        assert stmt.value.func == "max"
+
+    def test_unknown_intrinsic_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_source("x = frobnicate(a)\n")
+
+    def test_indirect_subscript(self):
+        (stmt,) = parse_source("y = A[idx[i]][k]\n")
+        ref = stmt.value
+        assert isinstance(ref, Ref)
+        assert isinstance(ref.subscripts[0], Ref)
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_source("   \n")
+
+    def test_empty_loop_body_rejected(self):
+        with pytest.raises(FrontendError):
+            parse_source("for i in [0, N):\nx = 1\n")
+
+    def test_walk_and_outer_refs(self):
+        (stmt,) = parse_source("y = A[idx[i]][k] + B[k]\n")
+        all_refs = {r.array for r in walk_refs(stmt.value)}
+        top_refs = {r.array for r in outer_refs(stmt.value)}
+        assert all_refs == {"A", "idx", "B"}
+        assert top_refs == {"A", "B"}  # idx is nested in a subscript
+
+    def test_free_vars(self):
+        (stmt,) = parse_source("y = A[i+1][j] * c\n")
+        assert free_vars(stmt.value) == {"i", "j", "c"}
+
+
+class TestAffine:
+    def test_extraction(self):
+        (stmt,) = parse_source("y = A[2*i + j - 3]\n")
+        aff = extract_affine(stmt.value.subscripts[0])
+        assert aff.coeff("i") == 2
+        assert aff.coeff("j") == 1
+        assert aff.const == -3
+
+    def test_nested_products(self):
+        (stmt,) = parse_source("y = A[i*9 + kh*3 + kw]\n")
+        aff = extract_affine(stmt.value.subscripts[0])
+        assert aff.coeff("i") == 9 and aff.coeff("kh") == 3
+
+    def test_nonaffine_product_rejected(self):
+        (stmt,) = parse_source("y = A[i*j]\n")
+        assert not is_affine(stmt.value.subscripts[0])
+
+    def test_indirect_is_not_affine(self):
+        (stmt,) = parse_source("y = A[idx[i]]\n")
+        assert not is_affine(stmt.value.subscripts[0])
+
+    def test_substitute_and_evaluate(self):
+        aff = AffineExpr((("i", 2), ("k", 1)), 5)
+        partial = aff.substitute({"k": 3})
+        assert partial.const == 8 and partial.coeff("i") == 2
+        assert aff.evaluate({"i": 1, "k": 3}) == 10
+        with pytest.raises(FrontendError):
+            aff.evaluate({"i": 1})
+
+    @given(
+        ci=st.integers(-5, 5),
+        cj=st.integers(-5, 5),
+        const=st.integers(-10, 10),
+        i=st.integers(0, 20),
+        j=st.integers(0, 20),
+    )
+    @settings(max_examples=100)
+    def test_affine_arithmetic_matches_direct(self, ci, cj, const, i, j):
+        a = (
+            AffineExpr.variable("i").scaled(ci)
+            + AffineExpr.variable("j").scaled(cj)
+            + AffineExpr.constant(const)
+        )
+        assert a.evaluate({"i": i, "j": j}) == ci * i + cj * j + const
+
+    @given(data=st.integers(-8, 8))
+    def test_scale_negate_roundtrip(self, data):
+        a = AffineExpr.variable("x").scaled(data)
+        assert (a - a).is_constant and (a - a).const == 0

@@ -1,0 +1,268 @@
+"""End-to-end functional cross-validation.
+
+Every kernel runs three ways and must agree bit-for-bit (to fp32
+tolerance): the golden sequential interpreter, the tDFG reference
+executor, and the JIT-lowered command replay on the SRAM grid model.
+This pins the frontend, the backend, the lowering (Alg 1 + Alg 2), and
+the microarchitecture model to each other.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frontend import parse_kernel
+from repro.sim.functional import execute_kernel, interpret_kernel
+
+from tests.conftest import crossvalidate, make_arrays
+
+
+class TestElementwise:
+    def test_vec_add(self):
+        crossvalidate(
+            "vec_add",
+            "for i in [0, N):\n    C[i] = A[i] + B[i]\n",
+            {"A": ("N",), "B": ("N",), "C": ("N",)},
+            {"N": 64},
+        )
+
+    def test_saxpy_with_params(self):
+        crossvalidate(
+            "saxpy",
+            "for i in [0, N):\n    Y[i] = a * X[i] + Y[i]\n",
+            {"X": ("N",), "Y": ("N",)},
+            {"N": 64, "a": 3},
+        )
+
+    def test_relu_intrinsic(self):
+        crossvalidate(
+            "relu",
+            "for i in [0, N):\n    B[i] = relu(A[i] - 1.5)\n",
+            {"A": ("N",), "B": ("N",)},
+            {"N": 64},
+        )
+
+    def test_min_max(self):
+        crossvalidate(
+            "clamp",
+            "for i in [0, N):\n    B[i] = min(max(A[i], 1.2), 1.8)\n",
+            {"A": ("N",), "B": ("N",)},
+            {"N": 64},
+        )
+
+
+class TestStencils:
+    def test_stencil1d(self):
+        crossvalidate(
+            "s1",
+            "for i in [1, N-1):\n    B[i] = A[i-1] + A[i] + A[i+1]\n",
+            {"A": ("N",), "B": ("N",)},
+            {"N": 64},
+        )
+
+    def test_stencil2d_5pt(self):
+        crossvalidate(
+            "s2",
+            "for i in [1, M-1):\n    for j in [1, N-1):\n"
+            "        B[i][j] = 0.2*(A[i][j] + A[i-1][j] + A[i+1][j]"
+            " + A[i][j-1] + A[i][j+1])\n",
+            {"A": ("M", "N"), "B": ("M", "N")},
+            {"M": 16, "N": 16},
+        )
+
+    def test_stencil3d_7pt(self):
+        crossvalidate(
+            "s3",
+            "for z in [1, P-1):\n    for i in [1, M-1):\n        for j in [1, N-1):\n"
+            "            B[z][i][j] = 0.4*A[z][i][j] + 0.1*(A[z][i][j-1] +"
+            " A[z][i][j+1] + A[z][i-1][j] + A[z][i+1][j] + A[z-1][i][j]"
+            " + A[z+1][i][j])\n",
+            {"A": ("P", "M", "N"), "B": ("P", "M", "N")},
+            {"P": 4, "M": 16, "N": 16},
+        )
+
+    def test_asymmetric_offsets(self):
+        crossvalidate(
+            "asym",
+            "for i in [3, N-2):\n    B[i] = A[i-3] - A[i+2]\n",
+            {"A": ("N",), "B": ("N",)},
+            {"N": 64},
+        )
+
+
+class TestMatmulAndReduction:
+    def test_mm_outer(self):
+        crossvalidate(
+            "mmo",
+            "for k in [0, K):\n    for m in [0, M):\n        for n in [0, N):\n"
+            "            C[m][n] += A[m][k] * B[k][n]\n",
+            {"A": ("M", "K"), "B": ("K", "N"), "C": ("M", "N")},
+            {"M": 16, "N": 16, "K": 8},
+            dataflow="outer",
+        )
+
+    def test_mm_inner(self):
+        crossvalidate(
+            "mmi",
+            "for m in [0, M):\n    for n in [0, N):\n        for k in [0, K):\n"
+            "            C[m][n] += A[m][k] * Bt[n][k]\n",
+            {"A": ("M", "K"), "Bt": ("N", "K"), "C": ("M", "N")},
+            {"M": 16, "N": 16, "K": 16},
+        )
+
+    def test_array_sum(self):
+        crossvalidate(
+            "asum",
+            "v = 0\nfor i in [0, N):\n    v += A[i]\n",
+            {"A": ("N",)},
+            {"N": 64},
+        )
+
+    def test_unaligned_reduction_extent(self):
+        """Non-power-of-two tails fall back to near-memory raw reads."""
+        crossvalidate(
+            "tail",
+            "v = 0\nfor i in [0, N):\n    v += A[i]\n",
+            {"A": ("N",)},
+            {"N": 48},  # 3 tiles of 16: raw tail handling
+        )
+
+    def test_dot_product(self):
+        crossvalidate(
+            "dot",
+            "v = 0\nfor i in [0, N):\n    v += A[i] * B[i]\n",
+            {"A": ("N",), "B": ("N",)},
+            {"N": 64},
+        )
+
+
+class TestHybrid:
+    def test_gauss_elimination(self):
+        crossvalidate(
+            "gauss",
+            """
+            for k in [0, N-1):
+                akk = A[k][k]
+                bk = B[k]
+                for i in [k+1, N):
+                    m = A[i][k] / akk
+                    B[i] = B[i] - m * bk
+                    for j in [k+1, N):
+                        A[i][j] = A[i][j] - A[k][j] * m
+            """,
+            {"A": ("N", "N"), "B": ("N",)},
+            {"N": 16},
+        )
+
+    def test_gather_mlp(self):
+        crossvalidate(
+            "gmlp",
+            "for m in [0, M):\n    for n in [0, N):\n        for k in [0, K):\n"
+            "            Out[m][n] += G[idx[m]][k] * W[n][k]\n"
+            "for m2 in [0, M):\n    for n2 in [0, N):\n"
+            "        Res[m2][n2] = relu(Out[m2][n2])\n",
+            {
+                "G": ("P", "K"),
+                "W": ("N", "K"),
+                "Out": ("M", "N"),
+                "Res": ("M", "N"),
+                "idx": ("M",),
+            },
+            {"M": 32, "N": 16, "K": 16, "P": 48},
+        )
+
+    def test_kmeans_distance_outer(self):
+        crossvalidate(
+            "km",
+            "for d in [0, D):\n    for p in [0, P):\n        for c in [0, C):\n"
+            "            Dist[p][c] += (Pt[p][d] - Ctt[d][c])"
+            " * (Pt[p][d] - Ctt[d][c])\n",
+            {"Pt": ("P", "D"), "Ctt": ("D", "C"), "Dist": ("P", "C")},
+            {"P": 32, "D": 8, "C": 16},
+            dataflow="outer",
+        )
+
+    def test_dwt_lifting(self):
+        crossvalidate(
+            "dwt",
+            """
+            for i in [0, M):
+                for j in [0, Nh-1):
+                    D[i][j] = Ao[i][j] - 0.5 * (Ae[i][j] + Ae[i][j+1])
+            for i2 in [0, M):
+                for j2 in [1, Nh-1):
+                    S[i2][j2] = Ae[i2][j2] + 0.25 * (D[i2][j2-1] + D[i2][j2])
+            """,
+            {
+                "Ae": ("M", "Nh"),
+                "Ao": ("M", "Nh"),
+                "D": ("M", "Nh"),
+                "S": ("M", "Nh"),
+            },
+            {"M": 16, "Nh": 16},
+        )
+
+    def test_conv3d_accumulation(self):
+        crossvalidate(
+            "c3d",
+            "for i in [0, I):\n    for kh in [0, 3):\n        for kw in [0, 3):\n"
+            "            for h in [0, H-2):\n                for w in [0, W-2):\n"
+            "                    for o in [0, O):\n"
+            "                        Out[h][w][o] += In[h+kh][w+kw][i]"
+            " * Wt[i*9+kh*3+kw][o]\n",
+            {"In": ("H", "W", "I"), "Wt": (144, "O"), "Out": ("H", "W", "O")},
+            {"H": 8, "W": 8, "I": 4, "O": 16},
+        )
+
+
+class TestPropertyBased:
+    @given(
+        coeffs=st.tuples(
+            st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)
+        ),
+        n=st.sampled_from([48, 64]),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=12, deadline=None)
+    def test_random_1d_filters(self, coeffs, n, seed):
+        """Arbitrary 3-tap filters: compiled == interpreted."""
+        c0, c1, c2 = coeffs
+        src = (
+            f"for i in [1, N-1):\n"
+            f"    B[i] = {c0}*A[i-1] + {c1}*A[i] + {c2}*A[i+1]\n"
+        )
+        crossvalidate(
+            f"f{c0}_{c1}_{c2}",
+            src,
+            {"A": ("N",), "B": ("N",)},
+            {"N": n},
+            seed=seed,
+        )
+
+    @given(
+        off=st.tuples(st.integers(0, 2), st.integers(0, 2)),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_random_2d_shifts(self, off, seed):
+        di, dj = off
+        src = (
+            f"for i in [2, M-2):\n    for j in [2, N-2):\n"
+            f"        B[i][j] = A[i-{di}][j+{dj}] + A[i+{di}][j-{dj}]\n"
+        )
+        crossvalidate(
+            f"sh{di}{dj}",
+            src,
+            {"A": ("M", "N"), "B": ("M", "N")},
+            {"M": 16, "N": 16},
+            seed=seed,
+        )
+
+    @given(scale=st.floats(0.25, 4.0), seed=st.integers(0, 50))
+    @settings(max_examples=8, deadline=None)
+    def test_scaled_reduction(self, scale, seed):
+        src = f"v = 0\nfor i in [0, N):\n    v += {scale:.3f} * A[i]\n"
+        crossvalidate(
+            "sred", src, {"A": ("N",)}, {"N": 64}, seed=seed
+        )

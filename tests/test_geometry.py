@@ -1,0 +1,182 @@
+"""Hyperrectangles, lattice space, and Algorithm 1 decomposition."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Hyperrect, LatticeSpace, decompose_tensor
+from repro.geometry.decompose import tile_index_range
+
+
+class TestHyperrect:
+    def test_from_shape_anchors_origin(self):
+        r = Hyperrect.from_shape((4, 8))
+        assert r.starts == (0, 0)
+        assert r.ends == (4, 8)
+        assert r.volume == 32
+
+    def test_negative_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperrect((3,), (1,))
+
+    def test_rank_mismatch_rejected(self):
+        with pytest.raises(GeometryError):
+            Hyperrect((0, 0), (4,))
+
+    def test_intersect_basic(self):
+        a = Hyperrect.from_bounds([(0, 4), (0, 4)])
+        b = Hyperrect.from_bounds([(2, 6), (1, 3)])
+        assert a.intersect(b) == Hyperrect.from_bounds([(2, 4), (1, 3)])
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Hyperrect.from_bounds([(0, 2)])
+        b = Hyperrect.from_bounds([(5, 9)])
+        assert a.intersect(b).is_empty
+
+    def test_shift_preserves_shape(self):
+        r = Hyperrect.from_bounds([(1, 5), (0, 3)])
+        s = r.shifted(0, 2)
+        assert s.interval(0) == (3, 7)
+        assert s.shape == r.shape
+
+    def test_broadcast_extent_one_source(self):
+        r = Hyperrect.from_bounds([(0, 4), (2, 3)])
+        b = r.broadcast(1, 0, 8)
+        assert b.interval(1) == (0, 8)
+        assert b.interval(0) == (0, 4)
+
+    def test_broadcast_rejects_nonpositive_count(self):
+        r = Hyperrect.from_bounds([(0, 4)])
+        with pytest.raises(GeometryError):
+            r.broadcast(0, 0, 0)
+
+    def test_contains(self):
+        outer = Hyperrect.from_bounds([(0, 10), (0, 10)])
+        inner = Hyperrect.from_bounds([(2, 5), (3, 9)])
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+        assert outer.contains(Hyperrect.empty(2))
+
+    def test_bounding_union(self):
+        a = Hyperrect.from_bounds([(0, 2)])
+        b = Hyperrect.from_bounds([(5, 9)])
+        assert a.bounding_union(b) == Hyperrect.from_bounds([(0, 9)])
+
+    def test_expand_requires_superset(self):
+        r = Hyperrect.from_bounds([(2, 6)])
+        assert r.expanded(0, 0, 8).interval(0) == (0, 8)
+        with pytest.raises(GeometryError):
+            r.expanded(0, 3, 8)  # 3 > 2: not a superset
+
+    def test_points_iteration_dim0_fastest(self):
+        r = Hyperrect.from_bounds([(0, 2), (0, 2)])
+        pts = list(r.points())
+        assert pts == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_numpy_slices_reversed(self):
+        r = Hyperrect.from_bounds([(1, 3), (4, 7)])
+        assert r.numpy_slices() == (slice(4, 7), slice(1, 3))
+
+
+class TestDecompose:
+    def test_paper_fig9_example(self):
+        """A[0,4)x[0,3) with 2x2 tiles: AL [0,4)x[0,2) + AR [0,4)x[2,3)."""
+        parts = decompose_tensor(
+            Hyperrect.from_bounds([(0, 4), (0, 3)]), (2, 2)
+        )
+        assert set(map(str, parts)) == {"[0,4)x[0,2)", "[0,4)x[2,3)"}
+
+    def test_aligned_tensor_not_decomposed(self):
+        parts = decompose_tensor(Hyperrect.from_bounds([(0, 8)]), (4,))
+        assert parts == [Hyperrect.from_bounds([(0, 8)])]
+
+    def test_within_single_tile(self):
+        parts = decompose_tensor(Hyperrect.from_bounds([(1, 3)]), (4,))
+        assert parts == [Hyperrect.from_bounds([(1, 3)])]
+
+    def test_head_middle_tail(self):
+        parts = decompose_tensor(Hyperrect.from_bounds([(1, 11)]), (4,))
+        assert [p.bounds() for p in parts] == [
+            [(1, 4)],
+            [(4, 8)],
+            [(8, 11)],
+        ]
+
+    def test_rank_mismatch(self):
+        with pytest.raises(GeometryError):
+            decompose_tensor(Hyperrect.from_bounds([(0, 4)]), (2, 2))
+
+    def test_empty_tensor(self):
+        assert decompose_tensor(Hyperrect.empty(2), (2, 2)) == []
+
+    @given(
+        p=st.integers(0, 40),
+        extent=st.integers(1, 40),
+        tile=st.integers(1, 9),
+    )
+    @settings(max_examples=200)
+    def test_partition_property_1d(self, p, extent, tile):
+        """Decomposition partitions the tensor: disjoint, exact cover."""
+        tensor = Hyperrect.from_bounds([(p, p + extent)])
+        parts = decompose_tensor(tensor, (tile,))
+        covered = []
+        for part in parts:
+            assert tensor.contains(part)
+            lo, hi = part.interval(0)
+            # A part never straddles a tile boundary partially: it either
+            # starts/ends on boundaries or stays inside one tile.
+            if lo % tile != 0 or hi % tile != 0:
+                assert lo // tile == (hi - 1) // tile
+            covered.extend(range(lo, hi))
+        assert covered == list(range(p, p + extent))
+
+    @given(
+        bounds=st.tuples(
+            st.tuples(st.integers(0, 12), st.integers(1, 12)),
+            st.tuples(st.integers(0, 12), st.integers(1, 12)),
+        ),
+        tiles=st.tuples(st.integers(1, 5), st.integers(1, 5)),
+    )
+    @settings(max_examples=150)
+    def test_partition_property_2d(self, bounds, tiles):
+        rect = Hyperrect.from_bounds(
+            [(p, p + e) for p, e in bounds]
+        )
+        parts = decompose_tensor(rect, tiles)
+        assert sum(p.volume for p in parts) == rect.volume
+        seen = set()
+        for part in parts:
+            for pt in part.points():
+                assert pt not in seen  # disjoint
+                seen.add(pt)
+
+    def test_tile_index_range(self):
+        r = Hyperrect.from_bounds([(3, 9)])
+        tiles = tile_index_range(r, (4,))
+        assert tiles == Hyperrect.from_bounds([(0, 3)])
+
+
+class TestLatticeSpace:
+    def test_register_and_bounding(self):
+        lat = LatticeSpace(ndim=2)
+        lat.register_array("A", (4, 4))
+        lat.register_array("B", (8, 2))
+        assert lat.bounding == Hyperrect.from_bounds([(0, 8), (0, 4)])
+
+    def test_lower_rank_embedding(self):
+        lat = LatticeSpace(ndim=2)
+        r = lat.register_array("v", (5,))
+        assert r.shape == (5, 1)
+
+    def test_duplicate_rejected(self):
+        lat = LatticeSpace(ndim=1)
+        lat.register_array("A", (4,))
+        with pytest.raises(GeometryError):
+            lat.register_array("A", (4,))
+
+    def test_clip_discards_outside(self):
+        lat = LatticeSpace(ndim=1)
+        lat.register_array("A", (4,))
+        moved = Hyperrect.from_bounds([(2, 9)])
+        assert lat.clip(moved) == Hyperrect.from_bounds([(2, 4)])

@@ -1,0 +1,178 @@
+"""tDFG nodes (Fig 5 semantics), graph container, builder, printer."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.geometry import Hyperrect
+from repro.ir import (
+    BroadcastNode,
+    ComputeNode,
+    ConstNode,
+    DType,
+    MoveNode,
+    Op,
+    ReduceNode,
+    ShrinkNode,
+    StreamNode,
+    TensorNode,
+)
+from repro.ir.builder import TDFGBuilder
+from repro.ir.nodes import StreamKind, walk
+from repro.ir.printer import format_tdfg, tdfg_from_json, tdfg_to_json
+
+
+def _tensor(bounds, array="A"):
+    return TensorNode(array, Hyperrect.from_bounds(bounds))
+
+
+class TestNodeSemantics:
+    def test_const_is_infinite(self):
+        c = ConstNode(3.0)
+        assert c.domain is None
+        assert not c.is_symbolic
+        assert ConstNode("akk").is_symbolic
+
+    def test_compute_intersects_domains(self):
+        a = _tensor([(0, 8)])
+        b = MoveNode(_tensor([(2, 10)]), 0, -1)  # [1, 9)
+        add = ComputeNode(Op.ADD, (a, b))
+        assert add.domain == Hyperrect.from_bounds([(1, 8)])
+
+    def test_compute_with_const_keeps_tensor_domain(self):
+        a = _tensor([(2, 6)])
+        mul = ComputeNode(Op.MUL, (ConstNode(2.0), a))
+        assert mul.domain == a.domain
+
+    def test_compute_arity_checked(self):
+        with pytest.raises(IRError):
+            ComputeNode(Op.ADD, (_tensor([(0, 4)]),))
+
+    def test_move_shifts_domain(self):
+        mv = MoveNode(_tensor([(0, 4), (0, 4)]), 1, 3)
+        assert mv.domain == Hyperrect.from_bounds([(0, 4), (3, 7)])
+
+    def test_broadcast_domain(self):
+        row = _tensor([(0, 4), (2, 3)])
+        bc = BroadcastNode(row, 1, 0, 8)
+        assert bc.domain == Hyperrect.from_bounds([(0, 4), (0, 8)])
+
+    def test_broadcast_count_positive(self):
+        with pytest.raises(IRError):
+            BroadcastNode(_tensor([(0, 4)]), 0, 0, 0)
+
+    def test_shrink_domain_and_nop_role(self):
+        s = ShrinkNode(_tensor([(0, 8)]), 0, 2, 6)
+        assert s.domain == Hyperrect.from_bounds([(2, 6)])
+        with pytest.raises(IRError):
+            ShrinkNode(ConstNode(1.0), 0, 0, 4)
+
+    def test_reduce_collapses_dimension(self):
+        r = ReduceNode(_tensor([(0, 8), (0, 4)]), Op.ADD, 0)
+        assert r.domain == Hyperrect.from_bounds([(0, 1), (0, 4)])
+
+    def test_reduce_requires_friendly_op(self):
+        with pytest.raises(IRError):
+            ReduceNode(_tensor([(0, 8)]), Op.SUB, 0)
+
+    def test_reduce_stream_needs_combiner(self):
+        with pytest.raises(IRError):
+            StreamNode(
+                stream="s",
+                stream_kind=StreamKind.REDUCE,
+                inputs=(_tensor([(0, 4)]),),
+            )
+
+    def test_walk_deduplicates(self):
+        a = _tensor([(0, 4)])
+        add = ComputeNode(Op.ADD, (a, a))
+        nodes = list(walk(add))
+        assert nodes.count(a) == 1
+        assert nodes[-1] is add
+
+
+class TestBuilder:
+    def test_fig4a_filter(self):
+        n = 16
+        b = TDFGBuilder("filter1d")
+        a = b.array("A", (n,))
+        out = b.array("B", (n,))
+        expr = a[0 : n - 2].mv(0, 1) + a[1 : n - 1] + a[2:n].mv(0, -1)
+        b.store(out, (1, n - 1), expr)
+        tdfg = b.finish()
+        counts = tdfg.count_by_kind()
+        assert counts == {"tensor": 3, "move": 2, "compute": 2}
+
+    def test_operator_sugar(self):
+        b = TDFGBuilder("sugar")
+        a = b.array("A", (8,))
+        expr = (2.0 * a.all() - 1.0).relu()
+        assert expr.domain == Hyperrect.from_bounds([(0, 8)])
+
+    def test_store_shape_mismatch_rejected(self):
+        b = TDFGBuilder("bad")
+        a = b.array("A", (8,))
+        out = b.array("B", (8,))
+        with pytest.raises(IRError):
+            b.store(out, (0, 4), a.all())  # 8 elements into 4 slots
+
+    def test_symbolic_param_tracked(self):
+        b = TDFGBuilder("p")
+        a = b.array("A", (8,))
+        out = b.array("B", (8,))
+        b.store(out, (0, 8), a.all() * b.param("alpha"))
+        tdfg = b.finish()
+        assert "alpha" in tdfg.params
+
+    def test_validation_catches_oob_tensor(self):
+        from repro.ir.tdfg import TensorBinding
+
+        b = TDFGBuilder("oob")
+        b.array("A", (8,))
+        b.array("B", (8,))
+        bad = TensorNode("A", Hyperrect.from_bounds([(0, 16)]))
+        b._tdfg.results.append(
+            TensorBinding("B", Hyperrect.from_bounds([(0, 16)]), bad)
+        )
+        with pytest.raises(IRError):
+            b.finish()
+
+    def test_reduce_stream(self):
+        b = TDFGBuilder("sum")
+        a = b.array("A", (64,))
+        partial = a.all().reduce(Op.ADD, 0)
+        b.reduce_stream("red_v", partial)
+        tdfg = b.finish()
+        assert len(tdfg.scalar_results) == 1
+        assert tdfg.scalar_results[0].combiner is Op.ADD
+
+
+class TestSerialization:
+    def _sample(self):
+        b = TDFGBuilder("roundtrip")
+        a = b.array("A", (16, 8))
+        out = b.array("B", (16, 8))
+        expr = a.all().mv(0, 1).shrink(0, 1, 16) * b.param("c") + 1.0
+        b.store(
+            out,
+            [(1, 16), (0, 8)],
+            expr,
+        )
+        b.reduce_stream("red_v", a.all().reduce(Op.ADD, 1))
+        return b.finish()
+
+    def test_json_roundtrip(self):
+        tdfg = self._sample()
+        clone = tdfg_from_json(tdfg_to_json(tdfg))
+        assert clone.count_by_kind() == tdfg.count_by_kind()
+        assert format_tdfg(clone) == format_tdfg(tdfg)
+        assert clone.params.keys() == tdfg.params.keys()
+
+    def test_format_is_ssa_numbered(self):
+        text = format_tdfg(self._sample())
+        assert "%0" in text and "store" in text and "yield" in text
+
+    def test_elements_touched(self):
+        tdfg = self._sample()
+        # The builder API creates two independent views of A (one for
+        # the store expression, one for the reduction).
+        assert tdfg.elements_touched() == 2 * 16 * 8

@@ -1,0 +1,179 @@
+"""Tiling constraints, heuristics, and bank mapping (§4.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import default_system, small_test_system
+from repro.errors import LayoutError
+from repro.geometry import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.tdfg import ArrayDecl, LayoutHints
+from repro.runtime.layout import (
+    TiledLayout,
+    choose_layout,
+    choose_tile,
+    fits_in_l3,
+    valid_tilings,
+)
+
+
+class TestConstraints:
+    def test_constraint1_tiles_fill_bitlines(self, system):
+        for tile in valid_tilings((2048, 2048), system):
+            assert math.prod(tile) == system.cache.sram.bitlines
+
+    def test_constraint2_line_bank_alignment(self, system):
+        line_elems = system.cache.line_bytes // 4
+        w = system.cache.compute_arrays_per_bank
+        for tile in valid_tilings((2048, 2048), system):
+            assert (tile[0] * w) % line_elems == 0
+
+    def test_constraint3_unaligned_innermost_fails(self, system):
+        """S0 % L != 0: array not transposed, in-memory disabled."""
+        assert valid_tilings((2044, 2048), system) == []
+
+    def test_padded_dims_get_tile_one(self, system):
+        for tile in valid_tilings((4096, 1, 1), system):
+            assert tile[1] == 1 and tile[2] == 1
+
+    def test_tile_never_exceeds_array(self, system):
+        for tile in valid_tilings((64, 4096), system):
+            assert tile[0] <= 64
+
+    @given(
+        log_s0=st.integers(4, 12),
+        log_s1=st.integers(0, 12),
+    )
+    @settings(max_examples=60)
+    def test_valid_tilings_all_satisfy_constraints(self, log_s0, log_s1):
+        system = default_system()
+        shape = (2**log_s0, 2**log_s1)
+        line_elems = system.cache.line_bytes // 4
+        for tile in valid_tilings(shape, system):
+            assert math.prod(tile) == system.cache.sram.bitlines
+            assert (
+                tile[0] * system.cache.compute_arrays_per_bank
+            ) % line_elems == 0
+
+
+class TestHeuristics:
+    def test_shift_prefers_square(self, system):
+        tile = choose_tile(
+            (2048, 2048), LayoutHints(shift_dims=(0, 1)), system
+        )
+        assert tile == (16, 16)
+
+    def test_reduce_prefers_large_reduced_dim(self, system):
+        tile = choose_tile(
+            (128, 32768), LayoutHints(reduce_dims=(0,)), system
+        )
+        assert tile[0] == 128  # full in-tile reduction, no partial tail
+
+    def test_broadcast_prefers_small_innermost(self, system):
+        tile_bc = choose_tile(
+            (2048, 2048), LayoutHints(broadcast_dims=(1,)), system
+        )
+        tile_sq = choose_tile(
+            (2048, 2048), LayoutHints(shift_dims=(0, 1)), system
+        )
+        assert tile_bc[0] <= tile_sq[0]
+
+    def test_reduction_outranks_shift(self, system):
+        tile = choose_tile(
+            (2048, 2048),
+            LayoutHints(shift_dims=(0, 1), reduce_dims=(0,)),
+            system,
+        )
+        assert tile[0] > 16  # reduction pulled dim 0 larger than square
+
+
+class TestChooseLayout:
+    def _decls(self):
+        return {
+            "A": ArrayDecl("A", (2048, 2048)),
+            "B": ArrayDecl("B", (2048, 2048)),
+        }
+
+    def test_all_arrays_share_primary_tile(self, system):
+        layouts = choose_layout(
+            self._decls(),
+            LayoutHints(shift_dims=(0, 1), primary_array="B"),
+            system,
+        )
+        tiles = {l.tile for l in layouts.values()}
+        assert len(tiles) == 1
+
+    def test_resident_filter(self, system):
+        layouts = choose_layout(
+            self._decls(),
+            LayoutHints(primary_array="B"),
+            system,
+            resident={"A"},
+        )
+        assert set(layouts) == {"A"}
+
+    def test_invalid_override_rejected(self, system):
+        with pytest.raises(LayoutError):
+            choose_layout(
+                self._decls(),
+                LayoutHints(),
+                system,
+                tile_override=(3, 100),
+            )
+
+    def test_no_valid_tiling_raises(self, system):
+        decls = {"A": ArrayDecl("A", (2044, 4))}
+        with pytest.raises(LayoutError):
+            choose_layout(decls, LayoutHints(primary_array="A"), system)
+
+
+class TestBankMapping:
+    def _layout(self, shape=(2048, 2048), tile=(16, 16)):
+        system = default_system()
+        return TiledLayout(
+            array="A",
+            shape=shape,
+            tile=tile,
+            elem_type=DType.FP32,
+            register=0,
+            arrays_per_bank=system.cache.compute_arrays_per_bank,
+            num_banks=system.cache.l3_banks,
+        )
+
+    def test_tile_grid_and_layers(self):
+        layout = self._layout()
+        assert layout.tile_grid == (128, 128)
+        assert layout.num_tiles == 16384
+        assert layout.layers == 1  # exactly fills the 16384 arrays
+
+    def test_consecutive_tiles_fill_bank_first(self):
+        layout = self._layout()
+        w = layout.arrays_per_bank
+        assert layout.bank_of_tile((0, 0)) == 0
+        assert layout.slot_of_tile((w - 1, 0))[0] == 0
+        assert layout.bank_of_tile((w, 0)) != 0 or w >= layout.tile_grid[0]
+
+    def test_banks_covering_full_array(self):
+        layout = self._layout()
+        region = Hyperrect.from_bounds([(0, 2048), (0, 2048)])
+        assert layout.banks_covering(region) == set(range(64))
+
+    def test_banks_covering_single_tile(self):
+        layout = self._layout()
+        region = Hyperrect.from_bounds([(0, 16), (0, 16)])
+        assert layout.banks_covering(region) == {0}
+
+
+class TestFitsInL3:
+    def test_within_budget(self, system):
+        decls = {"A": ArrayDecl("A", (2048, 2048))}  # 16 MB
+        assert fits_in_l3(decls, system)
+
+    def test_over_budget(self, system):
+        decls = {
+            f"A{i}": ArrayDecl(f"A{i}", (8192, 2048)) for i in range(3)
+        }  # 3 x 64 MB > 128 MB compute ways
+        assert not fits_in_l3(decls, system)

@@ -1,0 +1,122 @@
+"""The Layout Override Table (Table 1, §5.2)."""
+
+import pytest
+
+from repro.errors import CoherenceError, SimulationError
+from repro.ir.dtypes import DType
+from repro.runtime.lot import (
+    LayoutOverrideTable,
+    LOTEntry,
+    TransposeState,
+)
+from repro.runtime.layout import TiledLayout
+
+
+def _entry(base=0x1000, n=64, tile=16):
+    return LOTEntry(
+        base=base,
+        end=base + n * 4,
+        elem_size=4,
+        ndim=1,
+        sizes=(n, 1, 1),
+        tiles=(tile, 1, 1),
+        wordline=0,
+        array="A",
+    )
+
+
+class TestLOTEntry:
+    def test_table1_field_limits(self):
+        with pytest.raises(SimulationError):
+            LOTEntry(0, 64, 4, 4, (4, 4, 4), (2, 2, 2), 0)  # ndim > 3
+        with pytest.raises(SimulationError):
+            LOTEntry(0, 64, 4, 1, (16, 1, 1), (4, 1, 1), 1024)  # wl 10 bits
+
+    def test_address_to_element(self):
+        e = _entry()
+        assert e.element_index(0x1000) == 0
+        assert e.element_index(0x1000 + 4 * 10) == 10
+        with pytest.raises(SimulationError):
+            e.element_index(0x999)
+
+    def test_bitline_mapping(self):
+        e = _entry(n=64, tile=16)
+        tile_id, bitline = e.bitline_of(0x1000 + 4 * 17)
+        assert tile_id == 1 and bitline == 1
+
+    def test_cell_of_2d(self):
+        e = LOTEntry(
+            base=0,
+            end=16 * 8 * 4,
+            elem_size=4,
+            ndim=2,
+            sizes=(16, 8, 1),
+            tiles=(4, 4, 1),
+            wordline=32,
+        )
+        # element 18 -> (dim0=2, dim1=1)
+        assert e.cell_of(18 * 4) == (2, 1, 0)
+
+
+class TestLOT:
+    def test_install_and_lookup(self):
+        lot = LayoutOverrideTable()
+        lot.install(_entry())
+        assert lot.lookup(0x1000) is not None
+        assert lot.lookup(0x0) is None
+        assert lot.lookup_array("A") is not None
+
+    def test_capacity_16_regions(self):
+        lot = LayoutOverrideTable()
+        for i in range(16):
+            lot.install(_entry(base=0x10000 * (i + 1)))
+        with pytest.raises(SimulationError):
+            lot.install(_entry(base=0x900000))
+
+    def test_overlap_rejected(self):
+        lot = LayoutOverrideTable()
+        lot.install(_entry(base=0x1000))
+        with pytest.raises(SimulationError):
+            lot.install(_entry(base=0x1010))
+
+    def test_core_blocked_during_transposition(self):
+        lot = LayoutOverrideTable()
+        e = lot.install(_entry())
+        e.trans = TransposeState.IN_PROGRESS
+        with pytest.raises(CoherenceError):
+            lot.check_core_access(0x1000)
+        e.trans = TransposeState.TRANSPOSED
+        lot.check_core_access(0x1000)  # allowed (longer latency)
+
+    def test_single_owner_lock(self):
+        """§6 limitation 1: one thread reserves the L3 at a time."""
+        lot = LayoutOverrideTable()
+        lot.lock("t0")
+        with pytest.raises(CoherenceError):
+            lot.lock("t1")
+        lot.unlock("t0")
+        lot.lock("t1")
+        with pytest.raises(CoherenceError):
+            lot.unlock("t0")
+
+    def test_install_from_layout(self, system):
+        layout = TiledLayout(
+            array="A",
+            shape=(2048, 2048),
+            tile=(16, 16),
+            elem_type=DType.FP32,
+            register=2,
+            arrays_per_bank=system.cache.compute_arrays_per_bank,
+            num_banks=system.cache.l3_banks,
+        )
+        lot = LayoutOverrideTable()
+        entry = lot.install_layout(layout, base=0x4000)
+        assert entry.wordline == 64  # register 2 x 32 bits
+        assert entry.sizes == (2048, 2048, 1)
+        assert entry.end - entry.base == 2048 * 2048 * 4
+
+    def test_release(self):
+        lot = LayoutOverrideTable()
+        lot.install(_entry())
+        lot.release("A")
+        assert lot.lookup_array("A") is None

@@ -1,0 +1,109 @@
+"""Ops: algebraic properties, bit-serial latencies, numpy semantics."""
+
+import numpy as np
+import pytest
+
+from repro.ir.dtypes import (
+    DType,
+    int_add_cycles,
+    int_mul_cycles,
+)
+from repro.ir.ops import Op
+
+
+class TestLatencies:
+    def test_int_add_is_linear(self):
+        """O(n): n+1 cycles for n-bit addition (§2.2)."""
+        assert int_add_cycles(32) == 33
+        assert Op.ADD.bitserial_cycles(DType.INT32) == 33
+        assert Op.ADD.bitserial_cycles(DType.INT8) == 9
+
+    def test_int_mul_is_quadratic(self):
+        """n^2 + 5n cycles for n-bit multiply (§5.2)."""
+        assert int_mul_cycles(32) == 32 * 32 + 5 * 32
+        assert Op.MUL.bitserial_cycles(DType.INT32) == 1184
+
+    def test_fp32_add_more_expensive_than_mul(self):
+        """Bit-serial fp add pays alignment: costlier than mul [17]."""
+        assert Op.ADD.bitserial_cycles(DType.FP32) > Op.MUL.bitserial_cycles(
+            DType.FP32
+        )
+
+    def test_bitwise_one_cycle_per_bit(self):
+        for op in (Op.AND, Op.OR, Op.XOR):
+            assert op.bitserial_cycles(DType.INT32) == 32
+
+    def test_fp_neg_is_sign_flip(self):
+        assert Op.NEG.bitserial_cycles(DType.FP32) == 1
+
+
+class TestAlgebra:
+    def test_associative_commutative_sets(self):
+        for op in (Op.ADD, Op.MUL, Op.MIN, Op.MAX):
+            assert op.is_associative and op.is_commutative
+        for op in (Op.SUB, Op.DIV):
+            assert not op.is_associative and not op.is_commutative
+
+    def test_distribution(self):
+        assert Op.MUL.distributes_over(Op.ADD)
+        assert Op.MUL.distributes_over(Op.SUB)
+        assert not Op.ADD.distributes_over(Op.MUL)
+
+    def test_reduction_friendly(self):
+        assert Op.ADD.is_reduction_friendly
+        assert Op.MAX.is_reduction_friendly
+        assert not Op.SUB.is_reduction_friendly
+
+    def test_arity(self):
+        assert Op.ADD.arity == 2
+        assert Op.SELECT.arity == 3
+        assert Op.RELU.arity == 1
+
+
+class TestNumpySemantics:
+    def test_binary_ops(self):
+        a = np.array([1.0, -2.0, 3.0], dtype=np.float32)
+        b = np.array([4.0, 5.0, -6.0], dtype=np.float32)
+        np.testing.assert_array_equal(Op.ADD.apply(a, b), a + b)
+        np.testing.assert_array_equal(Op.SUB.apply(a, b), a - b)
+        np.testing.assert_array_equal(Op.MUL.apply(a, b), a * b)
+        np.testing.assert_array_equal(Op.MIN.apply(a, b), np.minimum(a, b))
+
+    def test_relu(self):
+        a = np.array([-1.0, 0.0, 2.0], dtype=np.float32)
+        np.testing.assert_array_equal(
+            Op.RELU.apply(a), np.array([0.0, 0.0, 2.0], dtype=np.float32)
+        )
+
+    def test_select(self):
+        c = np.array([1.0, 0.0], dtype=np.float32)
+        a = np.array([10.0, 10.0], dtype=np.float32)
+        b = np.array([20.0, 20.0], dtype=np.float32)
+        np.testing.assert_array_equal(
+            Op.SELECT.apply(c, a, b), np.array([10.0, 20.0])
+        )
+
+    def test_int_division_floors(self):
+        a = np.array([7, 8], dtype=np.int32)
+        b = np.array([2, 3], dtype=np.int32)
+        np.testing.assert_array_equal(Op.DIV.apply(a, b), np.array([3, 2]))
+
+    def test_identities(self):
+        assert Op.ADD.identity == 0
+        assert Op.MUL.identity == 1
+        assert Op.MAX.identity == float("-inf")
+
+
+class TestDTypes:
+    def test_bits_and_bytes(self):
+        assert DType.FP32.bits == 32 and DType.FP32.bytes == 4
+        assert DType.INT8.bits == 8
+
+    def test_fp32_mantissa(self):
+        assert DType.FP32.mantissa_bits == 24
+        with pytest.raises(ValueError):
+            _ = DType.INT32.mantissa_bits
+
+    def test_numpy_mapping(self):
+        assert DType.FP32.numpy == np.dtype(np.float32)
+        assert DType.INT16.numpy == np.dtype(np.int16)

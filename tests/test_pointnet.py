@@ -1,0 +1,98 @@
+"""PointNet++ case study (§8, Table 4, Fig 19)."""
+
+import pytest
+
+from repro.workloads.pointnet import (
+    FC_DIMS,
+    INPUT_POINTS,
+    SA1,
+    SA2,
+    SA3,
+    SA9,
+    run_pointnet,
+    timeline,
+    total_cycles,
+)
+
+
+class TestTable4:
+    def test_sa_parameters(self):
+        assert (SA1.k, SA1.n, SA1.radius) == (512, 32, 0.2)
+        assert SA1.dims == (64, 64, 128)
+        assert SA2.dims == (128, 128, 256)
+        assert SA3.k == 1 and SA3.dims == (256, 512, 1024)
+        assert SA9.radius == 0.8
+        assert FC_DIMS == (512, 256, 10)
+
+    def test_input_cloud(self):
+        assert INPUT_POINTS == 4096
+
+
+class TestFig19:
+    def test_paradigm_ordering_ssg(self):
+        res = run_pointnet("ssg")
+        base = total_cycles(res["base"])
+        sp = {p: base / total_cycles(r) for p, r in res.items()}
+        assert sp["inf-s"] > sp["near-l3"] > 1.0
+        assert sp["inf-s"] > sp["in-l3"] > 1.0
+
+    def test_msg_favors_in_memory_more_than_ssg(self):
+        """MSG's larger MLPs make In-L3 relatively better (§8)."""
+        ssg = run_pointnet("ssg")
+        msg = run_pointnet("msg")
+        ssg_gain = total_cycles(ssg["base"]) / total_cycles(ssg["in-l3"])
+        msg_gain = total_cycles(msg["base"]) / total_cycles(msg["in-l3"])
+        assert msg_gain > ssg_gain
+
+    def test_ssg_base_dominated_by_sampling_and_mlp(self):
+        """Fig 19(a): sampling ~46% and MLP ~48% of Base SSG."""
+        res = run_pointnet("ssg")["base"]
+        frac = {}
+        total = total_cycles(res)
+        for s in res:
+            frac[s.stage] = frac.get(s.stage, 0.0) + s.cycles / total
+        assert frac["sample"] > 0.25
+        assert frac["mlp"] > 0.35
+        assert frac["sample"] + frac["mlp"] > 0.8
+
+    def test_sampling_offloaded_near_memory(self):
+        """Near-L3 achieves its win on furthest sampling (§8)."""
+        res = run_pointnet("ssg")
+        near_samples = [
+            s for s in res["near-l3"] if s.stage == "sample"
+        ]
+        assert all(s.where == "near" for s in near_samples)
+
+    def test_small_fc_layers_stay_off_the_bitlines(self):
+        """The runtime avoids offloading small MLP/FC layers (§8)."""
+        res = run_pointnet("ssg")
+        fc = [s for s in res["inf-s"] if s.stage == "fc"]
+        assert all(s.where != "inmem" for s in fc)
+
+    def test_infs_uses_all_three_targets(self):
+        """Fig 19: Inf-S flexibly mixes core, near-L3, and in-L3."""
+        res = run_pointnet("msg")["inf-s"]
+        assert {s.where for s in res} == {"core", "near", "inmem"}
+
+    def test_timeline_fractions_sum_to_one(self):
+        res = run_pointnet("ssg")["inf-s"]
+        rows = timeline(res)
+        assert sum(f for _, _, f, _ in rows) == pytest.approx(1.0)
+
+    def test_msg_shares_group_sampling(self):
+        """SAs in one MSG group share sampled centroids (§8)."""
+        res = run_pointnet("msg")["base"]
+        samples = [s for s in res if s.stage == "sample"]
+        sas = [s for s in res if s.stage == "query"]
+        assert len(samples) < len(sas)
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(ValueError):
+            run_pointnet("tsg")
+
+    def test_headline_speedups_in_band(self):
+        """Paper: Inf-S 1.69x (SSG) / 1.93x (MSG); we accept 1.3-3.6x."""
+        for arch, lo, hi in (("ssg", 1.3, 3.3), ("msg", 1.4, 4.3)):
+            res = run_pointnet(arch)
+            gain = total_cycles(res["base"]) / total_cycles(res["inf-s"])
+            assert lo < gain < hi, f"{arch}: {gain:.2f}"

@@ -1,0 +1,150 @@
+"""Stream DFG: access patterns, reuse, and region sDFG derivation."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.frontend import parse_kernel
+from repro.ir.sdfg import (
+    AffinePattern,
+    IndirectPattern,
+    Stream,
+    StreamDFG,
+    StreamType,
+)
+
+
+class TestAffinePattern:
+    def test_contiguous_1d(self):
+        p = AffinePattern(0, ((1, 8),))
+        assert p.trip_count == 8
+        assert p.is_contiguous
+        assert list(p.addresses()) == list(range(8))
+
+    def test_strided_2d(self):
+        """start[:stride:count]+ with dim 0 iterating fastest."""
+        p = AffinePattern(4, ((1, 2), (10, 3)))
+        assert p.trip_count == 6
+        assert list(p.addresses()) == [4, 5, 14, 15, 24, 25]
+
+    def test_limits(self):
+        with pytest.raises(IRError):
+            AffinePattern(0, ())  # needs 1-3 dims
+        with pytest.raises(IRError):
+            AffinePattern(0, ((1, 4),) * 4)
+        with pytest.raises(IRError):
+            AffinePattern(0, ((1, 0),))
+
+    def test_str(self):
+        assert str(AffinePattern(3, ((2, 5),))) == "3[:2:5]"
+
+
+class TestStreamDFG:
+    def test_dependences_recorded(self):
+        sdfg = StreamDFG(name="x")
+        sdfg.add(
+            Stream("a", "A", StreamType.LOAD, AffinePattern(0, ((1, 8),)))
+        )
+        sdfg.add(
+            Stream(
+                "c",
+                "C",
+                StreamType.STORE,
+                AffinePattern(0, ((1, 8),)),
+                compute_inputs=("a",),
+            )
+        )
+        assert ("a", "c") in sdfg.edges
+        sdfg.validate()
+
+    def test_indirect_dependence(self):
+        sdfg = StreamDFG(name="x")
+        sdfg.add(
+            Stream("idx", "I", StreamType.LOAD, AffinePattern(0, ((1, 8),)))
+        )
+        sdfg.add(
+            Stream("g", "A", StreamType.LOAD, IndirectPattern("idx", trip_count=8))
+        )
+        assert sdfg.has_indirect()
+        assert ("idx", "g") in sdfg.edges
+
+    def test_duplicate_rejected(self):
+        sdfg = StreamDFG(name="x")
+        s = Stream("a", "A", StreamType.LOAD, AffinePattern(0, ((1, 8),)))
+        sdfg.add(s)
+        with pytest.raises(IRError):
+            sdfg.add(s)
+
+    def test_dangling_edge_invalid(self):
+        sdfg = StreamDFG(name="x")
+        sdfg.add(
+            Stream(
+                "c",
+                "C",
+                StreamType.STORE,
+                AffinePattern(0, ((1, 8),)),
+                compute_inputs=("ghost",),
+            )
+        )
+        with pytest.raises(IRError):
+            sdfg.validate()
+
+
+class TestRegionSDFG:
+    """The near-memory view derived alongside each tDFG region (§3.4)."""
+
+    def _region(self, src, arrays, params, dataflow="inner"):
+        prog = parse_kernel("k", src, arrays=arrays)
+        return prog.instantiate(params, dataflow=dataflow).first_region()
+
+    def test_streams_for_every_reference(self):
+        region = self._region(
+            "for i in [1, N-1):\n    B[i] = A[i-1] + A[i+1]\n",
+            {"A": ("N",), "B": ("N",)},
+            {"N": 64},
+        )
+        sdfg = region.tdfg.sdfg
+        arrays = sorted(s.array for s in sdfg.streams.values())
+        assert arrays == ["A", "A", "B"]
+        assert all(s.is_affine for s in sdfg.streams.values())
+
+    def test_reuse_factor_for_broadcast_operand(self):
+        """Fig 4(c): data reused by missing inner loops carries `reuse`,
+        which the stream engine cannot exploit."""
+        region = self._region(
+            "for k in [0, K):\n    for m in [0, M):\n        for n in [0, N):\n"
+            "            C[m][n] += A[m][k] * B[k][n]\n",
+            {"A": ("M", "K"), "B": ("K", "N"), "C": ("M", "N")},
+            {"M": 32, "N": 16, "K": 8},
+            dataflow="outer",
+        )
+        sdfg = region.tdfg.sdfg
+        by_array = {s.array: s for s in sdfg.streams.values()}
+        assert by_array["A"].reuse == 16  # reused across n
+        assert by_array["B"].reuse == 32  # reused across m
+        assert by_array["C"].reuse == 1
+
+    def test_strides_follow_memory_layout(self):
+        region = self._region(
+            "for i in [0, M):\n    for j in [0, N):\n        B[i][j] = A[i][j]\n",
+            {"A": ("M", "N"), "B": ("M", "N")},
+            {"M": 16, "N": 32},
+        )
+        a_stream = next(
+            s for s in region.tdfg.sdfg.streams.values() if s.array == "A"
+        )
+        # Innermost (j) stride 1, then row stride N.
+        assert a_stream.pattern.dims[0] == (1, 32)
+        assert a_stream.pattern.dims[1] == (32, 16)
+
+    def test_indirect_pattern_counts_distinct_accesses(self):
+        region = self._region(
+            "for m in [0, M):\n    for k in [0, K):\n"
+            "        Out[m][k] = G[idx[m]][k]\n",
+            {"G": ("P", "K"), "Out": ("M", "K"), "idx": ("M",)},
+            {"M": 32, "K": 16, "P": 64},
+        )
+        g_stream = next(
+            s for s in region.tdfg.sdfg.streams.values() if s.array == "G"
+        )
+        assert not g_stream.is_affine
+        assert g_stream.trip_count == 32 * 16

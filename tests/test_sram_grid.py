@@ -1,0 +1,181 @@
+"""Value-level SRAM grid: shifts, computes, broadcasts (functional)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.geometry import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.ops import Op
+from repro.runtime.commands import BroadcastCmd, ComputeCmd, ShiftCmd
+from repro.uarch.sram import SRAMGrid
+
+
+def grid_1d(n=32, tile=8):
+    return SRAMGrid(shape=(n,), tile=(tile,))
+
+
+class TestLoadRead:
+    def test_roundtrip(self):
+        g = grid_1d()
+        data = np.arange(16, dtype=np.float32)
+        r = Hyperrect.from_bounds([(4, 20)])
+        g.load(0, r, data)
+        np.testing.assert_array_equal(g.read(0, r), data)
+
+    def test_shape_mismatch(self):
+        g = grid_1d()
+        with pytest.raises(SimulationError):
+            g.load(0, Hyperrect.from_bounds([(0, 4)]), np.zeros(5, np.float32))
+
+
+class TestShift:
+    def test_masked_shift(self):
+        g = grid_1d(n=16, tile=8)
+        g.load(0, Hyperrect.from_bounds([(0, 16)]), np.arange(16, dtype=np.float32))
+        # Move only tile-local positions [0, 7) forward by 1.
+        g.execute(
+            ShiftCmd(
+                tensor=Hyperrect.from_bounds([(0, 16)]),
+                dim=0,
+                mask_lo=0,
+                mask_hi=7,
+                inter_tile_dist=0,
+                intra_tile_dist=1,
+                src_reg=0,
+                dst_reg=1,
+                elements=14,
+            )
+        )
+        out = g.read(1, Hyperrect.from_bounds([(0, 16)]))
+        assert out[1] == 0.0 and out[2] == 1.0
+        assert out[7] == 6.0
+        assert out[8] == 0.0  # position 7 was masked out
+
+    def test_bound_clipping(self):
+        g = grid_1d(n=8, tile=8)
+        g.load(0, Hyperrect.from_bounds([(0, 8)]), np.arange(8, dtype=np.float32))
+        g.execute(
+            ShiftCmd(
+                tensor=Hyperrect.from_bounds([(0, 8)]),
+                dim=0,
+                mask_lo=0,
+                mask_hi=8,
+                inter_tile_dist=0,
+                intra_tile_dist=-2,
+                src_reg=0,
+                dst_reg=1,
+                elements=6,
+            )
+        )
+        out = g.read(1, Hyperrect.from_bounds([(0, 8)]))
+        assert out[0] == 2.0 and out[5] == 7.0
+
+    def test_requires_tile(self):
+        g = SRAMGrid(shape=(8,))
+        with pytest.raises(SimulationError):
+            g.execute(
+                ShiftCmd(
+                    tensor=Hyperrect.from_bounds([(0, 8)]),
+                    dim=0,
+                    mask_lo=0,
+                    mask_hi=8,
+                    inter_tile_dist=0,
+                    intra_tile_dist=1,
+                    src_reg=0,
+                    dst_reg=1,
+                    elements=8,
+                )
+            )
+
+
+class TestCompute:
+    def test_positional_operands(self):
+        """const - reg and reg - const must differ."""
+        g = grid_1d(n=8, tile=8)
+        r = Hyperrect.from_bounds([(0, 8)])
+        g.load(0, r, np.full(8, 3.0, np.float32))
+        g.execute(
+            ComputeCmd(
+                op=Op.SUB,
+                domain=r,
+                dst_reg=1,
+                operands=(("const", 10.0), ("reg", 0)),
+            )
+        )
+        np.testing.assert_array_equal(g.read(1, r), np.full(8, 7.0))
+        g.execute(
+            ComputeCmd(
+                op=Op.SUB,
+                domain=r,
+                dst_reg=2,
+                operands=(("reg", 0), ("const", 10.0)),
+            )
+        )
+        np.testing.assert_array_equal(g.read(2, r), np.full(8, -7.0))
+
+    def test_symbolic_const_resolution(self):
+        g = grid_1d(n=8, tile=8)
+        g.params["alpha"] = 4.0
+        r = Hyperrect.from_bounds([(0, 8)])
+        g.load(0, r, np.ones(8, np.float32))
+        g.execute(
+            ComputeCmd(
+                op=Op.MUL,
+                domain=r,
+                dst_reg=1,
+                operands=(("const", "alpha"), ("reg", 0)),
+            )
+        )
+        np.testing.assert_array_equal(g.read(1, r), np.full(8, 4.0))
+
+    def test_unresolved_symbol_raises(self):
+        g = grid_1d(n=8, tile=8)
+        r = Hyperrect.from_bounds([(0, 8)])
+        with pytest.raises(SimulationError):
+            g.execute(
+                ComputeCmd(
+                    op=Op.MUL,
+                    domain=r,
+                    dst_reg=1,
+                    operands=(("const", "missing"), ("reg", 0)),
+                )
+            )
+
+    def test_scratch_register_is_separate(self):
+        """Register -2 (PE scratch rows) never aliases register 0."""
+        g = grid_1d(n=8, tile=8)
+        r = Hyperrect.from_bounds([(0, 8)])
+        g.load(0, r, np.arange(8, dtype=np.float32))
+        g.execute(
+            ShiftCmd(
+                tensor=r, dim=0, mask_lo=0, mask_hi=8,
+                inter_tile_dist=0, intra_tile_dist=-1,
+                src_reg=0, dst_reg=-2, elements=7,
+            )
+        )
+        np.testing.assert_array_equal(
+            g.read(0, r), np.arange(8, dtype=np.float32)
+        )
+        assert g.read(-2, r)[0] == 1.0
+
+
+class TestBroadcast:
+    def test_2d_row_broadcast(self):
+        g = SRAMGrid(shape=(8, 8), tile=(8, 1))
+        row = Hyperrect.from_bounds([(0, 8), (2, 3)])
+        g.load(0, row, np.arange(8, dtype=np.float32).reshape(1, 8))
+        g.execute(
+            BroadcastCmd(
+                tensor=row,
+                dim=1,
+                dest_lo=0,
+                copies=8,
+                src_reg=0,
+                dst_reg=1,
+                elements=8,
+            )
+        )
+        full = g.read(1, Hyperrect.from_bounds([(0, 8), (0, 8)]))
+        for r in range(8):
+            np.testing.assert_array_equal(full[r], np.arange(8))

@@ -1,0 +1,207 @@
+"""NoC, cache, DRAM, TTU, stream engines, tensor controllers."""
+
+import pytest
+
+from repro.config.system import default_system
+from repro.geometry import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.sdfg import AffinePattern, Stream, StreamDFG, StreamType
+from repro.runtime.commands import ShiftCmd
+from repro.runtime.layout import TiledLayout
+from repro.runtime.lot import LOTEntry, TransposeState
+from repro.uarch.cache import NUCACache
+from repro.uarch.chip import Chip
+from repro.uarch.dram import DRAMModel
+from repro.uarch.noc import MeshNoC, TrafficLedger
+from repro.uarch.stream_engine import StreamEngineL3
+from repro.uarch.tensor_ctrl import DelayedRelease, TensorControllers
+from repro.uarch.ttu import TransposeUnit
+
+
+class TestNoC:
+    def test_average_hops_formula(self):
+        """(n^2-1)/(3n) per dimension for an 8x8 mesh: 5.25."""
+        noc = MeshNoC()
+        assert noc.average_hops == pytest.approx(2 * 63 / 24)
+
+    def test_diameter(self):
+        assert MeshNoC().diameter == 14
+
+    def test_multicast_cheaper_than_unicasts(self):
+        noc = MeshNoC()
+        assert noc.multicast_hops(64) < 64 * noc.average_hops
+
+    def test_ledger_categories(self):
+        noc = MeshNoC()
+        noc.unicast("data", 100.0, hops=2.0)
+        noc.unicast("control", 10.0, hops=1.0)
+        noc.multicast("offload", 16.0, 64)
+        assert noc.ledger.data == 200.0
+        assert noc.ledger.control == 10.0
+        assert noc.ledger.offload > 0
+        assert noc.ledger.total == pytest.approx(
+            noc.ledger.data + noc.ledger.control + noc.ledger.offload
+        )
+
+    def test_serialization_respects_capacity(self):
+        noc = MeshNoC()
+        links = 2 * 7 * 8
+        cap = links * 32 * 2
+        assert noc.serialization_cycles(cap) == pytest.approx(1.0)
+
+    def test_utilization_bounded(self):
+        noc = MeshNoC()
+        assert 0 <= noc.utilization(1e9, 10.0) <= 1.0
+
+    def test_ledger_merge(self):
+        a = TrafficLedger(data=1.0, control=2.0)
+        b = TrafficLedger(data=3.0, inter_tile=4.0)
+        m = a.merge(b)
+        assert m.data == 4.0 and m.control == 2.0 and m.inter_tile == 4.0
+
+
+class TestCache:
+    def test_nuca_interleaving(self, system):
+        cache = NUCACache(config=system.cache)
+        assert cache.home_bank(0) == 0
+        assert cache.home_bank(1024) == 1
+        assert cache.home_bank(64 * 1024) == 0  # wraps at 64 banks
+
+    def test_lot_overrides_home_bank(self, system):
+        cache = NUCACache(config=system.cache)
+        entry = LOTEntry(
+            base=0,
+            end=4096 * 4,
+            elem_size=4,
+            ndim=1,
+            sizes=(4096, 1, 1),
+            tiles=(256, 1, 1),
+            wordline=0,
+            trans=TransposeState.TRANSPOSED,
+        )
+        cache.lot.install(entry)
+        # element 300 lives in tile 1 -> still bank 0 (W=256 per bank).
+        assert cache.home_bank(300 * 4) == 0
+
+    def test_transposed_line_not_split(self, system):
+        cache = NUCACache(config=system.cache)
+        entry = LOTEntry(
+            base=0,
+            end=65536 * 4,
+            elem_size=4,
+            ndim=1,
+            sizes=(65536, 1, 1),
+            tiles=(256, 1, 1),
+            wordline=0,
+            trans=TransposeState.TRANSPOSED,
+        )
+        cache.lot.install(entry)
+        for paddr in (0, 4096, 64 * 300):
+            cache.check_line_single_bank(paddr)
+
+    def test_way_reservation(self, system):
+        cache = NUCACache(config=system.cache)
+        cache.reserve_compute_ways()
+        assert cache.reserved
+        assert cache.banks[0].normal_ways == 2  # 18 - 16
+        cache.release_compute_ways()
+        assert not cache.reserved
+
+    def test_transposed_access_slower(self, system):
+        cache = NUCACache(config=system.cache)
+        assert cache.access_latency("transposed") > cache.access_latency(
+            "normal"
+        )
+
+
+class TestDRAMAndTTU:
+    def test_dram_bandwidth_cycles(self):
+        dram = DRAMModel(frequency_ghz=2.0)
+        assert dram.stream_cycles(12_800) == pytest.approx(1000.0)
+        assert dram.read_cycles(128) > dram.stream_cycles(128)
+
+    def test_ttu_scales_with_banks(self, system):
+        ttu = TransposeUnit(system=system)
+        full = ttu.transpose_cycles(1 << 20)
+        half = ttu.transpose_cycles(1 << 20, banks=32)
+        assert half == pytest.approx(2 * full)
+
+
+class TestStreamEngine:
+    def _sdfg(self, n=4096, reuse=1):
+        sdfg = StreamDFG(name="s")
+        sdfg.streams["a"] = Stream(
+            name="a",
+            array="A",
+            stype=StreamType.LOAD,
+            pattern=AffinePattern(0, ((1, n),)),
+            reuse=reuse,
+        )
+        return sdfg
+
+    def test_reuse_multiplies_bank_traffic(self, system):
+        se = StreamEngineL3(system=system, noc=MeshNoC())
+        plain = se.execute_sdfg(self._sdfg())
+        reread = StreamEngineL3(system=system, noc=MeshNoC()).execute_sdfg(
+            self._sdfg(reuse=8)
+        )
+        assert reread.bank_bytes == pytest.approx(8 * plain.bank_bytes)
+
+    def test_reduce_partials_scaling(self, system):
+        se = StreamEngineL3(system=system, noc=MeshNoC())
+        assert se.reduce_partials_cycles(64_000) > se.reduce_partials_cycles(
+            640
+        )
+
+
+class TestTensorControllers:
+    def _layout(self, system):
+        return TiledLayout(
+            array="A",
+            shape=(4096,),
+            tile=(256,),
+            elem_type=DType.FP32,
+            register=0,
+            arrays_per_bank=system.cache.compute_arrays_per_bank,
+            num_banks=system.cache.l3_banks,
+        )
+
+    def test_cross_bank_fraction_bounds(self, system):
+        tc = TensorControllers(system=system, noc=MeshNoC())
+        layout = self._layout(system)
+        cmd = ShiftCmd(
+            tensor=Hyperrect.from_bounds([(0, 4096)]),
+            dim=0,
+            mask_lo=255,
+            mask_hi=256,
+            inter_tile_dist=1,
+            intra_tile_dist=-255,
+            src_reg=0,
+            dst_reg=1,
+            elements=16,
+        )
+        frac = tc.cross_bank_fraction(cmd, layout)
+        assert 0.0 <= frac <= 1.0
+        # Adjacent-tile shifts mostly stay within a bank (W=256).
+        assert frac < 0.1
+
+    def test_delayed_release_conditions(self, system):
+        rel = DelayedRelease(system=system)
+        assert not rel.should_release
+        rel.record_normal_request(system.tc.release_request_threshold + 1)
+        assert rel.should_release
+        rel.reset()
+        rel.tick(system.tc.release_timer_cycles + 1)
+        assert rel.should_release
+        rel.reset()
+        rel.miss_rate = 0.9
+        assert rel.should_release
+
+
+class TestChip:
+    def test_composition(self, system):
+        chip = Chip(system=system)
+        assert chip.peak_in_memory_ops(32) == 131072
+        assert chip.peak_core_ops() == 1024
+        fresh = chip.fresh()
+        assert fresh.noc.ledger.total == 0.0
