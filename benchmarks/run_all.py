@@ -4,9 +4,17 @@
 Usage::
 
     python benchmarks/run_all.py [--scale 1.0] [--out EXPERIMENTS_DATA.txt]
+                                 [--jobs N] [--cache] [--no-cache]
 
 This is the script behind EXPERIMENTS.md: each section prints the rows
 of one paper figure, produced by :mod:`repro.sim.campaign`.
+
+``--jobs N`` fans independent simulation points out across N worker
+processes; ``--cache`` persists compiled artifacts (fat binaries, JIT
+lowerings) under ``.repro_cache/`` so reruns start warm.  Neither
+changes any figure: tables are byte-identical across jobs/cache
+settings — only the performance summary (written to stderr, never to
+``--out``) differs.
 """
 
 from __future__ import annotations
@@ -15,6 +23,9 @@ import argparse
 import sys
 import time
 
+from repro.exec.cache import active_cache, configure_cache
+from repro.exec.pool import PointExecutor
+from repro.runtime.jit import global_stats
 from repro.sim import campaign as C
 
 
@@ -23,8 +34,31 @@ def main() -> int:
     ap.add_argument("--scale", type=float, default=1.0)
     ap.add_argument("--sweep-scale", type=float, default=0.25)
     ap.add_argument("--out", type=str, default=None)
+    ap.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for independent simulation points",
+    )
+    ap.add_argument(
+        "--cache",
+        action="store_true",
+        help="persist compiled artifacts under --cache-dir across runs",
+    )
+    ap.add_argument("--cache-dir", type=str, default=".repro_cache")
+    ap.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable even the in-memory compilation cache",
+    )
     args = ap.parse_args()
 
+    if args.no_cache:
+        configure_cache(enabled=False)
+    elif args.cache:
+        configure_cache(disk_dir=args.cache_dir)
+
+    ex = PointExecutor(jobs=max(1, args.jobs))
     out = open(args.out, "w") if args.out else sys.stdout
 
     def section(title, table):
@@ -34,27 +68,46 @@ def main() -> int:
 
     t0 = time.time()
     section("Eq. 1: peak throughput", _eq1())
-    section("Fig 2: paradigm speedup over Base-Thread-1", C.fig02_microbench())
-    headers, rows, results = C.fig11_speedup(args.scale)
+    section("Fig 2: paradigm speedup over Base-Thread-1",
+            C.fig02_microbench(executor=ex))
+    headers, rows, results = C.fig11_speedup(args.scale, executor=ex)
     section("Fig 11: overall speedup over Base", (headers, rows))
     section("Fig 12: NoC traffic (normalized to Base)",
             C.fig12_noc_traffic(results))
     section("Fig 13: Inf-S traffic breakdown",
-            C.fig13_infs_traffic(args.scale))
-    section("Fig 14: Inf-S cycle breakdown", C.fig14_cycles(args.scale))
-    section("Fig 15: dataflow choice", C.fig15_dataflow(args.scale))
-    sweep, summary = C.fig16_tile_sweep_2d(scale=args.sweep_scale)
+            C.fig13_infs_traffic(args.scale, executor=ex))
+    section("Fig 14: Inf-S cycle breakdown",
+            C.fig14_cycles(args.scale, executor=ex))
+    section("Fig 15: dataflow choice", C.fig15_dataflow(args.scale, executor=ex))
+    sweep, summary = C.fig16_tile_sweep_2d(scale=args.sweep_scale, executor=ex)
     section("Fig 16: cycles vs 2D tile size", sweep)
     section("Fig 16: heuristic vs oracle", summary)
-    section("Fig 17: speedup vs 3D tile size", C.fig17_tile_sweep_3d())
-    section("Fig 18: energy efficiency over Base", C.fig18_energy(args.scale))
-    speed, tl = C.fig19_pointnet()
+    section("Fig 17: speedup vs 3D tile size",
+            C.fig17_tile_sweep_3d(executor=ex))
+    section("Fig 18: energy efficiency over Base",
+            C.fig18_energy(args.scale, executor=ex))
+    speed, tl = C.fig19_pointnet(executor=ex)
     section("Fig 19: PointNet++ speedups", speed)
     section("Fig 19: PointNet++ timelines", tl)
-    section("JIT overheads (§8)", C.jit_overheads(args.scale))
-    print(f"\n(total {time.time() - t0:.0f}s)", file=out)
+    section("JIT overheads (§8)", C.jit_overheads(args.scale, executor=ex))
     if args.out:
         out.close()
+
+    # Host-performance summary: stderr only, so --out files stay
+    # byte-comparable across --jobs/--cache settings.
+    err = sys.stderr
+    print(f"\n## Wall-clock per section (--jobs {args.jobs})\n", file=err)
+    print(C.format_table(*ex.report()), file=err)
+    cache = active_cache()
+    print("\n## Compilation cache\n", file=err)
+    if cache is None:
+        print("disabled (--no-cache)", file=err)
+    else:
+        where = f"disk at {cache.disk_dir}/" if cache.disk_dir else "in-memory"
+        print(f"{where}: {cache.stats.summary()}", file=err)
+    print("\n## JIT compiler\n", file=err)
+    print(global_stats().summary(), file=err)
+    print(f"\n(total {time.time() - t0:.0f}s)", file=err)
     return 0
 
 

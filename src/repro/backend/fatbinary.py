@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import SchedulingError
+from repro.exec.cache import CompilationCache, active_cache, stable_digest
 from repro.ir.sdfg import StreamDFG
 from repro.ir.tdfg import TensorDFG
 
@@ -52,12 +53,30 @@ def compile_fat_binary(
     sram_sizes: tuple[int, ...] = COMMON_SRAM_SIZES,
     spill_mode: str = "error",
     virtual_fuse: int = 1,
+    cache: CompilationCache | None = None,
+    use_cache: bool = True,
 ) -> FatBinary:
     """Schedule + register-allocate the tDFG for each SRAM size.
 
     ``spill_mode`` / ``virtual_fuse`` enable the §6/§3.4 relaxations
     (DRAM spill streams, fused virtual arrays).
+
+    Compilation is pure in the tDFG and its options, so results are
+    memoized in the content-addressed cache (*cache*, defaulting to the
+    process-global one; ``use_cache=False`` opts out).  Cached binaries
+    are shared objects — consumers must treat them as immutable, which
+    they do: scheduling and register allocation happen here, and the
+    JIT/timing layers only read the scheduled configs.
     """
+    cache = (cache or active_cache()) if use_cache else None
+    key = None
+    if cache is not None:
+        key = "fatbin-" + stable_digest(
+            [tdfg.fingerprint(), list(sram_sizes), spill_mode, virtual_fuse]
+        )
+        hit = cache.get(key)
+        if isinstance(hit, FatBinary):
+            return hit
     binary = FatBinary(name=tdfg.name, tdfg=tdfg)
     for size in sram_sizes:
         sched = schedule_tdfg(tdfg, wordlines=size)
@@ -65,4 +84,6 @@ def compile_fat_binary(
             sched, spill_mode=spill_mode, virtual_fuse=virtual_fuse
         )
         binary.configs[size] = sched
+    if cache is not None and key is not None:
+        cache.put(key, binary)
     return binary

@@ -226,6 +226,15 @@ class SystemConfig:
         """All cores issuing one 512-bit vector op per cycle (1024 for fp32)."""
         return self.num_cores * self.core.simd_lanes(elem_bits)
 
+    def fingerprint(self) -> str:
+        """SHA-256 digest of the full parameter tree (stable across
+        processes), used to key the content-addressed compilation cache:
+        any parameter change — SRAM geometry, bank counts, NoC shape —
+        invalidates every artifact compiled under this configuration."""
+        from repro.exec.cache import stable_digest
+
+        return stable_digest(self)
+
     def with_sram_size(self, wordlines: int) -> "SystemConfig":
         """A copy using square SRAM arrays of the given size (256 or 512)."""
         sram = SRAMArrayConfig(wordlines=wordlines, bitlines=wordlines)

@@ -1,0 +1,10 @@
+"""``python -m repro.exec`` — inspect/clear the on-disk compile cache.
+
+Delegates to :func:`repro.exec.cache.main`; running the *package*
+avoids the runpy double-import warning that ``-m repro.exec.cache``
+triggers (the package ``__init__`` already imports the submodule).
+"""
+
+from repro.exec.cache import main
+
+raise SystemExit(main())

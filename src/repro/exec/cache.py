@@ -1,0 +1,337 @@
+"""Content-addressed compilation cache.
+
+Simulation campaigns re-run the same workload under several paradigms
+and tile overrides, and every host-loop iteration recompiles the fat
+binary and re-lowers the region from scratch even when the tDFG and
+:class:`~repro.config.system.SystemConfig` are identical.  This module
+memoizes those artifacts by *content fingerprint*:
+
+* keys are SHA-256 digests of a canonical encoding of everything the
+  compilation depends on (tDFG structure, system parameters, tile
+  override), so they are stable across processes and across runs;
+* values live in an in-process LRU, optionally write-through persisted
+  under ``.repro_cache/`` (one pickle per entry, sharded by key prefix);
+* hits never change modeled timing — a cache hit returns the same
+  lowering a fresh compile would have produced, and the JIT's *modeled*
+  memoization cycles (§4.2) are accounted separately per run.
+
+The module holds one process-global active cache (in-memory by default;
+set ``REPRO_CACHE_DIR`` or call :func:`configure_cache` for disk
+persistence) so that the backend and the JIT share it without plumbing.
+A tiny CLI inspects or clears the on-disk store::
+
+    python -m repro.exec [--dir .repro_cache] [--clear]
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, fields
+from pathlib import Path
+
+DEFAULT_CACHE_DIR = ".repro_cache"
+DEFAULT_MAX_ENTRIES = 8192
+
+
+# ----------------------------------------------------------------------
+# Canonical encoding + stable digests
+# ----------------------------------------------------------------------
+def canonical(obj):
+    """Encode *obj* as JSON-serializable primitives, deterministically.
+
+    Handles the value types compilation keys are made of: primitives,
+    enums, (nested, frozen) dataclasses, dicts, sequences and sets.
+    Unlike :func:`hash`, the result does not depend on the process'
+    string-hash seed, so digests agree across worker processes.
+    """
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr round-trips exactly; json would too, but be explicit.
+        return float.hex(obj)
+    if isinstance(obj, enum.Enum):
+        return [type(obj).__name__, obj.name]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return [type(obj).__name__] + [
+            [f.name, canonical(getattr(obj, f.name))] for f in fields(obj)
+        ]
+    if isinstance(obj, dict):
+        return ["dict"] + sorted(
+            ([canonical(k), canonical(v)] for k, v in obj.items()),
+            key=repr,
+        )
+    if isinstance(obj, (list, tuple)):
+        return [canonical(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        return ["set"] + sorted((canonical(v) for v in obj), key=repr)
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
+def stable_digest(obj) -> str:
+    """SHA-256 hex digest of the canonical encoding of *obj*."""
+    payload = json.dumps(canonical(obj), separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Statistics
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters, mergeable across worker processes."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    disk_hits: int = 0  # subset of ``hits`` served from the disk store
+    disk_stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def copy(self) -> "CacheStats":
+        return dataclasses.replace(self)
+
+    def delta(self, before: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(before, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def summary(self) -> str:
+        return (
+            f"{self.lookups} lookups, {self.hits} hits "
+            f"({self.hit_rate:.0%}), {self.disk_hits} from disk, "
+            f"{self.stores} stores, {self.evictions} evictions"
+        )
+
+
+@dataclass(frozen=True)
+class LayoutFailure:
+    """Negative cache entry: this key deterministically fails to lower."""
+
+    message: str
+
+
+_MISS = object()
+
+
+# ----------------------------------------------------------------------
+# The cache
+# ----------------------------------------------------------------------
+class CompilationCache:
+    """LRU of compiled artifacts keyed by content digest.
+
+    Values must be picklable (for the optional disk store) and are
+    treated as immutable by every consumer: the backend schedules and
+    register-allocates *before* insertion, and the JIT/timing layers
+    only read the cached objects.
+    """
+
+    def __init__(
+        self,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        disk_dir: str | os.PathLike | None = None,
+    ) -> None:
+        self.max_entries = max(1, int(max_entries))
+        self.disk_dir = Path(disk_dir) if disk_dir else None
+        self.stats = CacheStats()
+        self._lru: OrderedDict[str, object] = OrderedDict()
+
+    # ------------------------------------------------------------------
+    def get(self, key: str):
+        """The cached value, or ``None`` on miss (values are never None)."""
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.stats.hits += 1
+            return self._lru[key]
+        value = self._disk_get(key)
+        if value is not _MISS:
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            self._insert(key, value)
+            return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value) -> None:
+        if value is None:
+            raise ValueError("cannot cache None (reserved for misses)")
+        self.stats.stores += 1
+        self._insert(key, value)
+        self._disk_put(key, value)
+
+    def clear(self, disk: bool = False) -> None:
+        self._lru.clear()
+        if disk and self.disk_dir is not None:
+            for path in self.disk_dir.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._lru
+
+    # ------------------------------------------------------------------
+    def _insert(self, key: str, value) -> None:
+        self._lru[key] = value
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.max_entries:
+            # Evicted entries stay on disk (if persisted): the LRU only
+            # bounds resident memory, not the content-addressed store.
+            self._lru.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / key[:2] / f"{key}.pkl"
+
+    def _disk_get(self, key: str):
+        if self.disk_dir is None:
+            return _MISS
+        path = self._path(key)
+        try:
+            with open(path, "rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return _MISS
+
+    def _disk_put(self, key: str, value) -> None:
+        if self.disk_dir is None:
+            return
+        path = self._path(key)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Atomic publish: concurrent workers may race on one key.
+            fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            self.stats.disk_stores += 1
+        except (OSError, pickle.PicklingError):
+            return  # persistence is best-effort
+
+    # ------------------------------------------------------------------
+    def disk_entries(self) -> list[tuple[str, int]]:
+        """(key, bytes) for every entry in the disk store."""
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        out = []
+        for path in sorted(self.disk_dir.glob("*/*.pkl")):
+            out.append((path.stem, path.stat().st_size))
+        return out
+
+
+# ----------------------------------------------------------------------
+# The process-global active cache
+# ----------------------------------------------------------------------
+_active: CompilationCache | None = CompilationCache(
+    disk_dir=os.environ.get("REPRO_CACHE_DIR") or None
+)
+
+
+def active_cache() -> CompilationCache | None:
+    """The cache the backend/JIT consult, or ``None`` when disabled."""
+    return _active
+
+
+def configure_cache(
+    enabled: bool = True,
+    max_entries: int = DEFAULT_MAX_ENTRIES,
+    disk_dir: str | os.PathLike | None = None,
+) -> CompilationCache | None:
+    """Replace the process-global cache (e.g. from CLI flags)."""
+    global _active
+    _active = (
+        CompilationCache(max_entries=max_entries, disk_dir=disk_dir)
+        if enabled
+        else None
+    )
+    return _active
+
+
+def export_config() -> dict:
+    """The active configuration, picklable for worker-process setup."""
+    if _active is None:
+        return {"enabled": False}
+    return {
+        "enabled": True,
+        "max_entries": _active.max_entries,
+        "disk_dir": str(_active.disk_dir) if _active.disk_dir else None,
+    }
+
+
+def configure_from(config: dict) -> None:
+    configure_cache(**config)
+
+
+def stats_snapshot() -> CacheStats:
+    return _active.stats.copy() if _active is not None else CacheStats()
+
+
+def merge_stats(delta: CacheStats) -> None:
+    """Fold a worker process' counter delta into the active cache."""
+    if _active is not None:
+        _active.stats.merge(delta)
+
+
+# ----------------------------------------------------------------------
+# CLI: inspect / clear the on-disk store
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.exec",
+        description="Inspect or clear the on-disk compilation cache.",
+    )
+    ap.add_argument("--dir", default=DEFAULT_CACHE_DIR)
+    ap.add_argument("--clear", action="store_true")
+    args = ap.parse_args(argv)
+
+    cache = CompilationCache(disk_dir=args.dir)
+    entries = cache.disk_entries()
+    if args.clear:
+        cache.clear(disk=True)
+        print(f"cleared {len(entries)} entries from {args.dir}/")
+        return 0
+    by_kind: dict[str, tuple[int, int]] = {}
+    for key, size in entries:
+        kind = key.split("-", 1)[0] if "-" in key else "other"
+        count, total = by_kind.get(kind, (0, 0))
+        by_kind[kind] = (count + 1, total + size)
+    if not by_kind:
+        print(f"{args.dir}/: empty")
+        return 0
+    for kind, (count, total) in sorted(by_kind.items()):
+        print(f"{kind:10s} {count:6d} entries  {total / 1024:.1f} KiB")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

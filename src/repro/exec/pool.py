@@ -1,0 +1,164 @@
+"""The simulation-point executor.
+
+Campaign generators (one per paper figure) enumerate dozens of
+independent (workload x paradigm x scale x tile) simulation points.
+:class:`PointExecutor` runs a flat list of picklable point specs through
+a module-level worker function across a :class:`ProcessPoolExecutor`,
+with
+
+* **deterministic ordering** — results come back in spec order, so the
+  emitted tables are byte-identical to a serial run;
+* **graceful serial fallback** — ``jobs <= 1``, a single point, or a
+  non-picklable worker/spec all run inline in this process (the latter
+  with a warning);
+* **per-section wall-clock reporting** — every ``map`` records a
+  :class:`SectionTiming` that :meth:`PointExecutor.report` formats into
+  a table;
+* **statistics propagation** — workers return their compilation-cache
+  and JIT-stats counter deltas alongside each result, which the parent
+  folds into its own process-global counters, so ``--jobs N`` reports
+  the same aggregate hit rates a serial run would.
+
+Worker processes inherit the parent's cache configuration through a pool
+initializer, so on-disk persistence works identically under ``--jobs N``
+regardless of the multiprocessing start method.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.exec import cache as cache_mod
+
+
+@dataclass
+class SectionTiming:
+    """Wall-clock accounting for one mapped batch of points."""
+
+    section: str
+    points: int
+    mode: str  # "serial" | "parallel xN"
+    seconds: float
+
+
+@dataclass
+class PointExecutor:
+    """Run independent simulation points, serially or across processes."""
+
+    jobs: int = 1
+    sections: list[SectionTiming] = field(default_factory=list)
+
+    def map(
+        self,
+        fn: Callable,
+        specs: Iterable,
+        section: str | None = None,
+    ) -> list:
+        """Apply *fn* to every spec; results are in spec order."""
+        specs = list(specs)
+        label = section or getattr(fn, "__name__", "points")
+        start = time.perf_counter()
+        mode = "serial"
+        if self.jobs > 1 and len(specs) > 1:
+            reason = _pickle_obstacle(fn, specs)
+            if reason is None:
+                results = self._map_parallel(fn, specs)
+                mode = f"parallel x{min(self.jobs, len(specs))}"
+            else:
+                warnings.warn(
+                    f"{label}: falling back to serial execution ({reason})",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                results = [fn(spec) for spec in specs]
+        else:
+            results = [fn(spec) for spec in specs]
+        self.sections.append(
+            SectionTiming(label, len(specs), mode, time.perf_counter() - start)
+        )
+        return results
+
+    # ------------------------------------------------------------------
+    def _map_parallel(self, fn: Callable, specs: Sequence) -> list:
+        from repro.runtime import jit as jit_mod
+
+        workers = min(self.jobs, len(specs))
+        results = []
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(cache_mod.export_config(),),
+        ) as pool:
+            # Executor.map preserves input order; chunk to amortize IPC.
+            chunksize = max(1, len(specs) // (workers * 4))
+            for result, jit_delta, cache_delta in pool.map(
+                _call_point,
+                [(fn, spec) for spec in specs],
+                chunksize=chunksize,
+            ):
+                jit_mod.merge_global_stats(jit_delta)
+                cache_mod.merge_stats(cache_delta)
+                results.append(result)
+        return results
+
+    # ------------------------------------------------------------------
+    def report(self) -> tuple[list[str], list[list]]:
+        """(headers, rows) for :func:`repro.sim.campaign.format_table`."""
+        headers = ["section", "points", "mode", "seconds"]
+        rows = [
+            [t.section, t.points, t.mode, t.seconds] for t in self.sections
+        ]
+        total = sum(t.seconds for t in self.sections)
+        points = sum(t.points for t in self.sections)
+        rows.append(["total", points, "", total])
+        return headers, rows
+
+
+def run_points(
+    fn: Callable,
+    specs: Iterable,
+    executor: PointExecutor | None = None,
+    section: str | None = None,
+) -> list:
+    """Map *fn* over *specs* through *executor*, or inline when None."""
+    if executor is None:
+        return [fn(spec) for spec in specs]
+    return executor.map(fn, specs, section=section)
+
+
+# ----------------------------------------------------------------------
+# Worker-side plumbing (module-level: must be picklable by reference)
+# ----------------------------------------------------------------------
+def _init_worker(cache_config: dict) -> None:
+    cache_mod.configure_from(cache_config)
+
+
+def _call_point(payload):
+    """Run one point and return its result plus stats-counter deltas."""
+    from repro.runtime import jit as jit_mod
+
+    fn, spec = payload
+    jit_before = jit_mod.global_stats_snapshot()
+    cache_before = cache_mod.stats_snapshot()
+    result = fn(spec)
+    jit_delta = jit_mod.global_stats_snapshot().delta(jit_before)
+    cache_delta = cache_mod.stats_snapshot().delta(cache_before)
+    return result, jit_delta, cache_delta
+
+
+def _pickle_obstacle(fn: Callable, specs: Sequence) -> str | None:
+    """Why (fn, specs) cannot cross a process boundary, or None if it can."""
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:  # noqa: BLE001 — any failure means fallback
+        return f"worker function not picklable: {exc}"
+    try:
+        pickle.dumps(specs)
+    except Exception as exc:  # noqa: BLE001
+        return f"point specs not picklable: {exc}"
+    return None

@@ -14,6 +14,7 @@ this container adds naming, validation and traversal.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import IRError
@@ -114,11 +115,13 @@ class TensorDFG:
         if decl.name in self.arrays:
             raise IRError(f"array {decl.name!r} already declared")
         self.arrays[decl.name] = decl
+        self.__dict__.pop("_fingerprint", None)
         return decl
 
     def bind(self, array: str, region: Hyperrect, node: Node) -> TensorBinding:
         binding = TensorBinding(array, region, node)
         self.results.append(binding)
+        self.__dict__.pop("_fingerprint", None)
         return binding
 
     # ------------------------------------------------------------------
@@ -179,6 +182,55 @@ class TensorDFG:
         return total
 
     # ------------------------------------------------------------------
+    # Content fingerprint (the compilation-cache key, repro.exec.cache)
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A SHA-256 digest of everything compilation depends on.
+
+        Stable across processes (unlike :func:`hash`) and linear in the
+        graph size: the node DAG is encoded with operand back-references
+        so shared subtrees are visited once.  Two tDFGs with the same
+        fingerprint schedule, register-allocate and lower identically,
+        which is what lets fat binaries and JIT lowerings be reused
+        across paradigms, processes and (with the disk store) runs.
+
+        Parameter *values* are included — unlike the JIT's structural
+        memo signature (§4.2) — so a cached artifact can stand in for a
+        fresh compile in every consumer, including functional replay.
+        The digest is cached on the instance and invalidated by
+        :meth:`declare`/:meth:`bind`.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        from repro.exec.cache import canonical, stable_digest
+
+        index: dict[int, int] = {}
+        encoded: list = []
+        for i, node in enumerate(self.nodes()):
+            index[id(node)] = i
+            encoded.append(_encode_node(node, index))
+        payload = [
+            "tdfg",
+            self.name,
+            encoded,
+            sorted(
+                (name, canonical(decl)) for name, decl in self.arrays.items()
+            ),
+            [
+                [b.array, canonical(b.region), index[id(b.node)]]
+                for b in self.results
+            ],
+            [index[id(n)] for n in self.scalar_results],
+            canonical(self.hints),
+            canonical(self.params),
+            canonical(self.sdfg) if self.sdfg is not None else None,
+        ]
+        digest = stable_digest(payload)
+        self.__dict__["_fingerprint"] = digest
+        return digest
+
+    # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
     def validate(self) -> None:
@@ -226,3 +278,21 @@ class TensorDFG:
         counts = self.count_by_kind()
         body = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
         return f"tDFG {self.name}: {body}"
+
+
+def _encode_node(node: Node, index: dict[int, int]) -> list:
+    """Encode one node with operand fields as topological back-refs."""
+    from repro.exec.cache import canonical
+
+    out: list = [node.kind]
+    for f in dataclasses.fields(node):
+        value = getattr(node, f.name)
+        if isinstance(value, Node):
+            out.append([f.name, ["@", index[id(value)]]])
+        elif isinstance(value, tuple) and any(
+            isinstance(v, Node) for v in value
+        ):
+            out.append([f.name, [["@", index[id(v)]] for v in value]])
+        else:
+            out.append([f.name, canonical(value)])
+    return out

@@ -13,15 +13,88 @@ The modeled JIT cost follows the paper's complexity discussion: step 3
 
 from __future__ import annotations
 
+import dataclasses
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from repro.backend.fatbinary import FatBinary
 from repro.config.system import SystemConfig, default_system
 from repro.errors import LayoutError
+from repro.exec.cache import LayoutFailure, active_cache, stable_digest
 from repro.ir.tdfg import TensorDFG
 from repro.runtime.layout import TiledLayout, choose_layout, fits_in_l3
 from repro.runtime.lower import LoweredRegion, lower_region
+
+
+@dataclass
+class JITStats:
+    """Aggregate JIT counters (per compiler and process-global).
+
+    ``lowered``/``memo_hits`` are *modeled* quantities — how often the
+    runtime would lower vs. hit its in-memory memo table (§4.2); they
+    are unaffected by the host-side content cache.  ``cache_hits``
+    counts lowerings whose host *work* was skipped because an identical
+    region (same tDFG fingerprint, system and tile) was already in the
+    content-addressed cache; the modeled cost is still charged in full.
+    """
+
+    lowered: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+
+    @property
+    def regions(self) -> int:
+        return self.lowered + self.memo_hits
+
+    @property
+    def memo_hit_rate(self) -> float:
+        return self.memo_hits / self.regions if self.regions else 0.0
+
+    def copy(self) -> "JITStats":
+        return dataclasses.replace(self)
+
+    def delta(self, before: "JITStats") -> "JITStats":
+        return JITStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(before, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def merge(self, other: "JITStats") -> "JITStats":
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def summary(self) -> str:
+        return (
+            f"{self.lowered} regions lowered, {self.memo_hits} memo hits "
+            f"({self.memo_hit_rate:.0%}), {self.cache_hits} served from "
+            "the content cache"
+        )
+
+
+# Process-global accumulation across every JITCompiler instance, so the
+# campaign driver can report one figure for a whole run; worker
+# processes ship their deltas back through repro.exec.pool.
+_GLOBAL_STATS = JITStats()
+
+
+def global_stats() -> JITStats:
+    return _GLOBAL_STATS
+
+
+def global_stats_snapshot() -> JITStats:
+    return _GLOBAL_STATS.copy()
+
+
+def merge_global_stats(delta: JITStats) -> None:
+    _GLOBAL_STATS.merge(delta)
+
+
+def reset_global_stats() -> None:
+    global _GLOBAL_STATS
+    _GLOBAL_STATS = JITStats()
 
 
 @dataclass(frozen=True)
@@ -62,13 +135,25 @@ class JITResult:
 
 @dataclass
 class JITCompiler:
-    """Memoizing JIT: fat binary + layout -> bit-serial commands."""
+    """Memoizing JIT: fat binary + layout -> bit-serial commands.
+
+    Two reuse mechanisms with different roles:
+
+    * the per-compiler ``_memo`` models the runtime's in-memory memo
+      table (§4.2) — hits are charged ``memo_hit_cycles``;
+    * the process-global content-addressed cache (repro.exec.cache)
+      skips the host-side *work* of an identical lowering but charges
+      the full modeled cost, so cached and uncached runs produce
+      byte-identical figures.
+    """
 
     system: SystemConfig = field(default_factory=default_system)
     cost_model: JITCostModel = field(default_factory=JITCostModel)
     _memo: dict[str, JITResult] = field(default_factory=dict)
+    use_content_cache: bool = True
     stats_lowered: int = 0
     stats_hits: int = 0
+    stats_cache_hits: int = 0
 
     def compile_region(
         self,
@@ -81,6 +166,7 @@ class JITCompiler:
         cached = self._memo.get(key)
         if cached is not None:
             self.stats_hits += 1
+            _GLOBAL_STATS.memo_hits += 1
             return JITResult(
                 lowered=cached.lowered,
                 layouts=cached.layouts,
@@ -88,23 +174,58 @@ class JITCompiler:
                 memo_hit=True,
                 wall_seconds=0.0,
             )
+        cache = active_cache() if self.use_content_cache else None
+        content_key = None
+        if cache is not None:
+            content_key = "jit-" + stable_digest(
+                [
+                    binary.tdfg.fingerprint(),
+                    self.system.fingerprint(),
+                    list(tile_override) if tile_override else None,
+                ]
+            )
+            entry = cache.get(content_key)
+            if isinstance(entry, LayoutFailure):
+                raise LayoutError(entry.message)
+            if entry is not None:
+                lowered, layouts, jit_cycles = entry
+                result = JITResult(
+                    lowered=lowered,
+                    layouts=layouts,
+                    jit_cycles=jit_cycles,
+                    memo_hit=False,
+                    wall_seconds=0.0,
+                )
+                self._memo[key] = result
+                self.stats_lowered += 1  # modeled: this run lowered it
+                self.stats_cache_hits += 1
+                _GLOBAL_STATS.lowered += 1
+                _GLOBAL_STATS.cache_hits += 1
+                return result
         start = time.perf_counter()
         tdfg = binary.tdfg
-        if not fits_in_l3(tdfg.arrays, self.system):
-            raise LayoutError(
-                f"region {tdfg.name!r}: working set exceeds the reserved L3 "
-                "ways; in-memory computing disabled (§6)"
+        try:
+            if not fits_in_l3(tdfg.arrays, self.system):
+                raise LayoutError(
+                    f"region {tdfg.name!r}: working set exceeds the reserved "
+                    "L3 ways; in-memory computing disabled (§6)"
+                )
+            sched = binary.config_for(self.system.cache.sram.wordlines)
+            layouts = choose_layout(
+                tdfg.arrays,
+                tdfg.hints,
+                self.system,
+                registers=sched.array_registers,
+                tile_override=tile_override,
+                resident=set(sched.array_registers),
             )
-        sched = binary.config_for(self.system.cache.sram.wordlines)
-        layouts = choose_layout(
-            tdfg.arrays,
-            tdfg.hints,
-            self.system,
-            registers=sched.array_registers,
-            tile_override=tile_override,
-            resident=set(sched.array_registers),
-        )
-        lowered = lower_region(sched, layouts)
+            lowered = lower_region(sched, layouts)
+        except LayoutError as err:
+            # Layout failures are as deterministic as successes: cache
+            # the verdict so tile sweeps skip doomed re-lowerings.
+            if cache is not None and content_key is not None:
+                cache.put(content_key, LayoutFailure(str(err)))
+            raise
         wall = time.perf_counter() - start
         jit_cycles = self.cost_model.cycles(
             lowered.num_commands, lowered.banks_touched
@@ -118,7 +239,18 @@ class JITCompiler:
         )
         self._memo[key] = result
         self.stats_lowered += 1
+        _GLOBAL_STATS.lowered += 1
+        if cache is not None and content_key is not None:
+            cache.put(content_key, (lowered, layouts, jit_cycles))
         return result
+
+    def stats(self) -> JITStats:
+        """This compiler's counters as a :class:`JITStats` value."""
+        return JITStats(
+            lowered=self.stats_lowered,
+            memo_hits=self.stats_hits,
+            cache_hits=self.stats_cache_hits,
+        )
 
     @property
     def hit_rate(self) -> float:

@@ -7,22 +7,30 @@ and EXPERIMENTS.md all share one source of truth.
 ``scale`` scales the input sizes (1.0 = the paper's Table 3 sizes);
 sweeps default to smaller scales to keep their many configurations
 tractable — noted in each docstring.
+
+Every campaign declares its simulation points as a flat list of
+picklable specs evaluated by a module-level worker function, so an
+optional :class:`repro.exec.pool.PointExecutor` (``executor=``) can fan
+them out across processes; rows are always assembled in spec order, so
+parallel output is byte-identical to serial.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+import warnings
 from typing import Iterable
 
 from repro.baselines.core import BaseCoreModel
 from repro.config.system import SystemConfig, default_system
 from repro.energy.model import EnergyModel
 from repro.errors import LayoutError
+from repro.exec.pool import PointExecutor, run_points
 from repro.ir.tdfg import LayoutHints
 from repro.runtime.layout import valid_tilings
 from repro.sim.engine import InfinityStreamRunner, run_all_paradigms
 from repro.sim.stats import RunResult
+from repro.workloads.base import Workload
 from repro.workloads.pointnet import run_pointnet, timeline, total_cycles
 from repro.workloads.suite import (
     array_sum,
@@ -37,11 +45,28 @@ from repro.workloads.suite import (
 PARADIGMS = ("base", "near-l3", "in-l3", "inf-s", "inf-s-nojit")
 
 
-def geomean(values: Iterable[float]) -> float:
-    vals = [v for v in values if v > 0]
-    if not vals:
+def geomean(values: Iterable[float], strict: bool = False) -> float:
+    """Geometric mean of positive values.
+
+    Non-positive entries cannot enter a geomean; they used to be dropped
+    silently, which let a zero-cycle modeling bug *inflate* the reported
+    speedup unnoticed.  Dropping now warns (or raises with ``strict``).
+    """
+    vals = list(values)
+    pos = [v for v in vals if v > 0]
+    if len(pos) != len(vals):
+        dropped = [v for v in vals if v <= 0]
+        msg = (
+            f"geomean: dropping {len(dropped)} non-positive value(s) "
+            f"{dropped[:5]} of {len(vals)} — check the cycle model "
+            "producing them"
+        )
+        if strict:
+            raise ValueError(msg)
+        warnings.warn(msg, RuntimeWarning, stacklevel=2)
+    if not pos:
         return 0.0
-    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+    return math.exp(sum(math.log(v) for v in pos) / len(pos))
 
 
 def format_table(headers: list[str], rows: list[list]) -> str:
@@ -64,34 +89,93 @@ def _fmt(cell) -> str:
 
 
 # ----------------------------------------------------------------------
+# Point workers: module-level (hence picklable) functions mapping one
+# simulation-point spec to its result, for PointExecutor fan-out.
+# ----------------------------------------------------------------------
+def _point_paradigms(spec) -> dict[str, RunResult]:
+    """(workload, system) -> every Fig 11 configuration's RunResult."""
+    wl, system = spec
+    return run_all_paradigms(wl, system=system)
+
+
+def _point_microbench(spec):
+    """(workload, system) -> (Base-Thread-1 result, per-paradigm results)."""
+    wl, system = spec
+    base1 = EnergyModel().annotate(
+        BaseCoreModel(system=system, threads=1).run(wl)
+    )
+    return base1, run_all_paradigms(wl, system=system)
+
+
+def _point_infs(spec) -> RunResult:
+    """(workload, system) -> the Inf-S RunResult."""
+    wl, system = spec
+    runner = InfinityStreamRunner(
+        system=system or default_system(), paradigm="inf-s"
+    )
+    return runner.run(wl)
+
+
+def _point_tile(spec) -> float | None:
+    """(workload, tile|None, system) -> cycles; None if the tiling is
+    invalid (LayoutError).  ``tile=None`` runs the heuristic's pick."""
+    wl, tile, system = spec
+    runner = InfinityStreamRunner(
+        system=system,
+        paradigm="inf-s",
+        tile_override=tile,
+        use_decision=False,
+    )
+    try:
+        return runner.run(wl).total_cycles
+    except LayoutError:
+        return None
+
+
+def _point_pointnet(spec):
+    """(arch, system) -> run_pointnet's per-config stage results."""
+    arch, system = spec
+    return run_pointnet(arch, system=system)
+
+
+def _point_jit_overhead(spec):
+    """(workload, system) -> (Inf-S result, Inf-S-noJIT result)."""
+    wl, system = spec
+    sys_ = system or default_system()
+    res = InfinityStreamRunner(system=sys_, paradigm="inf-s").run(wl)
+    nojit = InfinityStreamRunner(system=sys_, paradigm="inf-s-nojit").run(wl)
+    return res, nojit
+
+
+# ----------------------------------------------------------------------
 # Fig 2: paradigm speedups vs input size (microbenchmarks)
 # ----------------------------------------------------------------------
 def fig02_microbench(
     sizes=(16_384, 65_536, 262_144, 1_048_576, 4_194_304),
     system: SystemConfig | None = None,
+    executor: PointExecutor | None = None,
 ):
     """Speedup over Base-Thread-1 for vec_add and array_sum (fp32)."""
     system = system or default_system()
-    energy = EnergyModel()
+    points = [
+        (factory(n), system)
+        for factory in (vec_add, array_sum)
+        for n in sizes
+    ]
+    results = run_points(_point_microbench, points, executor, section="fig02")
     rows = []
     speedup_lists: dict[str, list[float]] = {}
-    for factory in (vec_add, array_sum):
-        for n in sizes:
-            wl = factory(n)
-            base1 = energy.annotate(
-                BaseCoreModel(system=system, threads=1).run(wl)
-            )
-            res = run_all_paradigms(wl, system=system)
-            row = [wl.name]
-            for key, label in (
-                ("base", "base-64"),
-                ("near-l3", "near-l3"),
-                ("in-l3", "in-l3"),
-            ):
-                sp = base1.total_cycles / res[key].total_cycles
-                row.append(sp)
-                speedup_lists.setdefault(label, []).append(sp)
-            rows.append(row)
+    for (wl, _sys), (base1, res) in zip(points, results):
+        row = [wl.name]
+        for key, label in (
+            ("base", "base-64"),
+            ("near-l3", "near-l3"),
+            ("in-l3", "in-l3"),
+        ):
+            sp = base1.total_cycles / res[key].total_cycles
+            row.append(sp)
+            speedup_lists.setdefault(label, []).append(sp)
+        rows.append(row)
     rows.append(
         ["geomean"]
         + [geomean(speedup_lists[l]) for l in ("base-64", "near-l3", "in-l3")]
@@ -103,13 +187,19 @@ def fig02_microbench(
 # ----------------------------------------------------------------------
 # Fig 11: overall speedup
 # ----------------------------------------------------------------------
-def fig11_speedup(scale: float = 1.0, system: SystemConfig | None = None):
+def fig11_speedup(
+    scale: float = 1.0,
+    system: SystemConfig | None = None,
+    executor: PointExecutor | None = None,
+):
     """Speedup over Base for the ten Table 3 workloads."""
+    workloads = paper_workloads(scale)
+    points = [(wl, system) for wl in workloads]
+    all_res = run_points(_point_paradigms, points, executor, section="fig11")
     rows = []
     per_cfg: dict[str, list[float]] = {p: [] for p in PARADIGMS[1:]}
     results: dict[str, dict[str, RunResult]] = {}
-    for wl in paper_workloads(scale):
-        res = run_all_paradigms(wl, system=system)
+    for wl, res in zip(workloads, all_res):
         results[wl.name] = res
         base = res["base"].total_cycles
         row = [wl.name]
@@ -178,14 +268,17 @@ def _thirteen_variants(scale: float):
     return out
 
 
-def fig13_infs_traffic(scale: float = 1.0, system=None):
+def fig13_infs_traffic(scale: float = 1.0, system=None, executor=None):
     """Inf-S traffic breakdown across the 13 workload variants."""
+    variants = _thirteen_variants(scale)
+    results = run_points(
+        _point_infs,
+        [(wl, system) for wl in variants],
+        executor,
+        section="fig13",
+    )
     rows = []
-    for wl in _thirteen_variants(scale):
-        runner = InfinityStreamRunner(
-            system=system or default_system(), paradigm="inf-s"
-        )
-        res = runner.run(wl)
+    for wl, res in zip(variants, results):
         total = max(1e-9, res.traffic.total + res.meta["intra_tile_bytes"])
         rows.append(
             [
@@ -208,14 +301,17 @@ def fig13_infs_traffic(scale: float = 1.0, system=None):
     return headers, rows
 
 
-def fig14_cycles(scale: float = 1.0, system=None):
+def fig14_cycles(scale: float = 1.0, system=None, executor=None):
     """Inf-S cycle breakdown + fraction of ops executed in-memory."""
+    variants = _thirteen_variants(scale)
+    results = run_points(
+        _point_infs,
+        [(wl, system) for wl in variants],
+        executor,
+        section="fig14",
+    )
     rows = []
-    for wl in _thirteen_variants(scale):
-        runner = InfinityStreamRunner(
-            system=system or default_system(), paradigm="inf-s"
-        )
-        res = runner.run(wl)
+    for wl, res in zip(variants, results):
         cy = res.cycles
         total = max(1e-9, cy.total)
         rows.append(
@@ -250,19 +346,25 @@ def fig14_cycles(scale: float = 1.0, system=None):
 # ----------------------------------------------------------------------
 # Fig 15: inner vs outer product dataflow
 # ----------------------------------------------------------------------
-def fig15_dataflow(scale: float = 1.0, system=None):
+def fig15_dataflow(scale: float = 1.0, system=None, executor=None):
     """mm/kmeans/gather_mlp under both dataflows, per paradigm.
 
     Speedups are normalized to Base running the (tiled) inner product,
     as in the paper.
     """
     system = system or default_system()
+    factories = (mm, kmeans, gather_mlp)
+    points = [
+        (factory(scale, df), system)
+        for factory in factories
+        for df in ("inner", "outer")
+    ]
+    results = run_points(_point_paradigms, points, executor, section="fig15")
     rows = []
-    for factory in (mm, kmeans, gather_mlp):
-        res_in = run_all_paradigms(factory(scale, "inner"), system=system)
-        res_out = run_all_paradigms(factory(scale, "outer"), system=system)
+    for i, factory in enumerate(factories):
+        res_in, res_out = results[2 * i], results[2 * i + 1]
         base = res_in["base"].total_cycles  # Base-In is the reference
-        name = factory(scale, "inner").name.split("/")[0]
+        name = points[2 * i][0].name.split("/")[0]
         rows.append(
             [
                 name,
@@ -287,10 +389,21 @@ def fig15_dataflow(scale: float = 1.0, system=None):
 # ----------------------------------------------------------------------
 # Fig 16 / Fig 17: tile-size sweeps (+ heuristic vs oracle)
 # ----------------------------------------------------------------------
+def _sweep_tilings(wl: Workload, system: SystemConfig):
+    """The valid tile shapes for the workload's primary array."""
+    region = wl.kernel.first_region()
+    primary = region.tdfg.hints.primary_array or next(
+        iter(region.tdfg.arrays)
+    )
+    shape = region.tdfg.arrays[primary].shape
+    return valid_tilings(shape, system)
+
+
 def fig16_tile_sweep_2d(
     names=("stencil2d", "dwt2d", "conv2d"),
     scale: float = 0.25,
     system=None,
+    executor=None,
 ):
     """Cycles vs 2D tile size; marks the heuristic's pick and the oracle.
 
@@ -298,33 +411,30 @@ def fig16_tile_sweep_2d(
     by ~9 tile configurations.
     """
     system = system or default_system()
-    rows = []
-    summary = []
+    # One flat point list: per workload, the heuristic's pick
+    # (tile=None) followed by every valid tiling.  The sweep studies the
+    # in-memory layout, so the runtime's in-/near-memory selection is
+    # disabled (see _point_tile) and every point runs on the bitlines.
+    per_name: list[tuple[str, list]] = []
+    points: list = []
     for name in names:
         wl = workload(name, scale)
-        region = wl.kernel.first_region()
-        primary = region.tdfg.hints.primary_array or next(
-            iter(region.tdfg.arrays)
-        )
-        shape = region.tdfg.arrays[primary].shape
-        tilings = valid_tilings(shape, system)
-        # The sweep studies the in-memory layout: disable the runtime's
-        # in-/near-memory selection so every point runs on the bitlines.
-        default_runner = InfinityStreamRunner(
-            system=system, paradigm="inf-s", use_decision=False
-        )
-        default_cycles = default_runner.run(wl).total_cycles
+        tilings = _sweep_tilings(wl, system)
+        per_name.append((name, tilings))
+        points.append((wl, None, system))
+        points.extend((wl, tile, system) for tile in tilings)
+    cycles_flat = run_points(_point_tile, points, executor, section="fig16")
+    rows = []
+    summary = []
+    i = 0
+    for name, tilings in per_name:
+        default_cycles = cycles_flat[i]
+        i += 1
         best = None
         for tile in tilings:
-            runner = InfinityStreamRunner(
-                system=system,
-                paradigm="inf-s",
-                tile_override=tile,
-                use_decision=False,
-            )
-            try:
-                cycles = runner.run(wl).total_cycles
-            except LayoutError:
+            cycles = cycles_flat[i]
+            i += 1
+            if cycles is None:  # LayoutError: invalid tiling
                 continue
             rows.append([name, "x".join(map(str, tile)), cycles])
             if best is None or cycles < best[1]:
@@ -354,6 +464,7 @@ def fig17_tile_sweep_3d(
     names=("stencil3d", "conv3d"),
     scale: float | dict[str, float] | None = None,
     system=None,
+    executor=None,
 ):
     """Speedup (vs worst tiling) across 3D tile sizes.
 
@@ -364,28 +475,25 @@ def fig17_tile_sweep_3d(
     system = system or default_system()
     if scale is None:
         scale = {"stencil3d": 1.0, "conv3d": 0.5}
-    rows = []
+    per_name: list[tuple[str, list]] = []
+    points: list = []
     for name in names:
         wl_scale = scale[name] if isinstance(scale, dict) else scale
         wl = workload(name, wl_scale)
-        region = wl.kernel.first_region()
-        primary = region.tdfg.hints.primary_array or next(
-            iter(region.tdfg.arrays)
-        )
-        shape = region.tdfg.arrays[primary].shape
-        tilings = valid_tilings(shape, system)
+        tilings = _sweep_tilings(wl, system)
+        per_name.append((name, tilings))
+        points.extend((wl, tile, system) for tile in tilings)
+    cycles_flat = run_points(_point_tile, points, executor, section="fig17")
+    rows = []
+    i = 0
+    for name, tilings in per_name:
         cycles = {}
         for tile in tilings:
-            runner = InfinityStreamRunner(
-                system=system,
-                paradigm="inf-s",
-                tile_override=tile,
-                use_decision=False,
-            )
-            try:
-                cycles[tile] = runner.run(wl).total_cycles
-            except LayoutError:
+            c = cycles_flat[i]
+            i += 1
+            if c is None:
                 continue
+            cycles[tile] = c
         worst = max(cycles.values())
         for tile, c in sorted(cycles.items()):
             rows.append([name, "x".join(map(str, tile)), worst / c])
@@ -396,12 +504,18 @@ def fig17_tile_sweep_3d(
 # ----------------------------------------------------------------------
 # Fig 18: energy efficiency
 # ----------------------------------------------------------------------
-def fig18_energy(scale: float = 1.0, system=None):
+def fig18_energy(scale: float = 1.0, system=None, executor=None):
     """Energy efficiency over Base for every configuration."""
+    workloads = paper_workloads(scale)
+    results = run_points(
+        _point_paradigms,
+        [(wl, system) for wl in workloads],
+        executor,
+        section="fig18",
+    )
     rows = []
     per_cfg: dict[str, list[float]] = {p: [] for p in PARADIGMS[1:]}
-    for wl in paper_workloads(scale):
-        res = run_all_paradigms(wl, system=system)
+    for wl, res in zip(workloads, results):
         base = res["base"].energy_nj
         row = [wl.name]
         for p in PARADIGMS[1:]:
@@ -417,11 +531,17 @@ def fig18_energy(scale: float = 1.0, system=None):
 # ----------------------------------------------------------------------
 # Fig 19: PointNet++ timelines
 # ----------------------------------------------------------------------
-def fig19_pointnet(system=None):
+def fig19_pointnet(system=None, executor=None):
+    archs = ("ssg", "msg")
+    results = run_points(
+        _point_pointnet,
+        [(arch, system) for arch in archs],
+        executor,
+        section="fig19",
+    )
     rows = []
     speed_rows = []
-    for arch in ("ssg", "msg"):
-        res = run_pointnet(arch, system=system)
+    for arch, res in zip(archs, results):
         base = total_cycles(res["base"])
         for cfg in ("base", "near-l3", "in-l3", "inf-s"):
             speed_rows.append(
@@ -437,18 +557,17 @@ def fig19_pointnet(system=None):
 # ----------------------------------------------------------------------
 # §8: JIT overheads
 # ----------------------------------------------------------------------
-def jit_overheads(scale: float = 1.0, system=None):
+def jit_overheads(scale: float = 1.0, system=None, executor=None):
     """JIT share of runtime, memo hit rates, Inf-S-noJIT gain."""
+    names = ("stencil1d", "stencil2d", "gauss_elim", "conv3d")
+    results = run_points(
+        _point_jit_overhead,
+        [(workload(name, scale), system) for name in names],
+        executor,
+        section="jit-overheads",
+    )
     rows = []
-    for name in ("stencil1d", "stencil2d", "gauss_elim", "conv3d"):
-        wl = workload(name, scale)
-        runner = InfinityStreamRunner(
-            system=system or default_system(), paradigm="inf-s"
-        )
-        res = runner.run(wl)
-        nojit = InfinityStreamRunner(
-            system=system or default_system(), paradigm="inf-s-nojit"
-        ).run(wl)
+    for name, (res, nojit) in zip(names, results):
         rows.append(
             [
                 name,

@@ -51,6 +51,10 @@ class InfinityStreamRunner:
     tile_override: tuple[int, ...] | None = None
     use_decision: bool = True
     energy: EnergyModel = field(default_factory=EnergyModel)
+    # Opt this runner out of the process-global content-addressed
+    # compilation cache (repro.exec.cache) without reconfiguring it;
+    # modeled results are identical either way — only host time differs.
+    use_content_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.paradigm not in ("in-l3", "inf-s", "inf-s-nojit"):
@@ -64,7 +68,9 @@ class InfinityStreamRunner:
     # ------------------------------------------------------------------
     def run(self, wl: Workload) -> RunResult:
         chip = Chip(system=self.system)
-        jit = JITCompiler(system=self.system)
+        jit = JITCompiler(
+            system=self.system, use_content_cache=self.use_content_cache
+        )
         result = RunResult(workload=wl.name, paradigm=self.paradigm)
         cy = result.cycles
         ops = result.ops
@@ -131,7 +137,9 @@ class InfinityStreamRunner:
         if has_tensor_work:
             try:
                 wordlines = self.system.cache.sram.wordlines
-                binary = compile_fat_binary(tdfg, (wordlines,))
+                binary = compile_fat_binary(
+                    tdfg, (wordlines,), use_cache=self.use_content_cache
+                )
                 jres = jit.compile_region(
                     binary, region.signature, self.tile_override
                 )

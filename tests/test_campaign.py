@@ -80,6 +80,17 @@ class TestHelpers:
         assert geomean([2.0, 8.0]) == pytest.approx(4.0)
         assert geomean([]) == 0.0
 
+    def test_geomean_warns_on_nonpositive(self):
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geomean([2.0, 8.0, 0.0]) == pytest.approx(4.0)
+        with pytest.warns(RuntimeWarning):
+            assert geomean([-1.0]) == 0.0
+
+    def test_geomean_strict_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            geomean([2.0, 0.0], strict=True)
+        assert geomean([2.0, 8.0], strict=True) == pytest.approx(4.0)
+
     def test_format_table_alignment(self):
         text = format_table(["a", "bb"], [["x", 1.5], ["long", 22.0]])
         lines = text.splitlines()

@@ -1,0 +1,257 @@
+"""The content-addressed compilation cache (repro.exec.cache)."""
+
+import enum
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.backend import compile_fat_binary
+from repro.config.system import default_system, small_test_system
+from repro.errors import LayoutError
+from repro.exec.cache import (
+    CacheStats,
+    CompilationCache,
+    canonical,
+    configure_cache,
+    stable_digest,
+)
+from repro.frontend import parse_kernel
+from repro.runtime.jit import JITCompiler
+from repro.sim.campaign import fig11_speedup
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+STENCIL_SRC = "for i in [1, N-1):\n    B[i] = A[i-1] + A[i] + A[i+1]\n"
+
+
+def _stencil_tdfg(n=4096):
+    prog = parse_kernel(
+        "s1d", STENCIL_SRC, arrays={"A": ("N",), "B": ("N",)}
+    )
+    return prog.instantiate({"N": n}).first_region().tdfg
+
+
+def _scaled_tdfg(scale):
+    prog = parse_kernel(
+        "scaled",
+        f"for i in [0, N):\n    v += {scale} * A[i]\n",
+        arrays={"A": ("N",)},
+    )
+    return prog.instantiate({"N": 256}).first_region().tdfg
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """Each test gets its own process-global cache and restores it after."""
+    from repro.exec import cache as cache_mod
+
+    saved = cache_mod._active
+    yield
+    cache_mod._active = saved
+
+
+class TestCanonical:
+    def test_primitives_and_floats(self):
+        assert canonical(None) is None
+        assert canonical(3) == 3
+        assert canonical("x") == "x"
+        # floats are hex-encoded so 1.0 and 2.0 can never collide
+        assert canonical(1.0) != canonical(2.0)
+        assert canonical(1.0) == canonical(1.0)
+
+    def test_dict_order_insensitive(self):
+        assert canonical({"a": 1, "b": 2}) == canonical({"b": 2, "a": 1})
+
+    def test_enum_and_dataclass(self):
+        class Color(enum.Enum):
+            RED = 1
+
+        @dataclass(frozen=True)
+        class P:
+            x: int
+            y: float
+
+        assert canonical(Color.RED) == ["Color", "RED"]
+        assert stable_digest(P(1, 2.0)) != stable_digest(P(1, 3.0))
+
+    def test_unencodable_raises(self):
+        with pytest.raises(TypeError):
+            canonical(object())
+
+
+class TestFingerprint:
+    def test_deterministic_within_process(self):
+        assert _stencil_tdfg().fingerprint() == _stencil_tdfg().fingerprint()
+
+    def test_stable_across_processes(self):
+        """The digest must not depend on the interpreter's hash seed."""
+        code = (
+            "from repro.frontend import parse_kernel\n"
+            f"prog = parse_kernel('s1d', {STENCIL_SRC!r}, "
+            "arrays={'A': ('N',), 'B': ('N',)})\n"
+            "print(prog.instantiate({'N': 4096}).first_region()"
+            ".tdfg.fingerprint())\n"
+        )
+        digests = set()
+        for seed in ("0", "1", "12345"):
+            env = dict(
+                os.environ,
+                PYTHONPATH=str(REPO_ROOT / "src"),
+                PYTHONHASHSEED=seed,
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                env=env,
+                capture_output=True,
+                text=True,
+                check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert digests == {_stencil_tdfg().fingerprint()}
+
+    def test_sensitive_to_constant_values(self):
+        """Same structure, different literal -> different fingerprint.
+
+        This is the collision that would silently reuse a lowering
+        compiled for ``1.0 * A[i]`` when replaying ``2.0 * A[i]``.
+        """
+        assert _scaled_tdfg(1.0).fingerprint() != _scaled_tdfg(2.0).fingerprint()
+
+    def test_sensitive_to_size(self):
+        assert (
+            _stencil_tdfg(n=64).fingerprint()
+            != _stencil_tdfg(n=128).fingerprint()
+        )
+
+    def test_system_config_fingerprint(self):
+        assert default_system().fingerprint() == default_system().fingerprint()
+        assert (
+            default_system().fingerprint() != small_test_system().fingerprint()
+        )
+
+
+class TestLRU:
+    def test_hit_miss_counting(self):
+        cache = CompilationCache(max_entries=8)
+        assert cache.get("k") is None
+        cache.put("k", "v")
+        assert cache.get("k") == "v"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_is_lru(self):
+        cache = CompilationCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # refresh a: b is now least-recently-used
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.stats.evictions == 1
+
+    def test_none_rejected(self):
+        with pytest.raises(ValueError):
+            CompilationCache().put("k", None)
+
+    def test_stats_delta_and_merge(self):
+        a = CacheStats(hits=5, misses=3)
+        before = a.copy()
+        a.hits += 2
+        delta = a.delta(before)
+        assert delta.hits == 2 and delta.misses == 0
+        merged = CacheStats().merge(delta)
+        assert merged.hits == 2
+
+
+class TestDiskStore:
+    def test_persists_across_instances(self, tmp_path):
+        first = CompilationCache(disk_dir=tmp_path)
+        first.put("fatbin-abc", {"payload": 42})
+        second = CompilationCache(disk_dir=tmp_path)
+        assert second.get("fatbin-abc") == {"payload": 42}
+        assert second.stats.disk_hits == 1
+
+    def test_eviction_keeps_disk_entry(self, tmp_path):
+        cache = CompilationCache(max_entries=1, disk_dir=tmp_path)
+        cache.put("a", 1)
+        cache.put("b", 2)  # evicts a from memory, not from disk
+        assert "a" not in cache
+        assert cache.get("a") == 1
+        assert cache.stats.disk_hits == 1
+
+    def test_clear_disk(self, tmp_path):
+        cache = CompilationCache(disk_dir=tmp_path)
+        cache.put("a", 1)
+        assert cache.disk_entries()
+        cache.clear(disk=True)
+        assert not cache.disk_entries()
+        assert cache.get("a") is None
+
+
+class TestCompilationReuse:
+    def test_fat_binary_cached(self):
+        cache = configure_cache()
+        b1 = compile_fat_binary(_stencil_tdfg())
+        b2 = compile_fat_binary(_stencil_tdfg())
+        assert b2 is b1  # same immutable object, not a recompile
+        assert cache.stats.hits >= 1
+
+    def test_jit_content_cache_same_modeled_cost(self):
+        """A content-cache hit charges the FULL modeled jit cost."""
+        configure_cache()
+        binary = compile_fat_binary(_stencil_tdfg())
+        fresh = JITCompiler(system=default_system()).compile_region(binary)
+        warm = JITCompiler(system=default_system()).compile_region(binary)
+        assert not warm.memo_hit  # content hit is NOT a modeled memo hit
+        assert warm.jit_cycles == fresh.jit_cycles
+        assert warm.lowered.num_commands == fresh.lowered.num_commands
+
+    def test_cache_off_matches_cache_on(self):
+        configure_cache()
+        binary = compile_fat_binary(_stencil_tdfg())
+        on = JITCompiler(system=default_system()).compile_region(binary)
+        configure_cache(enabled=False)
+        binary_off = compile_fat_binary(_stencil_tdfg())
+        off = JITCompiler(system=default_system()).compile_region(binary_off)
+        assert off.jit_cycles == on.jit_cycles
+        assert off.lowered.num_commands == on.lowered.num_commands
+
+    def test_layout_failure_negative_cached(self):
+        cache = configure_cache()
+        binary = compile_fat_binary(_stencil_tdfg())
+        with pytest.raises(LayoutError):
+            JITCompiler(system=default_system()).compile_region(
+                binary, tile_override=(3,)
+            )
+        hits_before = cache.stats.hits
+        with pytest.raises(LayoutError):
+            JITCompiler(system=default_system()).compile_region(
+                binary, tile_override=(3,)
+            )
+        assert cache.stats.hits == hits_before + 1  # verdict came from cache
+
+    def test_runner_opt_out_matches_cached_run(self):
+        from repro.sim.engine import InfinityStreamRunner
+        from repro.workloads.suite import vec_add
+
+        configure_cache()
+        wl = vec_add(4096)
+        cached = InfinityStreamRunner(paradigm="inf-s").run(wl)
+        uncached = InfinityStreamRunner(
+            paradigm="inf-s", use_content_cache=False
+        ).run(wl)
+        assert uncached.total_cycles == cached.total_cycles
+
+    def test_figures_identical_with_and_without_cache(self):
+        configure_cache()
+        _h, rows_on, _res = fig11_speedup(0.05)
+        configure_cache(enabled=False)
+        _h, rows_off, _res = fig11_speedup(0.05)
+        assert rows_on == rows_off
