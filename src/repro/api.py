@@ -28,15 +28,21 @@ from typing import Mapping
 
 import numpy as np
 
-from repro.backend import FatBinary, compile_fat_binary
+from repro.backend import FatBinary
 from repro.config.system import (
     SystemConfig,
     default_system,
     small_test_system,
 )
-from repro.egraph import OptimizationReport, optimize_tdfg
-from repro.frontend import KernelProgram, parse_kernel
+from repro.egraph import OptimizationReport
+from repro.frontend import KernelProgram
 from repro.ir.dtypes import DType
+from repro.pipeline import (
+    ProgramArtifact,
+    SourceArtifact,
+    compile_pipeline,
+    simulate_pipeline,
+)
 from repro.runtime.decision import OffloadChoice, decide_tdfg
 from repro.sim.functional import execute_kernel, interpret_kernel
 from repro.sim.stats import RunResult
@@ -64,7 +70,12 @@ def compile_kernel(
     ``arrays`` maps array names to shapes in C declaration order;
     symbolic dimensions are bound at :func:`run`/:func:`simulate` time.
     """
-    return parse_kernel(name, source, arrays=arrays, dtype=dtype)
+    pipeline = compile_pipeline()
+    source_artifact = SourceArtifact(
+        name=name, source=source, arrays=dict(arrays), dtype=dtype
+    )
+    result = pipeline.run(source_artifact, until="parse")
+    return result.final.program
 
 
 def run(
@@ -122,28 +133,13 @@ def simulate(
     ``paradigm`` is one of ``base``, ``base-1``, ``near-l3``, ``in-l3``,
     ``inf-s``, ``inf-s-nojit`` (the Fig 11 configurations).
     """
-    from repro.baselines.core import BaseCoreModel
-    from repro.baselines.nsc import NearStreamModel
-    from repro.energy.model import EnergyModel
-    from repro.sim.engine import InfinityStreamRunner
-
-    system = system or default_system()
-    wl = Workload(
-        name=program.name,
-        program=program,
-        params={k: int(v) for k, v in params.items()},
-        dataflow=dataflow,
-        iterations=iterations,
+    pipeline = simulate_pipeline(
+        paradigm=paradigm, iterations=iterations, system=system
     )
-    energy = EnergyModel()
-    if paradigm in ("base", "base-1"):
-        threads = 1 if paradigm == "base-1" else system.num_cores
-        return energy.annotate(
-            BaseCoreModel(system=system, threads=threads).run(wl)
-        )
-    if paradigm == "near-l3":
-        return energy.annotate(NearStreamModel(system=system).run(wl))
-    return InfinityStreamRunner(system=system, paradigm=paradigm).run(wl)
+    result = pipeline.run(
+        ProgramArtifact(program=program, params=dict(params), dataflow=dataflow)
+    )
+    return result.final.result
 
 
 def optimize(
@@ -153,11 +149,13 @@ def optimize(
     max_iterations: int = 4,
 ):
     """E-graph-optimize the kernel's first region; returns (tdfg, report)."""
-    kernel = program.instantiate(
-        {k: int(v) for k, v in params.items()}, dataflow=dataflow
+    pipeline = compile_pipeline(optimize=True, max_iterations=max_iterations)
+    result = pipeline.run(
+        ProgramArtifact(program=program, params=dict(params), dataflow=dataflow),
+        until="optimize",
     )
-    region = kernel.first_region()
-    return optimize_tdfg(region.tdfg, max_iterations=max_iterations)
+    artifact = result.final
+    return artifact.tdfg, artifact.report
 
 
 def fat_binary(
@@ -166,7 +164,9 @@ def fat_binary(
     dataflow: str = "inner",
 ) -> FatBinary:
     """Compile the kernel's first region for the common SRAM sizes."""
-    kernel = program.instantiate(
-        {k: int(v) for k, v in params.items()}, dataflow=dataflow
+    pipeline = compile_pipeline()
+    result = pipeline.run(
+        ProgramArtifact(program=program, params=dict(params), dataflow=dataflow),
+        until="fatbinary",
     )
-    return compile_fat_binary(kernel.first_region().tdfg)
+    return result.final.binary

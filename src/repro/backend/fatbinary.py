@@ -71,7 +71,9 @@ def compile_fat_binary(
     cache = (cache or active_cache()) if use_cache else None
     key = None
     if cache is not None:
-        key = "fatbin-" + stable_digest(
+        # Stage-scoped key: a hit skips only the fatbinary stage's
+        # scheduling/regalloc work, never the stages after it.
+        key = "fatbinary-" + stable_digest(
             [tdfg.fingerprint(), list(sram_sizes), spill_mode, virtual_fuse]
         )
         hit = cache.get(key)

@@ -2,16 +2,22 @@
 
 Commands
 --------
-``compile``   parse a kernel file and print its tDFG (and optionally the
-              optimized tDFG and the lowered bit-serial commands);
+``compile``   run the compilation pipeline on a kernel file and print its
+              tDFG (optionally the e-graph-optimized tDFG and the lowered
+              bit-serial commands — all from one pipeline run);
 ``simulate``  estimate cycles/traffic/energy under one configuration;
 ``offload``   evaluate the Eq. 2 in-/near-memory decision;
+``replay``    re-run pipeline stages from a ``--dump-dir`` artifact dump;
 ``figures``   regenerate the paper's evaluation tables (run_all).
 
 Kernel files contain the plain loop-nest source; arrays and sizes are
 given on the command line::
 
     python -m repro compile saxpy.k --array "X:N" --array "Y:N" -p N=1024
+
+``compile --time-passes`` prints a per-stage wall-clock/artifact-size
+table; ``--dump-dir DIR`` serializes every intermediate artifact so any
+stage can later be replayed from its dump (``python -m repro replay``).
 """
 
 from __future__ import annotations
@@ -20,7 +26,16 @@ import argparse
 import sys
 
 from repro import api
+from repro.ir.dtypes import DType
 from repro.ir.printer import format_tdfg
+from repro.pipeline import (
+    DumpHooks,
+    SourceArtifact,
+    TimingHooks,
+    compile_pipeline,
+    load_stage_input,
+    simulate_pipeline,
+)
 
 
 def _parse_arrays(items: list[str]) -> dict[str, tuple]:
@@ -40,53 +55,88 @@ def _parse_params(items: list[str]) -> dict[str, int]:
     out = {}
     for item in items:
         key, _, value = item.partition("=")
-        if not value:
+        if not key or not value:
             raise SystemExit(f"-p needs NAME=VALUE (got {item!r})")
-        out[key] = int(value)
+        try:
+            out[key] = int(value)
+        except ValueError:
+            raise SystemExit(
+                f"-p {key}: expected an integer value, got {value!r}"
+            ) from None
     return out
 
 
-def _load_kernel(args) -> tuple:
-    source = open(args.kernel).read() if args.kernel != "-" else sys.stdin.read()
-    arrays = _parse_arrays(args.array)
-    program = api.compile_kernel(args.name or "kernel", source, arrays=arrays)
-    return program, _parse_params(args.param)
+def _read_source(args) -> str:
+    if args.kernel == "-":
+        return sys.stdin.read()
+    with open(args.kernel) as fh:
+        return fh.read()
+
+
+def _source_artifact(args) -> SourceArtifact:
+    """The pipeline input described by the common kernel arguments."""
+    return SourceArtifact(
+        name=args.name or "kernel",
+        source=_read_source(args),
+        arrays=_parse_arrays(args.array),
+        dtype=DType.FP32,
+        params=_parse_params(args.param),
+        dataflow=args.dataflow,
+    )
+
+
+def _instrumentation(args) -> tuple[TimingHooks | None, list]:
+    hooks: list = []
+    timing = None
+    if getattr(args, "time_passes", False):
+        timing = TimingHooks()
+        hooks.append(timing)
+    if getattr(args, "dump_dir", None):
+        hooks.append(DumpHooks(args.dump_dir))
+    return timing, hooks
+
+
+def _print_lowered(jres) -> None:
+    print(f"\n-- lowered commands (tile {jres.lowered.tile}) --")
+    for cmd in jres.lowered.commands:
+        print(f"  {cmd}")
 
 
 def cmd_compile(args) -> int:
-    program, params = _load_kernel(args)
-    kernel = program.instantiate(params, dataflow=args.dataflow)
-    print(kernel.summary())
-    region = kernel.first_region()
-    print(format_tdfg(region.tdfg))
-    if args.optimize:
-        tdfg, report = api.optimize(program, params, dataflow=args.dataflow)
-        print(f"\n-- optimized (cost {report.cost_before:.0f} -> "
-              f"{report.cost_after:.0f}) --")
-        print(format_tdfg(tdfg))
+    timing, hooks = _instrumentation(args)
+    pipeline = compile_pipeline(optimize=args.optimize, hooks=hooks)
     if args.lower:
-        from repro.backend import compile_fat_binary
-        from repro.runtime.jit import JITCompiler
+        until = "jit-lower"
+    elif args.optimize:
+        until = "optimize"
+    else:
+        until = "build-region"
+    run = pipeline.run(_source_artifact(args), until=until)
 
-        jit = JITCompiler()
-        res = jit.compile_region(
-            compile_fat_binary(region.tdfg), region.signature
-        )
-        print(f"\n-- lowered commands (tile {res.lowered.tile}) --")
-        for cmd in res.lowered.commands:
-            print(f"  {cmd}")
+    built = run.artifact("build-region")
+    print(built.kernel.summary())
+    print(format_tdfg(built.region.tdfg))
+    if args.optimize:
+        opt = run.artifact("optimize")
+        print(f"\n-- optimized (cost {opt.report.cost_before:.0f} -> "
+              f"{opt.report.cost_after:.0f}) --")
+        print(format_tdfg(opt.tdfg))
+    if args.lower:
+        # Same pipeline run: with --optimize the lowering comes from the
+        # optimized tDFG artifact, not a second parse/instantiate.
+        _print_lowered(run.artifact("jit-lower").result)
+    if timing is not None:
+        print()
+        print(timing.format_table())
     return 0
 
 
 def cmd_simulate(args) -> int:
-    program, params = _load_kernel(args)
-    result = api.simulate(
-        program,
-        params,
-        paradigm=args.paradigm,
-        dataflow=args.dataflow,
-        iterations=args.iterations,
+    timing, hooks = _instrumentation(args)
+    pipeline = simulate_pipeline(
+        paradigm=args.paradigm, iterations=args.iterations, hooks=hooks
     )
+    result = pipeline.run(_source_artifact(args)).final.result
     print(f"paradigm     {result.paradigm}")
     print(f"cycles       {result.total_cycles:,.0f}")
     for key, value in result.cycles.as_dict().items():
@@ -95,13 +145,56 @@ def cmd_simulate(args) -> int:
     print(f"traffic      {result.traffic.total:,.0f} bytes*hops")
     print(f"energy       {result.energy_nj:,.0f} nJ")
     print(f"in-mem ops   {result.ops.in_memory_fraction:.1%}")
+    if timing is not None:
+        print()
+        print(timing.format_table())
     return 0
 
 
 def cmd_offload(args) -> int:
-    program, params = _load_kernel(args)
-    choice = api.offload(program, params, dataflow=args.dataflow)
+    from repro.config.system import default_system
+    from repro.runtime.decision import decide_tdfg
+
+    pipeline = compile_pipeline()
+    run = pipeline.run(_source_artifact(args), until="build-region")
+    region = run.artifact("build-region").region
+    choice = decide_tdfg(region.tdfg, default_system())
     print(choice.value)
+    return 0
+
+
+def cmd_replay(args) -> int:
+    from repro.pipeline.artifacts import (
+        FatBinaryArtifact,
+        LoweredArtifact,
+        RegionArtifact,
+        TDFGArtifact,
+    )
+
+    timing, hooks = _instrumentation(args)
+    artifact = load_stage_input(args.dump_dir, args.stage)
+    pipeline = compile_pipeline(hooks=hooks)
+    run = pipeline.run(artifact, until=args.stage)
+    final = run.final
+    if isinstance(final, LoweredArtifact):
+        jres = final.result
+        print(f"-- lowered commands (tile {jres.lowered.tile}) --")
+        for cmd in jres.lowered.commands:
+            print(f"  {cmd}")
+    elif isinstance(final, FatBinaryArtifact):
+        binary = final.binary
+        print(f"fat binary {binary.name}: SRAM sizes {binary.sram_sizes}")
+        for size, sched in sorted(binary.configs.items()):
+            print(f"  {size}x{size}: {sched.num_ops} ops, "
+                  f"{sched.registers_used}/{sched.registers_available} regs")
+    elif isinstance(final, (TDFGArtifact, RegionArtifact)):
+        tdfg = final.tdfg if isinstance(final, TDFGArtifact) else final.region.tdfg
+        print(format_tdfg(tdfg))
+    else:
+        print(f"replayed through {args.stage}: {type(final).__name__}")
+    if timing is not None:
+        print()
+        print(timing.format_table())
     return 0
 
 
@@ -133,6 +226,19 @@ def _add_kernel_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dataflow", choices=("inner", "outer"), default="inner")
 
 
+def _add_instrumentation_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--time-passes",
+        action="store_true",
+        help="print a per-stage wall-clock/artifact-size table",
+    )
+    p.add_argument(
+        "--dump-dir",
+        default=None,
+        help="serialize every intermediate artifact under this directory",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         prog="repro", description="Infinity Stream reproduction CLI"
@@ -143,6 +249,7 @@ def main(argv: list[str] | None = None) -> int:
     _add_kernel_args(p)
     p.add_argument("--optimize", action="store_true")
     p.add_argument("--lower", action="store_true")
+    _add_instrumentation_args(p)
     p.set_defaults(fn=cmd_compile)
 
     p = sub.add_parser("simulate", help="estimate cycles/traffic/energy")
@@ -153,11 +260,28 @@ def main(argv: list[str] | None = None) -> int:
         default="inf-s",
     )
     p.add_argument("--iterations", type=int, default=1)
+    _add_instrumentation_args(p)
     p.set_defaults(fn=cmd_simulate)
 
     p = sub.add_parser("offload", help="Eq. 2 in-/near-memory decision")
     _add_kernel_args(p)
     p.set_defaults(fn=cmd_offload)
+
+    p = sub.add_parser(
+        "replay", help="re-run pipeline stages from a --dump-dir"
+    )
+    p.add_argument("dump_dir", help="directory written by --dump-dir")
+    p.add_argument(
+        "--stage",
+        default="jit-lower",
+        help="stage to replay (resumes from its dumped input artifact)",
+    )
+    p.add_argument(
+        "--time-passes",
+        action="store_true",
+        help="print a per-stage wall-clock/artifact-size table",
+    )
+    p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser("figures", help="regenerate the evaluation tables")
     p.add_argument("--scale", type=float, default=1.0)

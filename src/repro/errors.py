@@ -50,6 +50,22 @@ class LayoutError(ReproError):
     """No valid transposed data layout exists (tiling constraints unmet)."""
 
 
+class PipelineError(ReproError):
+    """A compilation-pipeline contract was violated (repro.pipeline).
+
+    Raised by the :class:`~repro.pipeline.PassManager` when a stage
+    produces (or receives) an artifact of the wrong type, and by the
+    inter-stage IR verifiers when an artifact is malformed.  ``stage``
+    names the failing pipeline stage; ``node`` (when set) is the
+    offending IR node or command.
+    """
+
+    def __init__(self, message: str, stage: str, node: object = None) -> None:
+        super().__init__(f"[stage {stage}] {message}")
+        self.stage = stage
+        self.node = node
+
+
 class SimulationError(ReproError):
     """The microarchitecture model was driven into an inconsistent state."""
 

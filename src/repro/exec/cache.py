@@ -322,7 +322,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     by_kind: dict[str, tuple[int, int]] = {}
     for key, size in entries:
-        kind = key.split("-", 1)[0] if "-" in key else "other"
+        # Keys are "<stage>-<hex digest>"; stage names may contain "-"
+        # (jit-lower) but digests never do.
+        kind = key.rsplit("-", 1)[0] if "-" in key else "other"
         count, total = by_kind.get(kind, (0, 0))
         by_kind[kind] = (count + 1, total + size)
     if not by_kind:

@@ -1,0 +1,79 @@
+"""The staged compilation pipeline (pass manager + typed artifacts).
+
+Every entry point — :mod:`repro.api`, the CLI, the JIT and the timing
+engine — constructs its compilation artifacts through a
+:class:`PassManager` running named stages over typed artifacts, with
+inter-stage IR verifiers and first-class instrumentation (per-stage
+timing, artifact dumping and replay).  See DESIGN.md §"Pipeline
+architecture" for the stage table.
+"""
+
+from repro.errors import PipelineError
+from repro.pipeline.artifacts import (
+    Artifact,
+    FatBinaryArtifact,
+    LoweredArtifact,
+    ProgramArtifact,
+    RegionArtifact,
+    RunArtifact,
+    SourceArtifact,
+    TDFGArtifact,
+)
+from repro.pipeline.dump import load_artifact, load_stage_input
+from repro.pipeline.hooks import DumpHooks, TimingHooks
+from repro.pipeline.manager import (
+    PassManager,
+    PipelineHooks,
+    PipelineRun,
+    Stage,
+    StageRecord,
+)
+from repro.pipeline.stages import (
+    build_region_stage,
+    compile_pipeline,
+    fatbinary_stage,
+    jit_lower_stage,
+    optimize_stage,
+    parse_stage,
+    region_pipeline,
+    simulate_pipeline,
+    simulate_stage,
+)
+from repro.pipeline.verify import (
+    verify_fatbinary,
+    verify_lowered,
+    verify_tdfg,
+)
+
+__all__ = [
+    "Artifact",
+    "DumpHooks",
+    "FatBinaryArtifact",
+    "LoweredArtifact",
+    "PassManager",
+    "PipelineError",
+    "PipelineHooks",
+    "PipelineRun",
+    "ProgramArtifact",
+    "RegionArtifact",
+    "RunArtifact",
+    "SourceArtifact",
+    "Stage",
+    "StageRecord",
+    "TDFGArtifact",
+    "TimingHooks",
+    "build_region_stage",
+    "compile_pipeline",
+    "fatbinary_stage",
+    "jit_lower_stage",
+    "load_artifact",
+    "load_stage_input",
+    "optimize_stage",
+    "parse_stage",
+    "region_pipeline",
+    "simulate_pipeline",
+    "simulate_stage",
+    "verify_fatbinary",
+    "verify_lowered",
+    "verify_tdfg",
+]

@@ -1,0 +1,102 @@
+"""Instrumentation hooks: per-stage timing and artifact dumping.
+
+Two :class:`~repro.pipeline.manager.PipelineHooks` implementations:
+
+* :class:`TimingHooks` — collects wall-clock, artifact size and
+  content-cache counters per stage and renders the ``--time-passes``
+  table;
+* :class:`DumpHooks` — serializes every intermediate artifact under
+  ``--dump-dir`` (via the existing ``tdfg_to_json``/fingerprint
+  machinery) so any stage can later be replayed from its dump
+  (:mod:`repro.pipeline.dump`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.pipeline.artifacts import Artifact
+from repro.pipeline.manager import PipelineHooks, Stage, StageRecord
+
+
+@dataclass
+class TimingRow:
+    stage: str
+    artifact: str
+    wall_seconds: float
+    artifact_bytes: int
+    cache_hits: int
+    cache_misses: int
+
+
+class TimingHooks(PipelineHooks):
+    """Collect per-stage wall-clock/artifact-size/cache counters."""
+
+    def __init__(self) -> None:
+        self.rows: list[TimingRow] = []
+
+    def on_stage_end(
+        self, stage: Stage, artifact: Artifact, record: StageRecord
+    ) -> None:
+        self.rows.append(
+            TimingRow(
+                stage=stage.name,
+                artifact=type(artifact).__name__,
+                wall_seconds=record.wall_seconds,
+                artifact_bytes=artifact.size_bytes(),
+                cache_hits=record.cache_hits,
+                cache_misses=record.cache_misses,
+            )
+        )
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.wall_seconds for r in self.rows)
+
+    def format_table(self) -> str:
+        """The ``--time-passes`` table: one row per executed stage."""
+        header = (
+            f"{'stage':<14s} {'wall[ms]':>9s} {'artifact':<18s} "
+            f"{'bytes':>9s} {'cache':>7s}"
+        )
+        lines = ["-- pipeline timing --", header]
+        for r in self.rows:
+            cache = (
+                f"{r.cache_hits}/{r.cache_hits + r.cache_misses}"
+                if (r.cache_hits or r.cache_misses)
+                else "-"
+            )
+            lines.append(
+                f"{r.stage:<14s} {r.wall_seconds * 1e3:>9.2f} "
+                f"{r.artifact:<18s} {r.artifact_bytes:>9d} {cache:>7s}"
+            )
+        lines.append(
+            f"{'total':<14s} {self.total_seconds * 1e3:>9.2f}"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class DumpHooks(PipelineHooks):
+    """Serialize each stage's output artifact under ``dump_dir``.
+
+    Writes one file per stage plus a ``manifest.json`` that
+    :func:`repro.pipeline.dump.load_stage_input` uses to replay any
+    stage from its dumped input.
+    """
+
+    dump_dir: str | Path
+    _entries: list[dict] = field(default_factory=list)
+
+    def on_stage_end(
+        self, stage: Stage, artifact: Artifact, record: StageRecord
+    ) -> None:
+        from repro.pipeline.dump import dump_artifact, write_manifest
+
+        entry = dump_artifact(
+            artifact, Path(self.dump_dir), len(self._entries), stage.name
+        )
+        entry["wall_seconds"] = record.wall_seconds
+        self._entries.append(entry)
+        write_manifest(Path(self.dump_dir), self._entries)

@@ -1,0 +1,271 @@
+"""Standard pipeline stages and pipeline builders.
+
+The canonical compile chain::
+
+    parse          SourceArtifact   -> ProgramArtifact
+    build-region   ProgramArtifact  -> RegionArtifact
+    optimize       RegionArtifact   -> TDFGArtifact   (passthrough unless enabled)
+    fatbinary      TDFGArtifact     -> FatBinaryArtifact
+    jit-lower      FatBinaryArtifact-> LoweredArtifact
+
+plus the terminal ``simulate`` stage (ProgramArtifact -> RunArtifact),
+which drives the paradigm dispatch the public API exposes.  The
+``optimize`` stage always exists so the typed chain is uniform; when
+disabled it forwards the region's tDFG untouched (``report=None``).
+
+Stage bodies delegate to the existing compiler entry points
+(``parse_kernel``, ``optimize_tdfg``, ``compile_fat_binary``,
+``JITCompiler.compile_region``), which consult the content-addressed
+cache with stage-scoped keys (``fatbinary-…``, ``jit-lower-…``) — so a
+fat-binary cache hit skips only that stage's scheduling work.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.pipeline import verify as V
+from repro.pipeline.artifacts import (
+    FatBinaryArtifact,
+    LoweredArtifact,
+    ProgramArtifact,
+    RegionArtifact,
+    RunArtifact,
+    SourceArtifact,
+    TDFGArtifact,
+)
+from repro.pipeline.manager import PassManager, PipelineHooks, Stage
+
+
+# ----------------------------------------------------------------------
+# Stage constructors
+# ----------------------------------------------------------------------
+def parse_stage() -> Stage:
+    def run(art: SourceArtifact) -> ProgramArtifact:
+        from repro.frontend import parse_kernel
+
+        program = parse_kernel(
+            art.name, art.source, arrays=dict(art.arrays), dtype=art.dtype
+        )
+        return ProgramArtifact(
+            program=program, params=dict(art.params), dataflow=art.dataflow
+        )
+
+    return Stage(
+        name="parse",
+        input_type=SourceArtifact,
+        output_type=ProgramArtifact,
+        run=run,
+        verifier=V.verify_program,
+    )
+
+
+def build_region_stage() -> Stage:
+    def run(art: ProgramArtifact) -> RegionArtifact:
+        kernel = art.program.instantiate(
+            {k: int(v) for k, v in art.params.items()}, dataflow=art.dataflow
+        )
+        return RegionArtifact(region=kernel.first_region(), kernel=kernel)
+
+    return Stage(
+        name="build-region",
+        input_type=ProgramArtifact,
+        output_type=RegionArtifact,
+        run=run,
+        verifier=V.verify_region,
+    )
+
+
+def optimize_stage(enabled: bool = True, max_iterations: int = 4) -> Stage:
+    """E-graph optimization; a typed passthrough when ``enabled=False``."""
+
+    def run(art: RegionArtifact | TDFGArtifact) -> TDFGArtifact:
+        if isinstance(art, RegionArtifact):
+            tdfg, signature = art.region.tdfg, art.region.signature
+        else:
+            tdfg, signature = art.tdfg, art.signature
+        if not enabled:
+            return TDFGArtifact(tdfg=tdfg, signature=signature)
+        from repro.egraph import optimize_tdfg
+        from repro.ir.printer import format_tdfg
+
+        optimized, report = optimize_tdfg(tdfg, max_iterations=max_iterations)
+        return TDFGArtifact(
+            tdfg=optimized, signature=format_tdfg(optimized), report=report
+        )
+
+    return Stage(
+        name="optimize",
+        input_type=(RegionArtifact, TDFGArtifact),
+        output_type=TDFGArtifact,
+        run=run,
+        verifier=V.verify_tdfg_artifact,
+    )
+
+
+def fatbinary_stage(
+    sram_sizes: tuple[int, ...] | None = None,
+    spill_mode: str = "error",
+    virtual_fuse: int = 1,
+    use_cache: bool = True,
+) -> Stage:
+    def run(art: TDFGArtifact) -> FatBinaryArtifact:
+        from repro.backend.fatbinary import COMMON_SRAM_SIZES, compile_fat_binary
+
+        binary = compile_fat_binary(
+            art.tdfg,
+            sram_sizes or COMMON_SRAM_SIZES,
+            spill_mode=spill_mode,
+            virtual_fuse=virtual_fuse,
+            use_cache=use_cache,
+        )
+        return FatBinaryArtifact(binary=binary, signature=art.signature)
+
+    return Stage(
+        name="fatbinary",
+        input_type=TDFGArtifact,
+        output_type=FatBinaryArtifact,
+        run=run,
+        verifier=V.verify_fatbinary,
+    )
+
+
+def jit_lower_stage(
+    jit=None, tile_override: tuple[int, ...] | None = None
+) -> Stage:
+    """Lower through *jit* (a shared, memoizing :class:`JITCompiler`)."""
+    if jit is None:
+        from repro.runtime.jit import JITCompiler
+
+        jit = JITCompiler()
+
+    def run(art: FatBinaryArtifact) -> LoweredArtifact:
+        result = jit.compile_region(art.binary, art.signature, tile_override)
+        return LoweredArtifact(result=result, binary=art.binary)
+
+    return Stage(
+        name="jit-lower",
+        input_type=FatBinaryArtifact,
+        output_type=LoweredArtifact,
+        run=run,
+        verifier=V.verify_lowered,
+    )
+
+
+def simulate_stage(
+    paradigm: str = "inf-s",
+    iterations: int = 1,
+    system=None,
+) -> Stage:
+    """Whole-workload timing under one Fig 11 configuration.
+
+    Internally the Inf-S/In-L3 runner drives a per-region
+    [``fatbinary``, ``jit-lower``] sub-pipeline for every host
+    iteration (see :class:`repro.sim.engine.InfinityStreamRunner`).
+    """
+
+    def run(art: ProgramArtifact) -> RunArtifact:
+        from repro.baselines.core import BaseCoreModel
+        from repro.baselines.nsc import NearStreamModel
+        from repro.config.system import default_system
+        from repro.energy.model import EnergyModel
+        from repro.sim.engine import InfinityStreamRunner
+        from repro.workloads.base import Workload
+
+        sys_cfg = system or default_system()
+        wl = Workload(
+            name=art.program.name,
+            program=art.program,
+            params={k: int(v) for k, v in art.params.items()},
+            dataflow=art.dataflow,
+            iterations=iterations,
+        )
+        energy = EnergyModel()
+        if paradigm in ("base", "base-1"):
+            threads = 1 if paradigm == "base-1" else sys_cfg.num_cores
+            result = energy.annotate(
+                BaseCoreModel(system=sys_cfg, threads=threads).run(wl)
+            )
+        elif paradigm == "near-l3":
+            result = energy.annotate(NearStreamModel(system=sys_cfg).run(wl))
+        else:
+            result = InfinityStreamRunner(
+                system=sys_cfg, paradigm=paradigm
+            ).run(wl)
+        return RunArtifact(result=result)
+
+    return Stage(
+        name="simulate",
+        input_type=ProgramArtifact,
+        output_type=RunArtifact,
+        run=run,
+        verifier=V.verify_run,
+    )
+
+
+# ----------------------------------------------------------------------
+# Pipeline builders
+# ----------------------------------------------------------------------
+def compile_pipeline(
+    optimize: bool = False,
+    max_iterations: int = 4,
+    sram_sizes: tuple[int, ...] | None = None,
+    jit=None,
+    tile_override: tuple[int, ...] | None = None,
+    hooks: Sequence[PipelineHooks] = (),
+    verify: bool = True,
+) -> PassManager:
+    """The full compile chain: parse → … → jit-lower."""
+    return PassManager(
+        [
+            parse_stage(),
+            build_region_stage(),
+            optimize_stage(enabled=optimize, max_iterations=max_iterations),
+            fatbinary_stage(sram_sizes=sram_sizes),
+            jit_lower_stage(jit=jit, tile_override=tile_override),
+        ],
+        hooks=hooks,
+        verify=verify,
+    )
+
+
+def simulate_pipeline(
+    paradigm: str = "inf-s",
+    iterations: int = 1,
+    system=None,
+    hooks: Sequence[PipelineHooks] = (),
+    verify: bool = True,
+) -> PassManager:
+    """parse → simulate (the runner pipelines per-region internally)."""
+    return PassManager(
+        [
+            parse_stage(),
+            simulate_stage(
+                paradigm=paradigm, iterations=iterations, system=system
+            ),
+        ],
+        hooks=hooks,
+        verify=verify,
+    )
+
+
+def region_pipeline(
+    jit=None,
+    sram_sizes: tuple[int, ...] | None = None,
+    tile_override: tuple[int, ...] | None = None,
+    use_cache: bool = True,
+    verify: bool = False,
+) -> PassManager:
+    """The timing engine's per-region chain: fatbinary → jit-lower.
+
+    Verification defaults off here — this runs once per host-loop
+    iteration on the simulation hot path; enable it for debugging
+    (results are identical either way).
+    """
+    return PassManager(
+        [
+            fatbinary_stage(sram_sizes=sram_sizes, use_cache=use_cache),
+            jit_lower_stage(jit=jit, tile_override=tile_override),
+        ],
+        verify=verify,
+    )

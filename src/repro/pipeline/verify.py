@@ -1,0 +1,194 @@
+"""Inter-stage IR verifiers.
+
+Each pipeline stage has a verifier that runs on its output artifact and
+raises a structured :class:`~repro.errors.PipelineError` — carrying the
+stage name and the offending node/command — when an invariant is broken:
+
+* **tDFG well-formedness** (after ``build-region``/``optimize``): the
+  node DAG is acyclic, operand dtypes are consistent, and every
+  reference is bound (tensor nodes name declared arrays, symbolic
+  constants name region parameters, stores target declared arrays);
+* **fat-binary invariants** (after ``fatbinary``): register allocation
+  ran, register pressure fits the wordline register file, and every
+  assigned register index is in range;
+* **lowering invariants** (after ``jit-lower``): every command operand
+  is *resident* — an array/stream register pinned by the layout, the PE
+  scratch rows, or a register written by an earlier command.
+
+Verifiers never modify artifacts, so enabling or disabling them cannot
+change any modeled figure.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import IRError, PipelineError
+from repro.ir.nodes import ComputeNode, ConstNode, Node
+from repro.pipeline.artifacts import (
+    FatBinaryArtifact,
+    LoweredArtifact,
+    ProgramArtifact,
+    RegionArtifact,
+    RunArtifact,
+    TDFGArtifact,
+)
+
+
+# ----------------------------------------------------------------------
+# tDFG well-formedness
+# ----------------------------------------------------------------------
+def check_acyclic(tdfg, stage: str) -> None:
+    """Raise if the node DAG contains a cycle (iterative three-color DFS)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[int, int] = {}
+    for root in tdfg.roots:
+        stack: list[tuple[Node, int]] = [(root, 0)]
+        while stack:
+            node, i = stack.pop()
+            if i == 0:
+                if color.get(id(node), WHITE) == BLACK:
+                    continue
+                color[id(node)] = GRAY
+            ops = node.operands
+            if i < len(ops):
+                stack.append((node, i + 1))
+                child = ops[i]
+                state = color.get(id(child), WHITE)
+                if state == GRAY:
+                    raise PipelineError(
+                        f"tDFG {tdfg.name!r} has a cycle through node "
+                        f"{child} ({child.kind})",
+                        stage=stage,
+                        node=child,
+                    )
+                if state == WHITE:
+                    stack.append((child, 0))
+            else:
+                color[id(node)] = BLACK
+
+
+def check_dtypes(tdfg, stage: str) -> None:
+    """Compute nodes must combine operands of one element type."""
+    for node in tdfg.nodes():
+        if not isinstance(node, ComputeNode):
+            continue
+        dtypes = {
+            op.dtype for op in node.operands if not isinstance(op, ConstNode)
+        }
+        if len(dtypes) > 1:
+            raise PipelineError(
+                f"compute node {node} mixes element types "
+                f"{sorted(d.value for d in dtypes)}",
+                stage=stage,
+                node=node,
+            )
+
+
+def verify_tdfg(tdfg, stage: str) -> None:
+    """Full tDFG check: acyclic, refs bound, domains valid, dtypes agree."""
+    check_acyclic(tdfg, stage)  # first: validate() assumes a DAG
+    try:
+        tdfg.validate()
+    except IRError as err:
+        raise PipelineError(str(err), stage=stage) from err
+    check_dtypes(tdfg, stage)
+
+
+# ----------------------------------------------------------------------
+# Per-artifact verifiers (stage output contracts)
+# ----------------------------------------------------------------------
+def verify_program(artifact: ProgramArtifact, stage: str) -> None:
+    if not artifact.program.stmts:
+        raise PipelineError(
+            f"kernel {artifact.program.name!r} parsed to no statements",
+            stage=stage,
+        )
+
+
+def verify_region(artifact: RegionArtifact, stage: str) -> None:
+    verify_tdfg(artifact.region.tdfg, stage)
+
+
+def verify_tdfg_artifact(artifact: TDFGArtifact, stage: str) -> None:
+    verify_tdfg(artifact.tdfg, stage)
+
+
+def verify_fatbinary(artifact: FatBinaryArtifact, stage: str) -> None:
+    binary = artifact.binary
+    if not binary.configs:
+        raise PipelineError(
+            f"fat binary {binary.name!r} has no scheduled configurations",
+            stage=stage,
+        )
+    for wordlines, sched in binary.configs.items():
+        if sched.registers_available <= 0:
+            raise PipelineError(
+                f"config {wordlines}: register allocation never ran "
+                "(registers_available == 0)",
+                stage=stage,
+            )
+        if sched.registers_used > sched.registers_available:
+            raise PipelineError(
+                f"config {wordlines}: register pressure "
+                f"{sched.registers_used} exceeds the "
+                f"{sched.registers_available}-register wordline file",
+                stage=stage,
+            )
+        for array, reg in sched.array_registers.items():
+            if not 0 <= reg < sched.registers_available:
+                raise PipelineError(
+                    f"config {wordlines}: array {array!r} pinned to "
+                    f"out-of-range register {reg}",
+                    stage=stage,
+                )
+        for op in sched.ops:
+            if op.dst_reg is not None and not (
+                0 <= op.dst_reg < sched.registers_available
+            ):
+                raise PipelineError(
+                    f"config {wordlines}: op #{op.index} ({op.kind}) "
+                    f"assigned out-of-range register {op.dst_reg}",
+                    stage=stage,
+                    node=op.node,
+                )
+
+
+def verify_lowered(artifact: LoweredArtifact, stage: str) -> None:
+    from repro.runtime.commands import BroadcastCmd, ComputeCmd, ShiftCmd
+    from repro.runtime.lower import SCRATCH_REG
+
+    lowered = artifact.result.lowered
+    resident: set[int] = {SCRATCH_REG}
+    resident.update(lowered.stream_registers.values())
+    if artifact.binary is not None:
+        for sched in artifact.binary.configs.values():
+            resident.update(sched.array_registers.values())
+    written = set(resident)
+    for i, cmd in enumerate(lowered.commands):
+        if isinstance(cmd, ShiftCmd):
+            reads, dst = (cmd.src_reg,), cmd.dst_reg
+        elif isinstance(cmd, ComputeCmd):
+            reads, dst = cmd.src_regs, cmd.dst_reg
+        elif isinstance(cmd, BroadcastCmd):
+            reads, dst = (cmd.src_reg,), cmd.dst_reg
+        else:  # sync — no register operands
+            continue
+        for reg in reads:
+            if reg not in written:
+                raise PipelineError(
+                    f"command #{i} ({cmd}) reads register {reg} that is "
+                    "neither resident nor written by an earlier command",
+                    stage=stage,
+                    node=cmd,
+                )
+        written.add(dst)
+
+
+def verify_run(artifact: RunArtifact, stage: str) -> None:
+    result = artifact.result
+    if not math.isfinite(result.total_cycles) or result.total_cycles < 0:
+        raise PipelineError(
+            f"run result has invalid cycle count {result.total_cycles!r}",
+            stage=stage,
+        )

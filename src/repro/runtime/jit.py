@@ -177,7 +177,8 @@ class JITCompiler:
         cache = active_cache() if self.use_content_cache else None
         content_key = None
         if cache is not None:
-            content_key = "jit-" + stable_digest(
+            # Stage-scoped key: a hit skips only the jit-lower stage.
+            content_key = "jit-lower-" + stable_digest(
                 [
                     binary.tdfg.fingerprint(),
                     self.system.fingerprint(),
@@ -243,6 +244,17 @@ class JITCompiler:
         if cache is not None and content_key is not None:
             cache.put(content_key, (lowered, layouts, jit_cycles))
         return result
+
+    def as_stage(self, tile_override: tuple[int, ...] | None = None):
+        """This compiler as the pipeline's ``jit-lower`` stage.
+
+        Every consumer (engine, CLI, API) lowers through
+        :class:`repro.pipeline.PassManager`; sharing one compiler across
+        pipeline runs is what preserves the memo table across regions.
+        """
+        from repro.pipeline.stages import jit_lower_stage
+
+        return jit_lower_stage(jit=self, tile_override=tile_override)
 
     def stats(self) -> JITStats:
         """This compiler's counters as a :class:`JITStats` value."""

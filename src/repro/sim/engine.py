@@ -21,7 +21,6 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 
-from repro.backend import compile_fat_binary
 from repro.baselines.core import BaseCoreModel
 from repro.baselines.nsc import NearStreamModel
 from repro.config.system import SystemConfig, default_system
@@ -30,6 +29,7 @@ from repro.errors import LayoutError
 from repro.frontend.build import RegionInstance
 from repro.frontend.classify import LoopKind, StmtInfo
 from repro.frontend.kast import Ref, walk_refs
+from repro.pipeline import PassManager, TDFGArtifact, region_pipeline
 from repro.runtime.decision import (
     DecisionInputs,
     OffloadChoice,
@@ -55,6 +55,10 @@ class InfinityStreamRunner:
     # compilation cache (repro.exec.cache) without reconfiguring it;
     # modeled results are identical either way — only host time differs.
     use_content_cache: bool = True
+    # Run the inter-stage IR verifiers on every per-region pipeline.
+    # Off by default on this hot path; verification never changes any
+    # modeled figure, so enabling it is purely a debugging aid.
+    verify_pipeline: bool = False
 
     def __post_init__(self) -> None:
         if self.paradigm not in ("in-l3", "inf-s", "inf-s-nojit"):
@@ -70,6 +74,16 @@ class InfinityStreamRunner:
         chip = Chip(system=self.system)
         jit = JITCompiler(
             system=self.system, use_content_cache=self.use_content_cache
+        )
+        # Per-region staged compilation: fatbinary -> jit-lower.  The
+        # shared JITCompiler keeps its memo table across pipeline runs,
+        # so memo-hit accounting is identical to the pre-pipeline code.
+        pipeline = region_pipeline(
+            jit=jit,
+            sram_sizes=(self.system.cache.sram.wordlines,),
+            tile_override=self.tile_override,
+            use_cache=self.use_content_cache,
+            verify=self.verify_pipeline,
         )
         result = RunResult(workload=wl.name, paradigm=self.paradigm)
         cy = result.cycles
@@ -100,7 +114,7 @@ class InfinityStreamRunner:
                 for env in ik.host_iterations(segment):
                     region = ik.region_at(env, segment)
                     self._run_region(
-                        wl, region, chip, jit, result, seen_gathers
+                        wl, region, chip, pipeline, jit, result, seen_gathers
                     )
             # Ping-pong swaps need no data movement: both arrays stay
             # resident in transposed layout (delayed release).
@@ -125,6 +139,7 @@ class InfinityStreamRunner:
         wl: Workload,
         region: RegionInstance,
         chip: Chip,
+        pipeline: PassManager,
         jit: JITCompiler,
         result: RunResult,
         seen_gathers: set[str],
@@ -136,13 +151,9 @@ class InfinityStreamRunner:
 
         if has_tensor_work:
             try:
-                wordlines = self.system.cache.sram.wordlines
-                binary = compile_fat_binary(
-                    tdfg, (wordlines,), use_cache=self.use_content_cache
-                )
-                jres = jit.compile_region(
-                    binary, region.signature, self.tile_override
-                )
+                jres = pipeline.run(
+                    TDFGArtifact(tdfg=tdfg, signature=region.signature)
+                ).final.result
             except LayoutError:
                 # No valid tiling: fall back to near-memory / core.
                 self._region_near_memory(wl, region, chip, result)

@@ -1,0 +1,204 @@
+"""CLI coverage: compile/simulate/offload/replay + golden format_tdfg."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+
+STENCIL = "for i in [1, N-1):\n    Y[i] = X[i-1] + X[i] + X[i+1]\n"
+SAXPY = "for i in [0, N):\n    Y[i] = a * X[i] + Y[i]\n"
+
+# The exact printer output for stencil1d at N=16 — a golden test: any
+# change to format_tdfg or to region construction must be deliberate.
+GOLDEN_STENCIL_TDFG = """\
+tdfg stencil1d#0 {
+  array X[16] : fp32
+  array Y[16] : fp32
+  %0 = X[0,14)  ; [0,14)
+  %1 = mv(dim=0,dist=1) %0  ; [1,15)
+  %2 = X[1,15)  ; [1,15)
+  %3 = cmp(add) %1, %2  ; [1,15)
+  %4 = X[2,16)  ; [2,16)
+  %5 = mv(dim=0,dist=-1) %4  ; [1,15)
+  %6 = cmp(add) %3, %5  ; [1,15)
+  store %6 -> Y[1,15)
+}"""
+
+
+@pytest.fixture
+def stencil_file(tmp_path):
+    path = tmp_path / "stencil.k"
+    path.write_text(STENCIL)
+    return str(path)
+
+
+@pytest.fixture
+def saxpy_file(tmp_path):
+    path = tmp_path / "saxpy.k"
+    path.write_text(SAXPY)
+    return str(path)
+
+
+def stencil_args(stencil_file, *extra):
+    return [
+        "compile", stencil_file,
+        "--array", "X:N", "--array", "Y:N",
+        "-p", "N=16", "--name", "stencil1d",
+        *extra,
+    ]
+
+
+def saxpy_args(command, saxpy_file, *extra):
+    return [
+        command, saxpy_file,
+        "--array", "X:N", "--array", "Y:N",
+        "-p", "N=4096", "-p", "a=2", "--name", "saxpy",
+        *extra,
+    ]
+
+
+class TestCompile:
+    def test_golden_format_tdfg(self, stencil_file, capsys):
+        assert cli.main(stencil_args(stencil_file)) == 0
+        out = capsys.readouterr().out
+        assert GOLDEN_STENCIL_TDFG in out
+        assert "stencil1d:" in out  # kernel summary line
+
+    def test_lower_prints_commands(self, saxpy_file, capsys):
+        assert cli.main(saxpy_args("compile", saxpy_file, "--lower")) == 0
+        out = capsys.readouterr().out
+        assert "-- lowered commands (tile (256,)) --" in out
+        assert "cmp mul [0,4096) r0->r2" in out
+        assert "cmp add [0,4096) r2,r1->r1" in out
+
+    def test_optimize_and_lower_share_one_run(self, saxpy_file, capsys):
+        # The dedup satellite: --optimize --lower is a single pipeline
+        # run, so the lowering comes from the optimized tDFG artifact.
+        args = saxpy_args(
+            "compile", saxpy_file, "--optimize", "--lower", "--time-passes"
+        )
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        assert "-- optimized (cost" in out
+        assert "-- lowered commands" in out
+        table = out[out.index("-- pipeline timing --"):]
+        # One run: each stage appears exactly once in the timing table.
+        for stage in ("parse", "build-region", "optimize", "fatbinary"):
+            assert table.count(f"\n{stage} ") == 1
+
+    def test_time_passes_table(self, stencil_file, capsys):
+        assert cli.main(stencil_args(stencil_file, "--time-passes")) == 0
+        out = capsys.readouterr().out
+        assert "-- pipeline timing --" in out
+        assert "wall[ms]" in out and "bytes" in out
+        # until="build-region": later stages never ran, so no rows.
+        table = out[out.index("-- pipeline timing --"):]
+        assert "jit-lower" not in table
+        assert "total" in table
+
+    def test_param_rejects_non_integer(self, stencil_file):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(stencil_args(stencil_file, "-p", "N=sixteen"))
+        assert "expected an integer value" in str(exc.value)
+        assert "'sixteen'" in str(exc.value)
+
+    def test_param_requires_name_and_value(self, stencil_file):
+        with pytest.raises(SystemExit, match="NAME=VALUE"):
+            cli.main(stencil_args(stencil_file, "-p", "N"))
+
+    def test_array_requires_dims(self, stencil_file):
+        with pytest.raises(SystemExit, match="NAME:D0"):
+            cli.main(
+                ["compile", stencil_file, "--array", "X", "-p", "N=16"]
+            )
+
+    def test_kernel_from_stdin(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(STENCIL))
+        args = [
+            "compile", "-",
+            "--array", "X:N", "--array", "Y:N",
+            "-p", "N=16", "--name", "stencil1d",
+        ]
+        assert cli.main(args) == 0
+        assert GOLDEN_STENCIL_TDFG in capsys.readouterr().out
+
+    def test_missing_kernel_file_reports_cleanly(self, tmp_path):
+        args = [
+            "compile", str(tmp_path / "nope.k"),
+            "--array", "X:N", "-p", "N=16",
+        ]
+        with pytest.raises((SystemExit, OSError)):
+            cli.main(args)
+
+
+class TestSimulate:
+    def test_reports_cycles_and_energy(self, saxpy_file, capsys):
+        args = saxpy_args("simulate", saxpy_file, "--paradigm", "inf-s")
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        assert "paradigm     inf-s" in out
+        assert "cycles" in out and "energy" in out
+        assert "in-mem ops" in out
+
+    def test_matches_api(self, saxpy_file, capsys):
+        from repro import api
+
+        assert cli.main(saxpy_args("simulate", saxpy_file)) == 0
+        out = capsys.readouterr().out
+        prog = api.compile_kernel(
+            "saxpy", SAXPY, arrays={"X": ("N",), "Y": ("N",)}
+        )
+        result = api.simulate(prog, {"N": 4096, "a": 2}, paradigm="inf-s")
+        assert f"cycles       {result.total_cycles:,.0f}" in out
+
+    def test_time_passes(self, saxpy_file, capsys):
+        args = saxpy_args("simulate", saxpy_file, "--time-passes")
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        table = out[out.index("-- pipeline timing --"):]
+        assert "parse" in table and "simulate" in table
+
+
+class TestOffload:
+    def test_prints_decision(self, saxpy_file, capsys):
+        assert cli.main(saxpy_args("offload", saxpy_file)) == 0
+        out = capsys.readouterr().out.strip()
+        assert out in ("in-memory", "near-memory")
+
+
+class TestReplay:
+    def test_round_trip_byte_identical(self, saxpy_file, tmp_path, capsys):
+        dump = str(tmp_path / "dump")
+        args = saxpy_args(
+            "compile", saxpy_file, "--lower", "--dump-dir", dump
+        )
+        assert cli.main(args) == 0
+        compile_out = capsys.readouterr().out
+        section = compile_out[compile_out.index("-- lowered commands"):]
+
+        assert cli.main(["replay", dump, "--stage", "jit-lower"]) == 0
+        replay_out = capsys.readouterr().out
+        # The CI round-trip contract: replaying jit-lower from the
+        # dumped fat binary reproduces the section byte-for-byte.
+        assert replay_out == section.rstrip("\n") + "\n" or replay_out == section
+
+    def test_replay_missing_dump_fails(self, tmp_path, capsys):
+        from repro.errors import PipelineError
+
+        with pytest.raises(PipelineError, match="manifest"):
+            cli.main(["replay", str(tmp_path / "empty")])
+
+    def test_dump_dir_files(self, saxpy_file, tmp_path):
+        dump = tmp_path / "dump"
+        args = saxpy_args(
+            "compile", saxpy_file, "--lower", "--dump-dir", str(dump)
+        )
+        assert cli.main(args) == 0
+        names = sorted(p.name for p in dump.iterdir())
+        assert "manifest.json" in names
+        assert any(n.endswith("-parse.json") for n in names)
+        assert any(n.endswith("-fatbinary.pkl") for n in names)
+        assert any(n.endswith("-jit-lower.commands.txt") for n in names)
