@@ -8,7 +8,15 @@ Commands
 ``simulate``  estimate cycles/traffic/energy under one configuration;
 ``offload``   evaluate the Eq. 2 in-/near-memory decision;
 ``replay``    re-run pipeline stages from a ``--dump-dir`` artifact dump;
-``figures``   regenerate the paper's evaluation tables (run_all).
+``figures``   regenerate the paper's evaluation tables (run_all);
+``trace``     simulate one kernel with full observability: write a
+              Perfetto/chrome://tracing ``trace.json`` and print the
+              Fig 14-style cycle stack, the per-tile NoC heatmap and
+              the metrics report.
+
+``compile`` and ``simulate`` also accept ``--trace FILE`` (write the
+event trace) and ``--metrics`` (print the metrics registry) without
+switching commands.
 
 Kernel files contain the plain loop-nest source; arrays and sizes are
 given on the command line::
@@ -24,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 
 from repro import api
 from repro.ir.dtypes import DType
@@ -93,7 +102,30 @@ def _instrumentation(args) -> tuple[TimingHooks | None, list]:
         hooks.append(timing)
     if getattr(args, "dump_dir", None):
         hooks.append(DumpHooks(args.dump_dir))
+    if getattr(args, "trace", None) or getattr(args, "metrics", False):
+        from repro.pipeline.hooks import TraceHooks
+
+        hooks.append(TraceHooks())
     return timing, hooks
+
+
+@contextmanager
+def _observing(args):
+    """Enable repro.trace for the command when ``--trace``/``--metrics``
+    ask for it; afterwards write the trace file / print the report."""
+    if not getattr(args, "trace", None) and not getattr(args, "metrics", False):
+        yield
+        return
+    from repro import trace as trace_mod
+
+    with trace_mod.observe() as (tracer, registry):
+        yield
+    if getattr(args, "trace", None):
+        path = trace_mod.write_chrome_trace(args.trace, tracer.events)
+        print(f"\nwrote {path} ({len(tracer.events)} events)")
+    if getattr(args, "metrics", False):
+        print()
+        print(trace_mod.metrics_report(registry))
 
 
 def _print_lowered(jres) -> None:
@@ -104,50 +136,79 @@ def _print_lowered(jres) -> None:
 
 def cmd_compile(args) -> int:
     timing, hooks = _instrumentation(args)
-    pipeline = compile_pipeline(optimize=args.optimize, hooks=hooks)
-    if args.lower:
-        until = "jit-lower"
-    elif args.optimize:
-        until = "optimize"
-    else:
-        until = "build-region"
-    run = pipeline.run(_source_artifact(args), until=until)
+    with _observing(args):
+        pipeline = compile_pipeline(optimize=args.optimize, hooks=hooks)
+        if args.lower:
+            until = "jit-lower"
+        elif args.optimize:
+            until = "optimize"
+        else:
+            until = "build-region"
+        run = pipeline.run(_source_artifact(args), until=until)
 
-    built = run.artifact("build-region")
-    print(built.kernel.summary())
-    print(format_tdfg(built.region.tdfg))
-    if args.optimize:
-        opt = run.artifact("optimize")
-        print(f"\n-- optimized (cost {opt.report.cost_before:.0f} -> "
-              f"{opt.report.cost_after:.0f}) --")
-        print(format_tdfg(opt.tdfg))
-    if args.lower:
-        # Same pipeline run: with --optimize the lowering comes from the
-        # optimized tDFG artifact, not a second parse/instantiate.
-        _print_lowered(run.artifact("jit-lower").result)
-    if timing is not None:
-        print()
-        print(timing.format_table())
+        built = run.artifact("build-region")
+        print(built.kernel.summary())
+        print(format_tdfg(built.region.tdfg))
+        if args.optimize:
+            opt = run.artifact("optimize")
+            print(f"\n-- optimized (cost {opt.report.cost_before:.0f} -> "
+                  f"{opt.report.cost_after:.0f}) --")
+            print(format_tdfg(opt.tdfg))
+        if args.lower:
+            # Same pipeline run: with --optimize the lowering comes from
+            # the optimized tDFG artifact, not a second parse/instantiate.
+            _print_lowered(run.artifact("jit-lower").result)
+        if timing is not None:
+            print()
+            print(timing.format_table())
     return 0
 
 
 def cmd_simulate(args) -> int:
     timing, hooks = _instrumentation(args)
-    pipeline = simulate_pipeline(
-        paradigm=args.paradigm, iterations=args.iterations, hooks=hooks
+    with _observing(args):
+        pipeline = simulate_pipeline(
+            paradigm=args.paradigm, iterations=args.iterations, hooks=hooks
+        )
+        result = pipeline.run(_source_artifact(args)).final.result
+        print(f"paradigm     {result.paradigm}")
+        print(f"cycles       {result.total_cycles:,.0f}")
+        for key, value in result.cycles.as_dict().items():
+            if value:
+                print(f"  {key:12s} {value:,.0f}")
+        print(f"traffic      {result.traffic.total:,.0f} bytes*hops")
+        print(f"energy       {result.energy_nj:,.0f} nJ")
+        print(f"in-mem ops   {result.ops.in_memory_fraction:.1%}")
+        if timing is not None:
+            print()
+            print(timing.format_table())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro import trace as trace_mod
+    from repro.pipeline.hooks import TraceHooks
+    from repro.sim.campaign import format_table
+
+    with trace_mod.observe() as (tracer, registry):
+        pipeline = simulate_pipeline(
+            paradigm=args.paradigm,
+            iterations=args.iterations,
+            hooks=[TraceHooks()],
+        )
+        result = pipeline.run(_source_artifact(args)).final.result
+    path = trace_mod.write_chrome_trace(args.out, tracer.events)
+    print(f"wrote {path} ({len(tracer.events)} events)")
+    print(
+        f"\n-- cycle stack ({result.workload} / {result.paradigm}, "
+        f"{result.total_cycles:,.0f} cycles) --"
     )
-    result = pipeline.run(_source_artifact(args)).final.result
-    print(f"paradigm     {result.paradigm}")
-    print(f"cycles       {result.total_cycles:,.0f}")
-    for key, value in result.cycles.as_dict().items():
-        if value:
-            print(f"  {key:12s} {value:,.0f}")
-    print(f"traffic      {result.traffic.total:,.0f} bytes*hops")
-    print(f"energy       {result.energy_nj:,.0f} nJ")
-    print(f"in-mem ops   {result.ops.in_memory_fraction:.1%}")
-    if timing is not None:
+    print(format_table(*trace_mod.cycle_stack_table(registry)))
+    print("\n-- NoC traffic heatmap (bytes x hops per tile) --")
+    print(format_table(*trace_mod.noc_heatmap_table(registry)))
+    if args.metrics:
         print()
-        print(timing.format_table())
+        print(trace_mod.metrics_report(registry))
     return 0
 
 
@@ -237,6 +298,17 @@ def _add_instrumentation_args(p: argparse.ArgumentParser) -> None:
         default=None,
         help="serialize every intermediate artifact under this directory",
     )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="write a Perfetto/chrome://tracing trace.json of the run",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics-registry report after the run",
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -287,6 +359,29 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--scale", type=float, default=1.0)
     p.add_argument("--out", default=None)
     p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser(
+        "trace",
+        help="simulate with full observability and write trace.json",
+    )
+    _add_kernel_args(p)
+    p.add_argument(
+        "--paradigm",
+        choices=("in-l3", "inf-s", "inf-s-nojit"),
+        default="inf-s",
+    )
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument(
+        "--out",
+        default="trace.json",
+        help="trace file to write (Perfetto/chrome://tracing JSON)",
+    )
+    p.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also print the full metrics-registry report",
+    )
+    p.set_defaults(fn=cmd_trace)
 
     args = ap.parse_args(argv)
     return args.fn(args)

@@ -70,6 +70,35 @@ class SimulationError(ReproError):
     """The microarchitecture model was driven into an inconsistent state."""
 
 
+class PointExecutionError(SimulationError):
+    """A campaign simulation point failed (repro.exec.pool).
+
+    Wraps the worker-side exception with the failing point's identity —
+    the campaign ``section``, the point's ``index`` in spec order, and a
+    human-readable ``spec`` description (workload / system / tile) — so
+    a crash under ``--jobs N`` names the point, not just a traceback
+    from an anonymous worker process.  Picklable across the process
+    boundary by construction.
+    """
+
+    def __init__(
+        self, message: str, section: str, index: int, spec: str
+    ) -> None:
+        super().__init__(
+            f"point {index} of section {section!r} ({spec}): {message}"
+        )
+        self.message = message
+        self.section = section
+        self.index = index
+        self.spec = spec
+
+    def __reduce__(self):
+        return (
+            PointExecutionError,
+            (self.message, self.section, self.index, self.spec),
+        )
+
+
 class CoherenceError(SimulationError):
     """Illegal access to transposed data (e.g. core access while trans=1)."""
 

@@ -36,6 +36,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, fields
 from pathlib import Path
 
+from repro.trace import events as _trace
+from repro.trace import metrics as _metrics
+from repro.trace.events import Category as _Cat
+
 DEFAULT_CACHE_DIR = ".repro_cache"
 DEFAULT_MAX_ENTRIES = 8192
 
@@ -164,14 +168,20 @@ class CompilationCache:
         if key in self._lru:
             self._lru.move_to_end(key)
             self.stats.hits += 1
+            if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+                self._observe("hit", key)
             return self._lru[key]
         value = self._disk_get(key)
         if value is not _MISS:
             self.stats.hits += 1
             self.stats.disk_hits += 1
             self._insert(key, value)
+            if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+                self._observe("disk-hit", key)
             return value
         self.stats.misses += 1
+        if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+            self._observe("miss", key)
         return None
 
     def put(self, key: str, value) -> None:
@@ -180,6 +190,25 @@ class CompilationCache:
         self.stats.stores += 1
         self._insert(key, value)
         self._disk_put(key, value)
+        if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+            self._observe("store", key)
+
+    @staticmethod
+    def _observe(outcome: str, key: str) -> None:
+        # Keys are "<stage>-<hex digest>"; digests never contain "-".
+        stage = key.rsplit("-", 1)[0] if "-" in key else "other"
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.add("cache.lookup", 1.0, outcome=outcome, stage=stage)
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.instant(
+                f"cache.{outcome}",
+                _Cat.CACHE,
+                track="cache",
+                stage=stage,
+                key=key[-12:],
+            )
 
     def clear(self, disk: bool = False) -> None:
         self._lru.clear()

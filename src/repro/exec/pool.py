@@ -26,6 +26,7 @@ regardless of the multiprocessing start method.
 
 from __future__ import annotations
 
+import dataclasses
 import pickle
 import time
 import warnings
@@ -33,7 +34,11 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro.errors import PointExecutionError
 from repro.exec import cache as cache_mod
+from repro.trace import events as _trace
+from repro.trace import metrics as metrics_mod
+from repro.trace.events import Category as _Cat
 
 
 @dataclass
@@ -67,7 +72,7 @@ class PointExecutor:
         if self.jobs > 1 and len(specs) > 1:
             reason = _pickle_obstacle(fn, specs)
             if reason is None:
-                results = self._map_parallel(fn, specs)
+                results = self._map_parallel(fn, specs, label)
                 mode = f"parallel x{min(self.jobs, len(specs))}"
             else:
                 warnings.warn(
@@ -75,16 +80,54 @@ class PointExecutor:
                     RuntimeWarning,
                     stacklevel=2,
                 )
-                results = [fn(spec) for spec in specs]
+                results = self._map_serial(fn, specs, label)
         else:
-            results = [fn(spec) for spec in specs]
-        self.sections.append(
-            SectionTiming(label, len(specs), mode, time.perf_counter() - start)
-        )
+            results = self._map_serial(fn, specs, label)
+        seconds = time.perf_counter() - start
+        self.sections.append(SectionTiming(label, len(specs), mode, seconds))
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.instant(
+                f"campaign.{label}",
+                _Cat.CAMPAIGN,
+                track="campaign",
+                points=len(specs),
+                mode=mode,
+                wall_seconds=seconds,
+            )
+        if metrics_mod.REGISTRY is not None:
+            metrics_mod.REGISTRY.add(
+                "campaign.points", float(len(specs)), section=label
+            )
+            metrics_mod.REGISTRY.observe(
+                "campaign.wall_seconds", seconds, section=label
+            )
         return results
 
     # ------------------------------------------------------------------
-    def _map_parallel(self, fn: Callable, specs: Sequence) -> list:
+    def _map_serial(self, fn: Callable, specs: Sequence, label: str) -> list:
+        """Run the points inline, with the same per-point metric scoping
+        (and the same failure identity) a parallel run would have."""
+        results = []
+        for index, spec in enumerate(specs):
+            try:
+                with metrics_mod.point_scope() as point_reg:
+                    result = fn(spec)
+                if point_reg is not None:
+                    metrics_mod.REGISTRY.merge_snapshot(point_reg.snapshot())
+            except PointExecutionError:
+                raise
+            except Exception as exc:  # noqa: BLE001 — annotate and re-raise
+                raise PointExecutionError(
+                    f"{type(exc).__name__}: {exc}",
+                    section=label,
+                    index=index,
+                    spec=describe_spec(spec),
+                ) from exc
+            results.append(result)
+        return results
+
+    def _map_parallel(self, fn: Callable, specs: Sequence, label: str) -> list:
         from repro.runtime import jit as jit_mod
 
         workers = min(self.jobs, len(specs))
@@ -92,17 +135,24 @@ class PointExecutor:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(cache_mod.export_config(),),
+            initargs=(
+                cache_mod.export_config(),
+                metrics_mod.metrics_enabled(),
+            ),
         ) as pool:
             # Executor.map preserves input order; chunk to amortize IPC.
             chunksize = max(1, len(specs) // (workers * 4))
-            for result, jit_delta, cache_delta in pool.map(
+            for result, jit_delta, cache_delta, metrics_snap in pool.map(
                 _call_point,
-                [(fn, spec) for spec in specs],
+                [(fn, spec, label, i) for i, spec in enumerate(specs)],
                 chunksize=chunksize,
             ):
                 jit_mod.merge_global_stats(jit_delta)
                 cache_mod.merge_stats(cache_delta)
+                if metrics_snap is not None and metrics_mod.REGISTRY is not None:
+                    # pool.map yields in input order, so snapshots merge
+                    # in spec order — byte-identical to the serial path.
+                    metrics_mod.REGISTRY.merge_snapshot(metrics_snap)
                 results.append(result)
         return results
 
@@ -131,24 +181,79 @@ def run_points(
     return executor.map(fn, specs, section=section)
 
 
+def describe_spec(spec) -> str:
+    """A short human-readable identity for one point spec.
+
+    Surfaces the fields a failing campaign point is recognized by —
+    workload / system / paradigm / tile — without dumping whole configs.
+    """
+    if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+        parts = []
+        for f in dataclasses.fields(spec):
+            value = getattr(spec, f.name)
+            parts.append(f"{f.name}={_brief(value)}")
+        return f"{type(spec).__name__}({', '.join(parts)})"
+    if isinstance(spec, dict):
+        return "{" + ", ".join(
+            f"{k}={_brief(v)}" for k, v in spec.items()
+        ) + "}"
+    if isinstance(spec, (tuple, list)):
+        return "(" + ", ".join(_brief(v) for v in spec) + ")"
+    return _brief(spec)
+
+
+def _brief(value) -> str:
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return type(value).__name__
+    text = repr(value)
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
 # ----------------------------------------------------------------------
 # Worker-side plumbing (module-level: must be picklable by reference)
 # ----------------------------------------------------------------------
-def _init_worker(cache_config: dict) -> None:
+_WORKER_METRICS = False
+
+
+def _init_worker(cache_config: dict, metrics_on: bool = False) -> None:
+    global _WORKER_METRICS
     cache_mod.configure_from(cache_config)
+    _WORKER_METRICS = metrics_on
 
 
 def _call_point(payload):
     """Run one point and return its result plus stats-counter deltas."""
     from repro.runtime import jit as jit_mod
 
-    fn, spec = payload
+    fn, spec, section, index = payload
     jit_before = jit_mod.global_stats_snapshot()
     cache_before = cache_mod.stats_snapshot()
-    result = fn(spec)
+    try:
+        if _WORKER_METRICS:
+            # Same scoping as the serial path: the point accumulates
+            # into a fresh registry from zero, so the parent's in-order
+            # merge is byte-identical to a serial run.
+            with metrics_mod.collecting() as point_reg:
+                result = fn(spec)
+            metrics_snap = point_reg.snapshot()
+        else:
+            result = fn(spec)
+            metrics_snap = None
+    except PointExecutionError:
+        raise
+    except Exception as exc:  # noqa: BLE001 — annotate and re-raise
+        raise PointExecutionError(
+            f"{type(exc).__name__}: {exc}",
+            section=section,
+            index=index,
+            spec=describe_spec(spec),
+        ) from exc
     jit_delta = jit_mod.global_stats_snapshot().delta(jit_before)
     cache_delta = cache_mod.stats_snapshot().delta(cache_before)
-    return result, jit_delta, cache_delta
+    return result, jit_delta, cache_delta, metrics_snap
 
 
 def _pickle_obstacle(fn: Callable, specs: Sequence) -> str | None:

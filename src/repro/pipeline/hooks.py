@@ -8,7 +8,10 @@ Two :class:`~repro.pipeline.manager.PipelineHooks` implementations:
 * :class:`DumpHooks` — serializes every intermediate artifact under
   ``--dump-dir`` (via the existing ``tdfg_to_json``/fingerprint
   machinery) so any stage can later be replayed from its dump
-  (:mod:`repro.pipeline.dump`).
+  (:mod:`repro.pipeline.dump`);
+* :class:`TraceHooks` — forwards per-stage completion to the
+  :mod:`repro.trace` observability layer (pipeline-stage spans in the
+  Chrome trace, ``pipeline.stage.*`` counters in the metrics registry).
 """
 
 from __future__ import annotations
@@ -18,6 +21,9 @@ from pathlib import Path
 
 from repro.pipeline.artifacts import Artifact
 from repro.pipeline.manager import PipelineHooks, Stage, StageRecord
+from repro.trace import events as _trace
+from repro.trace import metrics as _metrics
+from repro.trace.events import Category as _Cat
 
 
 @dataclass
@@ -75,6 +81,49 @@ class TimingHooks(PipelineHooks):
             f"{'total':<14s} {self.total_seconds * 1e3:>9.2f}"
         )
         return "\n".join(lines)
+
+
+class TraceHooks(PipelineHooks):
+    """Forward stage completions to the active tracer/metrics registry.
+
+    Timestamps use the tracer's sequence clock (wall-clock would break
+    byte-comparable traces); the measured wall time rides along in the
+    event args and in the ``pipeline.stage.wall_seconds`` distribution.
+    """
+
+    def on_stage_end(
+        self, stage: Stage, artifact: Artifact, record: StageRecord
+    ) -> None:
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.add("pipeline.stage.runs", 1.0, stage=stage.name)
+            reg.add("pipeline.stage.cache_hits", record.cache_hits, stage=stage.name)
+            reg.add(
+                "pipeline.stage.cache_misses",
+                record.cache_misses,
+                stage=stage.name,
+            )
+            reg.observe(
+                "pipeline.stage.wall_seconds",
+                record.wall_seconds,
+                stage=stage.name,
+            )
+            reg.observe(
+                "pipeline.stage.artifact_bytes",
+                float(artifact.size_bytes()),
+                stage=stage.name,
+            )
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.instant(
+                f"pipeline.{stage.name}",
+                _Cat.PIPELINE,
+                track="pipeline",
+                artifact=type(artifact).__name__,
+                wall_seconds=record.wall_seconds,
+                cache_hits=record.cache_hits,
+                cache_misses=record.cache_misses,
+            )
 
 
 @dataclass

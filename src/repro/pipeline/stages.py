@@ -260,12 +260,24 @@ def region_pipeline(
 
     Verification defaults off here — this runs once per host-loop
     iteration on the simulation hot path; enable it for debugging
-    (results are identical either way).
+    (results are identical either way).  When the observability layer
+    (:mod:`repro.trace`) is active at construction time, a
+    :class:`~repro.pipeline.hooks.TraceHooks` rides along; with tracing
+    off the hook list stays empty and the hot path pays nothing.
     """
+    from repro.trace import events as _trace
+    from repro.trace import metrics as _metrics
+
+    hooks: list[PipelineHooks] = []
+    if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+        from repro.pipeline.hooks import TraceHooks
+
+        hooks.append(TraceHooks())
     return PassManager(
         [
             fatbinary_stage(sram_sizes=sram_sizes, use_cache=use_cache),
             jit_lower_stage(jit=jit, tile_override=tile_override),
         ],
+        hooks=hooks,
         verify=verify,
     )

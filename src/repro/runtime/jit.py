@@ -24,6 +24,9 @@ from repro.exec.cache import LayoutFailure, active_cache, stable_digest
 from repro.ir.tdfg import TensorDFG
 from repro.runtime.layout import TiledLayout, choose_layout, fits_in_l3
 from repro.runtime.lower import LoweredRegion, lower_region
+from repro.trace import events as _trace
+from repro.trace import metrics as _metrics
+from repro.trace.events import Category as _Cat
 
 
 @dataclass
@@ -167,6 +170,10 @@ class JITCompiler:
         if cached is not None:
             self.stats_hits += 1
             _GLOBAL_STATS.memo_hits += 1
+            if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+                self._observe(
+                    "memo-hit", key, self.cost_model.memo_hit_cycles, 0.0
+                )
             return JITResult(
                 lowered=cached.lowered,
                 layouts=cached.layouts,
@@ -202,6 +209,8 @@ class JITCompiler:
                 self.stats_cache_hits += 1
                 _GLOBAL_STATS.lowered += 1
                 _GLOBAL_STATS.cache_hits += 1
+                if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+                    self._observe("cache-hit", key, jit_cycles, 0.0)
                 return result
         start = time.perf_counter()
         tdfg = binary.tdfg
@@ -243,7 +252,44 @@ class JITCompiler:
         _GLOBAL_STATS.lowered += 1
         if cache is not None and content_key is not None:
             cache.put(content_key, (lowered, layouts, jit_cycles))
+        if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+            self._observe(
+                "lowered",
+                key,
+                jit_cycles,
+                wall,
+                num_commands=lowered.num_commands,
+                banks_touched=lowered.banks_touched,
+            )
         return result
+
+    def _observe(
+        self,
+        outcome: str,
+        key: str,
+        jit_cycles: float,
+        wall_seconds: float,
+        **extra,
+    ) -> None:
+        """Record one compile_region outcome (cold path, guarded)."""
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.add("jit.compile", 1.0, outcome=outcome)
+            reg.add("jit.modeled_cycles", jit_cycles, outcome=outcome)
+            if outcome == "lowered":
+                reg.observe("jit.wall_seconds", wall_seconds)
+                reg.observe("jit.commands", float(extra.get("num_commands", 0)))
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.instant(
+                f"jit.{outcome}",
+                _Cat.COMMAND,
+                track="jit",
+                region=key,
+                modeled_cycles=jit_cycles,
+                wall_seconds=wall_seconds,
+                **extra,
+            )
 
     def as_stage(self, tile_override: tuple[int, ...] | None = None):
         """This compiler as the pipeline's ``jit-lower`` stage.

@@ -37,6 +37,8 @@ from repro.runtime.decision import (
 )
 from repro.runtime.jit import JITCompiler
 from repro.sim.stats import CycleBreakdown, OpAccounting, RunResult
+from repro.trace import events as trace_events
+from repro.trace.events import Category as TraceCat
 from repro.uarch.chip import Chip
 from repro.workloads.base import NearMemPhase, Workload
 from repro.workloads.base import _count_ops
@@ -101,10 +103,22 @@ class InfinityStreamRunner:
         # through the TTUs (§5.2).  Fig 2's microbenchmarks assume the
         # data is already transposed (data_in_l3), skipping even that.
         total_bytes = wl.array_bytes()
+        tr = trace_events.TRACER
         if not wl.data_in_l3:
-            cy.dram += chip.ttu.transpose_cycles(total_bytes)
+            transpose = chip.ttu.transpose_cycles(total_bytes)
+            cy.dram += transpose
             chip.noc.unicast("data", float(total_bytes), hops=2.0)
             meta["dram_bytes"] = float(total_bytes) * 0.25  # flush victims
+            if tr is not None:
+                tr.complete(
+                    "ttu.transpose-in",
+                    TraceCat.DRAM,
+                    ts=0.0,
+                    dur=transpose,
+                    track="dram",
+                    bytes=float(total_bytes),
+                    workload=wl.name,
+                )
         meta["transposed_bytes"] = float(total_bytes)
         chip.l3.reserve_compute_ways()
 
@@ -113,24 +127,57 @@ class InfinityStreamRunner:
             for segment in ik.segments:
                 for env in ik.host_iterations(segment):
                     region = ik.region_at(env, segment)
+                    before = cy.total
                     self._run_region(
                         wl, region, chip, pipeline, jit, result, seen_gathers
                     )
-            # Ping-pong swaps need no data movement: both arrays stay
-            # resident in transposed layout (delayed release).
+                    if tr is not None:
+                        tr.complete(
+                            f"region {region.signature}",
+                            TraceCat.REGION,
+                            ts=before,
+                            dur=cy.total - before,
+                            track="engine",
+                            workload=wl.name,
+                            paradigm=self.paradigm,
+                            iteration=_it,
+                        )
 
         for phase in wl.extra_phases:
+            before = cy.total
             self._run_extra_phase(wl, phase, chip, result)
+            if tr is not None:
+                tr.complete(
+                    f"extra-phase {phase.name}",
+                    TraceCat.STREAM,
+                    ts=before,
+                    dur=cy.total - before,
+                    track="engine",
+                    workload=wl.name,
+                )
 
         # Delayed release: transpose dirty data back for normal reuse.
         if not wl.data_in_l3:
-            cy.dram += chip.ttu.transpose_cycles(total_bytes // 2)
+            before = cy.total
+            transpose = chip.ttu.transpose_cycles(total_bytes // 2)
+            cy.dram += transpose
+            if tr is not None:
+                tr.complete(
+                    "ttu.transpose-out",
+                    TraceCat.DRAM,
+                    ts=before,
+                    dur=transpose,
+                    track="dram",
+                    bytes=float(total_bytes // 2),
+                    workload=wl.name,
+                )
         chip.l3.release_compute_ways()
 
         result.traffic = chip.noc.ledger
         result.regions = jit.stats_lowered + jit.stats_hits
         result.jit_memo_hits = jit.stats_hits
         self.energy.annotate(result)
+        result.record_metrics()
         return result
 
     # ------------------------------------------------------------------

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.trace import metrics as _metrics
 from repro.uarch.noc import TrafficLedger
 
 
@@ -98,3 +99,35 @@ class RunResult:
         from repro.uarch.noc import MeshNoC
 
         return MeshNoC().utilization(self.traffic.total, self.total_cycles)
+
+    # ------------------------------------------------------------------
+    def record_metrics(self) -> None:
+        """Fold this finished run into the active metrics registry.
+
+        Each :class:`CycleBreakdown` field is added exactly once per
+        run, so the registry's ``engine.cycles.<phase>`` counters are
+        byte-for-byte the engine's own statistics — Fig 14 cycle stacks
+        derived from the registry (:func:`repro.trace.cycle_stack`)
+        cannot drift from the timing model.  No-op when metrics are
+        disabled.
+        """
+        reg = _metrics.REGISTRY
+        if reg is None:
+            return
+        labels = {"workload": self.workload, "paradigm": self.paradigm}
+        for phase, value in self.cycles.as_dict().items():
+            reg.add(f"engine.cycles.{phase}", value, **labels)
+        for where in ("in_memory", "near_memory", "core"):
+            reg.add(
+                f"engine.ops.{where}", float(getattr(self.ops, where)), **labels
+            )
+        for category in ("control", "data", "offload", "inter_tile"):
+            reg.add(
+                f"engine.traffic.{category}",
+                getattr(self.traffic, category),
+                **labels,
+            )
+        reg.add("engine.runs", 1.0, **labels)
+        reg.add("engine.regions", float(self.regions), **labels)
+        reg.add("engine.jit_memo_hits", float(self.jit_memo_hits), **labels)
+        reg.add("engine.energy_nj", self.energy_nj, **labels)

@@ -1,0 +1,98 @@
+"""repro.trace — simulation observability: events, metrics, exporters.
+
+Three pieces, all off by default and free on the hot path when off:
+
+* :mod:`repro.trace.events` — a structured event tracer (typed spans /
+  instants with categories: command issue, bit-serial compute, NoC
+  hops, DRAM/TTU transfer, stream-engine prefetch, cache, pipeline
+  stage);
+* :mod:`repro.trace.metrics` — a hierarchical metrics registry
+  (counters, distributions, per-tile/per-phase rollups) with
+  deterministic snapshot merging across campaign worker processes;
+* :mod:`repro.trace.export` — Chrome/Perfetto ``trace.json``, the
+  per-tile NoC heatmap table, and Fig 14-style cycle stacks derived
+  from the same stores the instrumentation writes.
+
+Quickstart::
+
+    from repro import trace
+
+    with trace.observe() as (tracer, registry):
+        InfinityStreamRunner().run(workload)
+    trace.write_chrome_trace("trace.json", tracer.events)
+    print(trace.metrics_report(registry))
+
+or from the shell: ``python -m repro trace kernel.k --array "X:N" -p
+N=4096 --out trace.json``.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.trace.events import (
+    Category,
+    TraceEvent,
+    Tracer,
+    active_tracer,
+    disable_tracing,
+    enable_tracing,
+    tracing,
+)
+from repro.trace.export import (
+    CYCLE_PHASES,
+    chrome_trace,
+    cycle_stack,
+    cycle_stack_table,
+    metrics_report,
+    noc_heatmap,
+    noc_heatmap_table,
+    write_chrome_trace,
+)
+from repro.trace.metrics import (
+    DistStats,
+    MetricsRegistry,
+    MetricsSnapshot,
+    active_registry,
+    collecting,
+    disable_metrics,
+    enable_metrics,
+    metrics_enabled,
+    point_scope,
+)
+
+
+@contextmanager
+def observe():
+    """Enable both the tracer and the metrics registry for the block."""
+    with tracing() as tracer, collecting() as registry:
+        yield tracer, registry
+
+
+__all__ = [
+    "Category",
+    "TraceEvent",
+    "Tracer",
+    "active_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing",
+    "DistStats",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "active_registry",
+    "enable_metrics",
+    "disable_metrics",
+    "metrics_enabled",
+    "collecting",
+    "point_scope",
+    "observe",
+    "CYCLE_PHASES",
+    "chrome_trace",
+    "write_chrome_trace",
+    "cycle_stack",
+    "cycle_stack_table",
+    "noc_heatmap",
+    "noc_heatmap_table",
+    "metrics_report",
+]

@@ -1,0 +1,189 @@
+"""Exporters: Chrome/Perfetto ``trace.json``, NoC heatmap, cycle stacks.
+
+Everything user-facing derives from the same two stores the
+instrumentation writes — the event list (:mod:`repro.trace.events`) and
+the metrics registry (:mod:`repro.trace.metrics`) — so the numbers a
+figure reports are the numbers the user can inspect in the trace.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.trace.events import Category, TraceEvent
+from repro.trace.metrics import MetricsRegistry
+
+# The CycleBreakdown fields, in Fig 14 stacking order.
+CYCLE_PHASES = (
+    "dram",
+    "jit",
+    "move",
+    "compute",
+    "final_reduce",
+    "mix",
+    "near_mem",
+    "core",
+    "sync",
+)
+
+
+# ----------------------------------------------------------------------
+# Chrome / Perfetto trace.json
+# ----------------------------------------------------------------------
+def chrome_trace(events: Sequence[TraceEvent]) -> dict:
+    """The Chrome trace-event JSON object for an event list.
+
+    Loadable by Perfetto (ui.perfetto.dev) and chrome://tracing: the
+    JSON-object format with a ``traceEvents`` array, one ``pid`` for the
+    simulated chip, and one ``tid`` per track (named via metadata
+    events).
+    """
+    tracks: dict[str, int] = {}
+    records: list[dict] = []
+    for ev in events:
+        tid = tracks.setdefault(ev.track, len(tracks) + 1)
+        record = {
+            "name": ev.name,
+            "cat": ev.category.value,
+            "ph": ev.phase,
+            "ts": ev.ts,
+            "pid": 1,
+            "tid": tid,
+        }
+        if ev.phase == "X":
+            record["dur"] = ev.dur
+        if ev.phase == "i":
+            record["s"] = "t"  # instant scope: thread
+        if ev.args:
+            record["args"] = ev.args
+        records.append(record)
+    meta = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "args": {"name": "repro simulated chip"},
+        }
+    ]
+    for track, tid in sorted(tracks.items(), key=lambda kv: kv[1]):
+        meta.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    return {"traceEvents": meta + records, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: str | Path, events: Sequence[TraceEvent]
+) -> Path:
+    """Serialize the events as ``trace.json``; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(events), indent=None))
+    return path
+
+
+# ----------------------------------------------------------------------
+# Cycle stacks (the Fig 14 breakdown, derived from the registry)
+# ----------------------------------------------------------------------
+def cycle_stack(
+    registry: MetricsRegistry, workload: str, paradigm: str
+) -> dict[str, float]:
+    """Raw cycles per phase for one (workload, paradigm) run.
+
+    The engine adds each finished run's :class:`CycleBreakdown` fields
+    to ``engine.cycles.<phase>`` exactly once, so these values are
+    byte-for-byte the engine's own statistics.
+    """
+    return {
+        phase: registry.value(
+            f"engine.cycles.{phase}", workload=workload, paradigm=paradigm
+        )
+        for phase in CYCLE_PHASES
+    }
+
+
+def cycle_stack_table(
+    registry: MetricsRegistry,
+) -> tuple[list[str], list[list]]:
+    """Per-(workload, paradigm) phase proportions, Fig 14 style."""
+    runs: list[tuple[str, str]] = []
+    seen = set()
+    for _name, labels, _v in registry.by_prefix("engine.cycles."):
+        key = (labels.get("workload", "?"), labels.get("paradigm", "?"))
+        if key not in seen:
+            seen.add(key)
+            runs.append(key)
+    rows = []
+    for workload, paradigm in runs:
+        stack = cycle_stack(registry, workload, paradigm)
+        total = sum(stack.values())
+        denom = max(1e-9, total)
+        rows.append(
+            [workload, paradigm]
+            + [stack[p] / denom for p in CYCLE_PHASES]
+            + [total]
+        )
+    headers = ["workload", "paradigm"] + [
+        p.replace("_", "-") for p in CYCLE_PHASES
+    ] + ["total-cycles"]
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# NoC traffic heatmap (per-tile byte x hops over the mesh)
+# ----------------------------------------------------------------------
+def noc_heatmap(
+    registry: MetricsRegistry, width: int = 8, height: int = 8
+) -> list[list[float]]:
+    """The per-tile byte-hop grid, ``grid[y][x]`` (row 0 = mesh row 0)."""
+    grid = [[0.0] * width for _ in range(height)]
+    for _name, labels, value in registry.by_prefix("noc.tile.byte_hops"):
+        tile = int(labels.get("tile", "0"))
+        y, x = divmod(tile, width)
+        if y < height:
+            grid[y][x] += value
+    return grid
+
+
+def noc_heatmap_table(
+    registry: MetricsRegistry, width: int = 8, height: int = 8
+) -> tuple[list[str], list[list]]:
+    """The heatmap as a (headers, rows) text table; one row per mesh row."""
+    grid = noc_heatmap(registry, width, height)
+    headers = ["row\\col"] + [str(x) for x in range(width)] + ["row-total"]
+    rows = []
+    for y, row in enumerate(grid):
+        rows.append([f"y={y}"] + list(row) + [sum(row)])
+    rows.append(
+        ["total"]
+        + [sum(grid[y][x] for y in range(height)) for x in range(width)]
+        + [sum(sum(r) for r in grid)]
+    )
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Generic registry report
+# ----------------------------------------------------------------------
+def metrics_report(registry: MetricsRegistry) -> str:
+    """Every counter and distribution, sorted, as an aligned table."""
+    lines = ["-- metrics --"]
+    for key in sorted(registry.counters):
+        lines.append(f"{key:<64s} {registry.counters[key]:>18,.2f}")
+    for key in sorted(registry.dists):
+        d = registry.dists[key]
+        lines.append(
+            f"{key:<64s} n={d.count} total={d.total:,.2f} "
+            f"mean={d.mean:,.2f} min={d.min:,.2f} max={d.max:,.2f}"
+        )
+    if len(lines) == 1:
+        lines.append("(empty)")
+    return "\n".join(lines)

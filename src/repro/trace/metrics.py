@@ -1,0 +1,224 @@
+"""Hierarchical metrics: counters and distributions with labels.
+
+A :class:`MetricsRegistry` maps dotted metric names (``engine.cycles.
+compute``, ``noc.tile.byte_hops``) plus sorted ``key=value`` labels to
+float counters or (count, total, min, max) distributions.  Snapshots are
+plain picklable dataclasses that merge associatively **per key**; the
+campaign executor merges per-point snapshots in spec order, so parallel
+(``--jobs N``) aggregation is byte-identical to a serial run.
+
+Like the tracer (:mod:`repro.trace.events`), the registry is off by
+default: hot paths hold the module-global :data:`REGISTRY` and guard on
+``is not None``.
+
+Determinism contract
+--------------------
+Every simulation point runs inside :func:`point_scope`, which gives it a
+fresh registry; the point's finished snapshot is merged into the
+enclosing registry *in spec order* by the executor.  Because each point
+accumulates from zero and merge order is fixed, the final float values
+do not depend on how points were distributed over worker processes.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+def metric_key(name: str, labels: dict | None = None) -> str:
+    """The canonical registry key: ``name|k1=v1|k2=v2`` (sorted labels)."""
+    if not labels:
+        return name
+    return name + "|" + "|".join(
+        f"{k}={labels[k]}" for k in sorted(labels)
+    )
+
+
+def parse_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`metric_key` (label values read back as strings)."""
+    name, _, rest = key.partition("|")
+    labels: dict[str, str] = {}
+    if rest:
+        for item in rest.split("|"):
+            k, _, v = item.partition("=")
+            labels[k] = v
+    return name, labels
+
+
+@dataclass
+class DistStats:
+    """A streaming distribution summary (count/total/min/max)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = float("inf")
+    max: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "DistStats") -> "DistStats":
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        return self
+
+    def copy(self) -> "DistStats":
+        return DistStats(self.count, self.total, self.min, self.max)
+
+
+@dataclass
+class MetricsSnapshot:
+    """A picklable point-in-time copy of a registry, mergeable per key."""
+
+    counters: dict[str, float] = field(default_factory=dict)
+    dists: dict[str, DistStats] = field(default_factory=dict)
+
+    def merge(self, other: "MetricsSnapshot") -> "MetricsSnapshot":
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + value
+        for key, dist in other.dists.items():
+            mine = self.dists.get(key)
+            if mine is None:
+                self.dists[key] = dist.copy()
+            else:
+                mine.merge(dist)
+        return self
+
+    @property
+    def empty(self) -> bool:
+        return not self.counters and not self.dists
+
+
+class MetricsRegistry:
+    """Counters + distributions addressed by name and labels."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.dists: dict[str, DistStats] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, name: str, value: float, **labels) -> None:
+        """Increment the counter ``name{labels}`` by ``value``."""
+        key = metric_key(name, labels)
+        self.counters[key] = self.counters.get(key, 0.0) + value
+
+    def observe(self, name: str, value: float, **labels) -> None:
+        """Record one sample into the distribution ``name{labels}``."""
+        key = metric_key(name, labels)
+        dist = self.dists.get(key)
+        if dist is None:
+            dist = self.dists[key] = DistStats()
+        dist.observe(value)
+
+    # ------------------------------------------------------------------
+    def value(self, name: str, **labels) -> float:
+        return self.counters.get(metric_key(name, labels), 0.0)
+
+    def dist(self, name: str, **labels) -> DistStats | None:
+        return self.dists.get(metric_key(name, labels))
+
+    def by_prefix(self, prefix: str) -> list[tuple[str, dict[str, str], float]]:
+        """Counters whose metric name starts with ``prefix``, parsed."""
+        out = []
+        for key, value in self.counters.items():
+            name, labels = parse_key(key)
+            if name.startswith(prefix):
+                out.append((name, labels, value))
+        return out
+
+    def rollup(self, prefix: str) -> float:
+        """Sum of every counter whose metric name starts with ``prefix``."""
+        return sum(v for _, _, v in self.by_prefix(prefix))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(
+            counters=dict(self.counters),
+            dists={k: d.copy() for k, d in self.dists.items()},
+        )
+
+    def merge_snapshot(self, snap: MetricsSnapshot) -> None:
+        for key, value in snap.counters.items():
+            self.counters[key] = self.counters.get(key, 0.0) + value
+        for key, dist in snap.dists.items():
+            mine = self.dists.get(key)
+            if mine is None:
+                self.dists[key] = dist.copy()
+            else:
+                mine.merge(dist)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.dists.clear()
+
+
+# ----------------------------------------------------------------------
+# The process-global registry (None = metrics disabled).
+# ----------------------------------------------------------------------
+REGISTRY: MetricsRegistry | None = None
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Install (and return) a fresh process-global registry."""
+    global REGISTRY
+    REGISTRY = MetricsRegistry()
+    return REGISTRY
+
+
+def disable_metrics() -> None:
+    global REGISTRY
+    REGISTRY = None
+
+
+def active_registry() -> MetricsRegistry | None:
+    return REGISTRY
+
+
+def metrics_enabled() -> bool:
+    return REGISTRY is not None
+
+
+@contextmanager
+def collecting():
+    """Enable metrics for the block; restores the prior registry after."""
+    global REGISTRY
+    saved = REGISTRY
+    registry = MetricsRegistry()
+    REGISTRY = registry
+    try:
+        yield registry
+    finally:
+        REGISTRY = saved
+
+
+@contextmanager
+def point_scope():
+    """A fresh registry for one simulation point (see module docstring).
+
+    Yields the point's registry (or ``None`` when metrics are disabled);
+    the caller is responsible for merging the yielded registry's snapshot
+    into the enclosing registry in spec order.
+    """
+    global REGISTRY
+    if REGISTRY is None:
+        yield None
+        return
+    outer = REGISTRY
+    inner = MetricsRegistry()
+    REGISTRY = inner
+    try:
+        yield inner
+    finally:
+        REGISTRY = outer

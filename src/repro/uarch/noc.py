@@ -11,6 +11,23 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.config.system import NoCConfig
+from repro.trace import events as _trace
+from repro.trace import metrics as _metrics
+from repro.trace.events import Category as _Cat
+
+
+def xy_route(src: int, dst: int, width: int) -> tuple[int, ...]:
+    """Tiles traversed by X-Y routing from ``src`` to ``dst`` (inclusive)."""
+    x0, y0 = src % width, src // width
+    x1, y1 = dst % width, dst // width
+    path = [src]
+    while x0 != x1:
+        x0 += 1 if x1 > x0 else -1
+        path.append(y0 * width + x0)
+    while y0 != y1:
+        y0 += 1 if y1 > y0 else -1
+        path.append(y0 * width + x1)
+    return tuple(path)
 
 
 @dataclass
@@ -41,6 +58,11 @@ class MeshNoC:
 
     config: NoCConfig = field(default_factory=NoCConfig)
     ledger: TrafficLedger = field(default_factory=TrafficLedger)
+    # Observability state (only touched when repro.trace is enabled):
+    # round-robin destination pointer and the memoized X-Y routes used
+    # to attribute traffic to mesh tiles for the heatmap.
+    _rr: int = field(default=0, repr=False)
+    _routes: dict = field(default_factory=dict, repr=False)
 
     # ------------------------------------------------------------------
     # Distances
@@ -90,12 +112,81 @@ class MeshNoC:
         h = self.average_hops if hops is None else hops
         bh = bytes_ * h
         self.add_traffic(category, bh)
+        if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+            self._observe(category, bytes_, h, bh, destinations=1)
         return bh
 
     def multicast(self, category: str, bytes_: float, destinations: int) -> float:
         bh = bytes_ * self.multicast_hops(destinations)
         self.add_traffic(category, bh)
+        if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+            self._observe(
+                category,
+                bytes_,
+                self.multicast_hops(destinations),
+                bh,
+                destinations=destinations,
+            )
         return bh
+
+    # ------------------------------------------------------------------
+    # Observability (cold path: only runs with tracing/metrics enabled)
+    # ------------------------------------------------------------------
+    def _observe(
+        self,
+        category: str,
+        bytes_: float,
+        hops: float,
+        byte_hops: float,
+        destinations: int,
+    ) -> None:
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.add("noc.traffic.byte_hops", byte_hops, category=category)
+            reg.add("noc.traffic.bytes", bytes_, category=category)
+            self._attribute_tiles(reg, byte_hops, destinations)
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.instant(
+                f"noc.{category}",
+                _Cat.NOC,
+                track="noc",
+                bytes=bytes_,
+                hops=hops,
+                byte_hops=byte_hops,
+                destinations=destinations,
+            )
+
+    def _attribute_tiles(
+        self, reg, byte_hops: float, destinations: int
+    ) -> None:
+        """Spread one transfer's byte x hops over mesh tiles.
+
+        The analytic model has no per-packet routing, so attribution
+        picks destinations round-robin over the mesh (a NUCA-interleaved
+        traffic pattern) and charges the X-Y route from the TC_core /
+        memory-side tile 0 uniformly; per-tile charges always sum to the
+        transfer's total byte x hops, so the heatmap and the category
+        ledgers agree.
+        """
+        width = self.config.mesh_width
+        tiles = self.config.num_tiles
+        covered: list[int] = []
+        seen: set[int] = set()
+        for _ in range(max(1, min(destinations, tiles))):
+            # Stride 13 is coprime to the 64-tile mesh: the round-robin
+            # pointer visits every tile before repeating.
+            self._rr = (self._rr + 13) % tiles
+            route = self._routes.get(self._rr)
+            if route is None:
+                route = self._routes[self._rr] = xy_route(0, self._rr, width)
+            for tile in route:
+                if tile not in seen:
+                    seen.add(tile)
+                    covered.append(tile)
+        share = byte_hops / len(covered)
+        for tile in covered:
+            reg.add("noc.tile.byte_hops", share, tile=str(tile))
 
     # ------------------------------------------------------------------
     # Latency / utilization

@@ -19,6 +19,9 @@ from dataclasses import dataclass, field
 
 from repro.config.system import SystemConfig
 from repro.ir.sdfg import Stream, StreamDFG, StreamType
+from repro.trace import events as _trace
+from repro.trace import metrics as _metrics
+from repro.trace.events import Category as _Cat
 from repro.uarch.noc import MeshNoC
 
 
@@ -94,6 +97,25 @@ class StreamEngineL3:
             report.forward_byte_hops
         )
         report.cycles = max(bank_cycles, compute_cycles, noc_cycles)
+        if _metrics.REGISTRY is not None or _trace.TRACER is not None:
+            reg = _metrics.REGISTRY
+            if reg is not None:
+                reg.add("stream.executions", 1.0)
+                reg.add("stream.bank_bytes", report.bank_bytes)
+                reg.add("stream.compute_ops", float(report.compute_ops))
+                reg.observe("stream.cycles", report.cycles)
+            tr = _trace.TRACER
+            if tr is not None:
+                tr.complete(
+                    f"sdfg {sdfg.name}" if getattr(sdfg, "name", None) else "sdfg",
+                    _Cat.STREAM,
+                    ts=0.0,
+                    dur=report.cycles,
+                    track="stream-engine",
+                    streams=len(sdfg.streams),
+                    bank_bytes=report.bank_bytes,
+                    compute_ops=report.compute_ops,
+                )
         return report
 
     def reduce_partials_cycles(self, partials: int) -> float:

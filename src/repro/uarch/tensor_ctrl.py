@@ -26,6 +26,9 @@ from repro.runtime.commands import (
 )
 from repro.runtime.layout import TiledLayout
 from repro.runtime.lower import LoweredRegion
+from repro.trace import events as _trace
+from repro.trace import metrics as _metrics
+from repro.trace.events import Category as _Cat
 from repro.uarch.noc import MeshNoC
 
 
@@ -90,94 +93,147 @@ class TensorControllers:
         t.command_dispatch_byte_hops = self.noc.multicast(
             "offload", float(cmd_bytes), banks_touched
         )
+        observing = _metrics.REGISTRY is not None or _trace.TRACER is not None
+        if observing:
+            tr = _trace.TRACER
+            if tr is not None:
+                tr.instant(
+                    "tc.dispatch",
+                    _Cat.COMMAND,
+                    track="tc",
+                    commands=lowered.num_commands,
+                    banks=banks_touched,
+                    bytes=float(cmd_bytes),
+                )
+            reg = _metrics.REGISTRY
+            if reg is not None:
+                reg.add("tc.commands.dispatched", float(lowered.num_commands))
         for wave in _waves(lowered.commands):
-            cmd = wave[0]
-            n = len(wave)
-            if isinstance(cmd, ComputeCmd):
-                # Commands of one wave come from one tDFG node's tensor
-                # decomposition: they cover *disjoint tiles*, so their
-                # SRAM arrays compute in parallel; TC_L3 dispatch is the
-                # only serial part (and command preprocessing hides most
-                # of it, §5.2).
-                t.compute_cycles += (
-                    max(c.latency_cycles for c in wave) * layers
-                    + self.dispatch_overhead * n
-                )
-                t.ops_in_memory += sum(c.elements for c in wave)
-                continue
-            if isinstance(cmd, ShiftCmd) and not any(
-                c.is_inter_tile for c in wave
-            ):
-                # Pure intra-tile wave: one parallel bit-serial pass.
-                t.move_cycles += (
-                    2 * bits * layers + self.dispatch_overhead * n
-                )
-                t.intra_tile_bytes += sum(c.bytes_moved for c in wave)
-                continue
-            if isinstance(cmd, ShiftCmd):
-                # Mixed intra-/inter-tile wave (Alg 2 emits both).
-                local_total = 0.0
-                cross_total = 0.0
-                byte_hops = 0.0
-                for c in wave:
-                    if not c.is_inter_tile:
-                        t.intra_tile_bytes += c.bytes_moved
-                        continue
-                    frac = self.cross_bank_fraction(c, layout)
-                    cross = c.bytes_moved * frac
-                    local = c.bytes_moved - cross
-                    local_total += local
-                    cross_total += cross
-                    byte_hops += self.noc.unicast(
-                        "inter_tile",
-                        cross,
-                        hops=self._neighbor_hops(c, layout),
-                    )
-                t.htree_bytes += local_total
-                t.inter_tile_byte_hops += byte_hops
-                local_cycles = local_total / (
-                    banks_touched * self.htree_bytes_per_cycle
-                )
-                noc_cycles = self.noc.serialization_cycles(byte_hops)
-                t.move_cycles += (
-                    max(local_cycles, noc_cycles)
-                    + 2 * bits  # read out / write in bit-serially
-                    + self.dispatch_overhead * n
-                )
-                continue
-            cmd = wave[0]
-            if isinstance(cmd, BroadcastCmd):
-                src_banks = max(
-                    1, len(layout.banks_covering(cmd.tensor))
-                )
-                dest_banks = banks_touched
-                # The buffered H-tree broadcasts: only the *source* bytes
-                # traverse each tree root; destination arrays latch the
-                # multicast data in parallel with one bit-serial write
-                # pass.  Delivered bytes matter for energy, not bandwidth.
-                read_cycles = cmd.bytes_read / (
-                    src_banks * self.htree_bytes_per_cycle
-                )
-                byte_hops = self.noc.multicast(
-                    "inter_tile", float(cmd.bytes_read), dest_banks
-                )
-                t.inter_tile_byte_hops += byte_hops
-                t.htree_bytes += cmd.bytes_delivered
-                t.move_cycles += (
-                    max(read_cycles,
-                        self.noc.serialization_cycles(byte_hops))
-                    + 2 * bits  # parallel write pass into the arrays
-                    + self.dispatch_overhead
-                )
-            elif isinstance(cmd, SyncCmd):
-                # TC_L3s report packet counts, TC_core clears the barrier.
-                t.sync_cycles += 2 * self.noc.message_latency(
-                    self.noc.diameter
-                ) + 16
-                self.noc.unicast(
-                    "control", 16.0 * self.system.cache.l3_banks, hops=2.0
-                )
+            before = t.total_cycles
+            kind = self._execute_wave(wave, t, layout, layers, bits, banks_touched)
+            if observing:
+                self._observe_wave(kind, len(wave), before, t.total_cycles)
         return t
+
+    # ------------------------------------------------------------------
+    def _execute_wave(
+        self,
+        wave: list,
+        t: CommandTiming,
+        layout: TiledLayout,
+        layers: int,
+        bits: int,
+        banks_touched: int,
+    ) -> str:
+        """Charge one wave of commands; returns the wave kind."""
+        cmd = wave[0]
+        n = len(wave)
+        if isinstance(cmd, ComputeCmd):
+            # Commands of one wave come from one tDFG node's tensor
+            # decomposition: they cover *disjoint tiles*, so their
+            # SRAM arrays compute in parallel; TC_L3 dispatch is the
+            # only serial part (and command preprocessing hides most
+            # of it, §5.2).
+            t.compute_cycles += (
+                max(c.latency_cycles for c in wave) * layers
+                + self.dispatch_overhead * n
+            )
+            t.ops_in_memory += sum(c.elements for c in wave)
+            return "compute"
+        if isinstance(cmd, ShiftCmd) and not any(
+            c.is_inter_tile for c in wave
+        ):
+            # Pure intra-tile wave: one parallel bit-serial pass.
+            t.move_cycles += (
+                2 * bits * layers + self.dispatch_overhead * n
+            )
+            t.intra_tile_bytes += sum(c.bytes_moved for c in wave)
+            return "shift-intra"
+        if isinstance(cmd, ShiftCmd):
+            # Mixed intra-/inter-tile wave (Alg 2 emits both).
+            local_total = 0.0
+            cross_total = 0.0
+            byte_hops = 0.0
+            for c in wave:
+                if not c.is_inter_tile:
+                    t.intra_tile_bytes += c.bytes_moved
+                    continue
+                frac = self.cross_bank_fraction(c, layout)
+                cross = c.bytes_moved * frac
+                local = c.bytes_moved - cross
+                local_total += local
+                cross_total += cross
+                byte_hops += self.noc.unicast(
+                    "inter_tile",
+                    cross,
+                    hops=self._neighbor_hops(c, layout),
+                )
+            t.htree_bytes += local_total
+            t.inter_tile_byte_hops += byte_hops
+            local_cycles = local_total / (
+                banks_touched * self.htree_bytes_per_cycle
+            )
+            noc_cycles = self.noc.serialization_cycles(byte_hops)
+            t.move_cycles += (
+                max(local_cycles, noc_cycles)
+                + 2 * bits  # read out / write in bit-serially
+                + self.dispatch_overhead * n
+            )
+            return "shift-inter"
+        if isinstance(cmd, BroadcastCmd):
+            src_banks = max(
+                1, len(layout.banks_covering(cmd.tensor))
+            )
+            dest_banks = banks_touched
+            # The buffered H-tree broadcasts: only the *source* bytes
+            # traverse each tree root; destination arrays latch the
+            # multicast data in parallel with one bit-serial write
+            # pass.  Delivered bytes matter for energy, not bandwidth.
+            read_cycles = cmd.bytes_read / (
+                src_banks * self.htree_bytes_per_cycle
+            )
+            byte_hops = self.noc.multicast(
+                "inter_tile", float(cmd.bytes_read), dest_banks
+            )
+            t.inter_tile_byte_hops += byte_hops
+            t.htree_bytes += cmd.bytes_delivered
+            t.move_cycles += (
+                max(read_cycles,
+                    self.noc.serialization_cycles(byte_hops))
+                + 2 * bits  # parallel write pass into the arrays
+                + self.dispatch_overhead
+            )
+            return "broadcast"
+        if isinstance(cmd, SyncCmd):
+            # TC_L3s report packet counts, TC_core clears the barrier.
+            t.sync_cycles += 2 * self.noc.message_latency(
+                self.noc.diameter
+            ) + 16
+            self.noc.unicast(
+                "control", 16.0 * self.system.cache.l3_banks, hops=2.0
+            )
+            return "sync"
+        return "other"
+
+    def _observe_wave(
+        self, kind: str, commands: int, before: float, after: float
+    ) -> None:
+        """Record one executed wave (cold path, guarded by caller)."""
+        reg = _metrics.REGISTRY
+        if reg is not None:
+            reg.add("tc.waves", 1.0, kind=kind)
+            reg.add("tc.wave_commands", float(commands), kind=kind)
+            reg.observe("tc.wave_cycles", after - before, kind=kind)
+        tr = _trace.TRACER
+        if tr is not None:
+            tr.complete(
+                f"wave.{kind}",
+                _Cat.COMPUTE if kind == "compute" else _Cat.COMMAND,
+                ts=before,
+                dur=after - before,
+                track="tc",
+                commands=commands,
+            )
 
     @staticmethod
     def _group_waves(commands):

@@ -1,13 +1,47 @@
-"""Shared fixtures and cross-validation helpers."""
+"""Shared fixtures, hypothesis profiles and cross-validation helpers."""
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.config.system import default_system, small_test_system
 from repro.frontend import parse_kernel
 from repro.sim.functional import execute_kernel, interpret_kernel
+
+# Deterministic hypothesis runs: CI and local runs draw the same
+# examples (derandomize) and never flake on wall-clock (no deadline).
+# Select with HYPOTHESIS_PROFILE; "dev" keeps random exploration for
+# local bug hunting.
+settings.register_profile(
+    "repro",
+    derandomize=True,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "dev",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "repro"))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite the golden figure fixtures under tests/golden/",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    return request.config.getoption("--update-golden")
 
 
 @pytest.fixture

@@ -1,0 +1,151 @@
+"""Differential fuzz: bit-serial circuit model vs numpy integer semantics.
+
+The SRAM PEs compute in transposed bit-serial form (§2.2); numpy computes
+the same operations word-parallel.  For every width the arrays support
+(4/8/16/32 bits) and adversarial operand distributions (uniform, all-ones
+overflow edges, two's-complement negatives as unsigned bit patterns) the
+two must agree exactly modulo 2^n — bit-serial arithmetic is naturally
+wrap-around.  Cycle counts must match the closed-form latency formulas
+the timing model charges (n+1 ripple add, n(n+5) shift-and-add multiply).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch import bitserial as bs
+
+WIDTHS = (4, 8, 16, 32)
+
+
+def _mask(width: int) -> np.uint64:
+    return np.uint64((1 << width) - 1)
+
+
+@st.composite
+def lane_operands(draw, width: int):
+    """Random operand vectors biased towards overflow/carry edges."""
+    lanes = draw(st.integers(1, 17))
+    top = (1 << width) - 1
+    edge = st.sampled_from(
+        [0, 1, top, top - 1, 1 << (width - 1), (1 << (width - 1)) - 1]
+    )
+    value = st.one_of(st.integers(0, top), edge)
+    a = draw(st.lists(value, min_size=lanes, max_size=lanes))
+    b = draw(st.lists(value, min_size=lanes, max_size=lanes))
+    return (
+        np.array(a, dtype=np.uint64),
+        np.array(b, dtype=np.uint64),
+    )
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=30)
+def test_roundtrip_transpose(width, data):
+    """to_bits/from_bits is the identity on n-bit unsigned values."""
+    a, _ = data.draw(lane_operands(width))
+    assert np.array_equal(bs.from_bits(bs.to_bits(a, width)), a)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=40)
+def test_add_matches_numpy(width, data):
+    a, b = data.draw(lane_operands(width))
+    result = bs.add(bs.to_bits(a, width), bs.to_bits(b, width))
+    expected = (a + b) & _mask(width)
+    assert np.array_equal(result.values(), expected)
+    assert result.cycles == width + 1
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=40)
+def test_sub_matches_numpy(width, data):
+    """Two's-complement wraparound: a - b mod 2^n, negatives included."""
+    a, b = data.draw(lane_operands(width))
+    result = bs.sub(bs.to_bits(a, width), bs.to_bits(b, width))
+    expected = (a - b) & _mask(width)
+    assert np.array_equal(result.values(), expected)
+    assert result.cycles == width + 1
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=40)
+def test_mul_matches_numpy(width, data):
+    """Truncating multiply: low n bits of the 2n-bit product."""
+    a, b = data.draw(lane_operands(width))
+    result = bs.mul(bs.to_bits(a, width), bs.to_bits(b, width))
+    expected = (a * b) & _mask(width)
+    assert np.array_equal(result.values(), expected)
+    assert result.cycles == width * (width + 5)
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@pytest.mark.parametrize("op", ["and", "or", "xor"])
+@given(data=st.data())
+@settings(max_examples=15)
+def test_bitwise_matches_numpy(width, op, data):
+    a, b = data.draw(lane_operands(width))
+    result = bs.bitwise(bs.to_bits(a, width), bs.to_bits(b, width), op)
+    np_op = {"and": np.bitwise_and, "or": np.bitwise_or, "xor": np.bitwise_xor}
+    assert np.array_equal(result.values(), np_op[op](a, b))
+    assert result.cycles == width
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=40)
+def test_less_than_matches_numpy(width, data):
+    """Unsigned MSB-down compare: lane i is 1 iff a[i] < b[i]."""
+    a, b = data.draw(lane_operands(width))
+    result = bs.less_than(bs.to_bits(a, width), bs.to_bits(b, width))
+    assert np.array_equal(result.values(), (a < b).astype(np.uint64))
+    assert result.cycles == width
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data(), count=st.integers(-3, 3))
+@settings(max_examples=25)
+def test_shift_rows_matches_numpy(width, data, count):
+    """Row shifts are multiply/divide by powers of two (mod 2^n)."""
+    a, _ = data.draw(lane_operands(width))
+    result = bs.shift_rows(bs.to_bits(a, width), count)
+    if count >= 0:
+        expected = (a << np.uint64(count)) & _mask(width)
+    else:
+        expected = a >> np.uint64(-count)
+    assert np.array_equal(result.values(), expected)
+    assert result.cycles == width
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+@given(data=st.data())
+@settings(max_examples=25)
+def test_signed_add_sub_via_unsigned_patterns(width, data):
+    """Signed arithmetic falls out of the same circuits: interpret the
+    n-bit patterns as two's complement and compare against wide numpy."""
+    a, b = data.draw(lane_operands(width))
+    half = 1 << (width - 1)
+
+    def signed(u):
+        u = u.astype(np.int64)
+        return np.where(u >= half, u - (1 << width), u)
+
+    add_bits = bs.add(bs.to_bits(a, width), bs.to_bits(b, width)).values()
+    sub_bits = bs.sub(bs.to_bits(a, width), bs.to_bits(b, width)).values()
+    wrap = lambda x: ((x + half) % (1 << width)) - half  # noqa: E731
+    assert np.array_equal(signed(add_bits), wrap(signed(a) + signed(b)))
+    assert np.array_equal(signed(sub_bits), wrap(signed(a) - signed(b)))
+
+
+def test_shape_mismatch_rejected():
+    a = bs.to_bits(np.array([1, 2], dtype=np.uint64), 8)
+    b = bs.to_bits(np.array([1], dtype=np.uint64), 8)
+    with pytest.raises(Exception, match="shape mismatch"):
+        bs.add(a, b)

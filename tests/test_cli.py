@@ -202,3 +202,60 @@ class TestReplay:
         assert any(n.endswith("-parse.json") for n in names)
         assert any(n.endswith("-fatbinary.pkl") for n in names)
         assert any(n.endswith("-jit-lower.commands.txt") for n in names)
+
+
+class TestTrace:
+    """The `trace` subcommand and the --trace/--metrics flags."""
+
+    def test_trace_command_writes_valid_perfetto_json(
+        self, saxpy_file, tmp_path, capsys
+    ):
+        import json
+
+        out_path = tmp_path / "trace.json"
+        args = saxpy_args("trace", saxpy_file, "--out", str(out_path))
+        assert cli.main(args) == 0
+        stdout = capsys.readouterr().out
+        assert "-- cycle stack" in stdout
+        assert "-- NoC traffic heatmap" in stdout
+        doc = json.loads(out_path.read_text())
+        events = doc["traceEvents"]
+        assert isinstance(events, list) and events
+        phases = {e["ph"] for e in events}
+        assert "M" in phases and ("X" in phases or "i" in phases)
+        names = {
+            e["args"]["name"] for e in events if e["ph"] == "M" and "args" in e
+        }
+        assert "repro simulated chip" in names
+
+    def test_trace_command_metrics_flag(self, saxpy_file, tmp_path, capsys):
+        args = saxpy_args(
+            "trace", saxpy_file,
+            "--out", str(tmp_path / "t.json"), "--metrics",
+        )
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        assert "-- metrics --" in out
+        assert "engine.cycles." in out
+
+    def test_simulate_with_trace_and_metrics_flags(
+        self, saxpy_file, tmp_path, capsys
+    ):
+        out_path = tmp_path / "sim-trace.json"
+        args = saxpy_args(
+            "simulate", saxpy_file, "--trace", str(out_path), "--metrics"
+        )
+        assert cli.main(args) == 0
+        out = capsys.readouterr().out
+        assert f"wrote {out_path}" in out
+        assert "-- metrics --" in out
+        assert out_path.exists()
+
+    def test_observability_off_by_default(self, saxpy_file, capsys):
+        from repro.trace import events as trace_events
+        from repro.trace import metrics as trace_metrics
+
+        assert cli.main(saxpy_args("simulate", saxpy_file)) == 0
+        assert trace_events.TRACER is None
+        assert trace_metrics.REGISTRY is None
+        assert "-- metrics --" not in capsys.readouterr().out

@@ -1,0 +1,128 @@
+"""Failing campaign points must surface *which* point failed.
+
+A campaign maps dozens of (workload, system, paradigm) specs through
+worker processes; a bare ``ZeroDivisionError`` out of ``pool.map`` used
+to leave no clue which point died.  ``PointExecutionError`` annotates
+failures with the section name, the point index, and a human-readable
+spec identity — and survives the pickle hop back from a worker.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import PointExecutionError, SimulationError
+from repro.exec.pool import PointExecutor, describe_spec
+
+
+@dataclass
+class FakeWorkload:
+    name: str
+    scale: float
+
+
+@dataclass
+class FakeSpec:
+    workload: FakeWorkload
+    paradigm: str
+    tile: tuple
+
+
+def _explode_on_three(x):
+    if x == 3:
+        raise ValueError(f"bad operand {x}")
+    return x * x
+
+
+def _explode_on_named(spec):
+    if spec.workload.name == "conv3d":
+        raise ZeroDivisionError("tile volume is zero")
+    return spec.workload.name
+
+
+class TestDescribeSpec:
+    def test_dataclass_spec_shows_named_fields(self):
+        spec = FakeSpec(FakeWorkload("mm", 0.05), "inf-s", (8, 8))
+        text = describe_spec(spec)
+        assert text == "FakeSpec(workload=mm, paradigm='inf-s', tile=(8, 8))"
+
+    def test_tuple_spec_uses_name_attributes(self):
+        spec = (FakeWorkload("stencil2d", 1.0), None)
+        assert describe_spec(spec) == "(stencil2d, None)"
+
+    def test_dict_spec(self):
+        assert describe_spec({"paradigm": "base"}) == "{paradigm='base'}"
+
+    def test_long_values_truncated(self):
+        text = describe_spec("y" * 500)
+        assert len(text) <= 64 and text.endswith("...")
+
+
+class TestSerialFailureIdentity:
+    def test_wraps_with_section_index_and_spec(self):
+        ex = PointExecutor(jobs=1)
+        with pytest.raises(PointExecutionError) as info:
+            ex.map(_explode_on_three, [0, 1, 2, 3, 4], section="fig99")
+        err = info.value
+        assert err.section == "fig99"
+        assert err.index == 3
+        assert err.spec == "3"
+        assert "ValueError: bad operand 3" in str(err)
+        assert isinstance(err.__cause__, ValueError)
+
+    def test_message_names_the_point(self):
+        ex = PointExecutor(jobs=1)
+        specs = [
+            FakeSpec(FakeWorkload(n, 0.05), "inf-s", (4, 4))
+            for n in ("mm", "kmeans", "conv3d")
+        ]
+        with pytest.raises(
+            PointExecutionError, match=r"point 2 of section 'fig14'.*conv3d"
+        ):
+            ex.map(_explode_on_named, specs, section="fig14")
+
+    def test_existing_point_error_not_double_wrapped(self):
+        def raiser(spec):
+            raise PointExecutionError("inner", section="s", index=0, spec="x")
+
+        ex = PointExecutor(jobs=1)
+        with pytest.raises(PointExecutionError) as info:
+            ex.map(raiser, [1, 2], section="outer")
+        assert info.value.section == "s"  # the original, not re-wrapped
+
+
+class TestParallelFailureIdentity:
+    def test_identity_survives_the_process_boundary(self):
+        ex = PointExecutor(jobs=2)
+        specs = [
+            FakeSpec(FakeWorkload(n, 0.05), "inf-s", (4, 4))
+            for n in ("mm", "kmeans", "conv3d", "dwt2d")
+        ]
+        with pytest.raises(PointExecutionError) as info:
+            ex.map(_explode_on_named, specs, section="fig14")
+        err = info.value
+        assert err.section == "fig14"
+        assert err.index == 2
+        assert "conv3d" in err.spec
+        assert "ZeroDivisionError" in str(err)
+
+
+class TestPickling:
+    def test_reduce_round_trip_preserves_identity(self):
+        err = PointExecutionError(
+            "RuntimeError: boom",
+            section="fig11",
+            index=7,
+            spec="FakeSpec(workload=mm)",
+        )
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, PointExecutionError)
+        assert (clone.section, clone.index, clone.spec) == ("fig11", 7, err.spec)
+        assert str(clone) == str(err)
+
+    def test_is_a_simulation_error(self):
+        err = PointExecutionError("m", section="s", index=0, spec="p")
+        assert isinstance(err, SimulationError)
