@@ -14,9 +14,19 @@ Commands
               Fig 14-style cycle stack, the per-tile NoC heatmap and
               the metrics report.
 
+``serve``     run the durable job-queue service (HTTP API + worker);
+``submit``    submit a kernel or campaign job to a running server;
+``status``    list jobs (or show one job, ``--result`` fetches output);
+``cancel``    cancel a queued or running job.
+
 ``compile`` and ``simulate`` also accept ``--trace FILE`` (write the
 event trace) and ``--metrics`` (print the metrics registry) without
 switching commands.
+
+Exit codes are uniform across commands: **0** success, **1** user or
+configuration error (bad flags, malformed kernel, unreachable server,
+rejected submission), **2** internal/pipeline error (a stage contract
+violation, a simulation failure, a job that finished ``failed``).
 
 Kernel files contain the plain loop-nest source; arrays and sizes are
 given on the command line::
@@ -35,6 +45,7 @@ import sys
 from contextlib import contextmanager
 
 from repro import api
+from repro.errors import ReproError
 from repro.ir.dtypes import DType
 from repro.ir.printer import format_tdfg
 from repro.pipeline import (
@@ -46,13 +57,22 @@ from repro.pipeline import (
     simulate_pipeline,
 )
 
+# Uniform exit codes (see module docstring).
+EXIT_OK = 0
+EXIT_USER = 1
+EXIT_INTERNAL = 2
+
+
+class UsageError(Exception):
+    """A malformed command-line value (exit code 1)."""
+
 
 def _parse_arrays(items: list[str]) -> dict[str, tuple]:
     out: dict[str, tuple] = {}
     for item in items:
         name, _, dims = item.partition(":")
         if not dims:
-            raise SystemExit(f"--array needs NAME:D0,D1,... (got {item!r})")
+            raise UsageError(f"--array needs NAME:D0,D1,... (got {item!r})")
         parsed = tuple(
             int(d) if d.isdigit() else d for d in dims.split(",")
         )
@@ -65,11 +85,11 @@ def _parse_params(items: list[str]) -> dict[str, int]:
     for item in items:
         key, _, value = item.partition("=")
         if not key or not value:
-            raise SystemExit(f"-p needs NAME=VALUE (got {item!r})")
+            raise UsageError(f"-p needs NAME=VALUE (got {item!r})")
         try:
             out[key] = int(value)
         except ValueError:
-            raise SystemExit(
+            raise UsageError(
                 f"-p {key}: expected an integer value, got {value!r}"
             ) from None
     return out
@@ -259,6 +279,156 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.serve import ReproService, SchedulerConfig
+    from repro.serve.http import make_server
+
+    service = ReproService(
+        root=args.dir,
+        config=SchedulerConfig(
+            max_queued=args.max_queued,
+            max_running=args.max_running,
+            max_attempts=args.max_attempts,
+            job_timeout=args.job_timeout,
+        ),
+        jobs=args.jobs,
+        fsync=not args.no_fsync,
+    )
+    httpd = make_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = httpd.server_address[:2]
+    service.start()
+
+    def _graceful(_signum, _frame):
+        # serve_forever() runs on this (main) thread; shutdown() must be
+        # called from another one or it deadlocks on its own event.
+        threading.Thread(target=httpd.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    print(f"serving on http://{host}:{port} (store: {args.dir})", flush=True)
+    try:
+        httpd.serve_forever(poll_interval=0.1)
+    finally:
+        httpd.server_close()
+        # Graceful: the worker finishes its in-flight point, checkpoints
+        # it, re-queues the interrupted job, and only then returns.
+        service.shutdown(wait=True)
+        print("shutdown complete: in-flight work checkpointed", flush=True)
+    return EXIT_OK
+
+
+def _client(args):
+    from repro.serve.client import ServeClient
+
+    return ServeClient(args.url)
+
+
+def _submit_spec(args) -> dict:
+    if args.figure is not None:
+        if args.kernel is not None:
+            raise UsageError("give either --figure or a kernel file, not both")
+        return {
+            "kind": "campaign",
+            "figure": args.figure,
+            "scale": args.scale,
+        }
+    if args.kernel is None:
+        raise UsageError("submit needs --figure NAME or a kernel file")
+    return {
+        "kind": "kernel",
+        "name": args.name or "kernel",
+        "source": _read_source(args),
+        "arrays": {
+            name: list(dims)
+            for name, dims in _parse_arrays(args.array).items()
+        },
+        "params": _parse_params(args.param),
+        "dataflow": args.dataflow,
+        "paradigm": args.paradigm,
+        "iterations": args.iterations,
+    }
+
+
+def _print_job_result(result: dict) -> None:
+    if result.get("kind") == "campaign":
+        print(result["table"])
+        return
+    print(f"paradigm     {result['paradigm']}")
+    print(f"cycles       {result['total_cycles']:,.0f}")
+    print(f"traffic      {result['traffic_byte_hops']:,.0f} bytes*hops")
+    print(f"energy       {result['energy_nj']:,.0f} nJ")
+    print(f"in-mem ops   {result['in_memory_fraction']:.1%}")
+
+
+def cmd_submit(args) -> int:
+    client = _client(args)
+    job_id = client.submit(
+        _submit_spec(args),
+        priority=args.priority,
+        max_attempts=args.max_attempts,
+    )
+    print(f"submitted {job_id}")
+    if not args.wait:
+        return EXIT_OK
+    status = client.wait(job_id, timeout=args.timeout)
+    print(f"state        {status['state']}")
+    if status["state"] == "done":
+        _print_job_result(client.result(job_id))
+        return EXIT_OK
+    if status.get("error"):
+        print(f"error: {status['error']}", file=sys.stderr)
+    return EXIT_INTERNAL if status["state"] == "failed" else EXIT_USER
+
+
+def cmd_status(args) -> int:
+    from repro.sim.campaign import format_table
+
+    client = _client(args)
+    if args.job_id is None:
+        jobs = client.list_jobs()
+        if not jobs:
+            print("no jobs")
+            return EXIT_OK
+        headers = ["job", "name", "state", "prio", "attempts", "ckpts"]
+        rows = [
+            [
+                j["job_id"],
+                j["name"],
+                j["state"],
+                j["priority"],
+                f"{j['attempts']}/{j['max_attempts']}",
+                j["checkpoints"],
+            ]
+            for j in jobs
+        ]
+        print(format_table(headers, rows))
+        return EXIT_OK
+    status = client.status(args.job_id)
+    for key in (
+        "job_id", "name", "state", "priority",
+        "attempts", "max_attempts", "checkpoints", "error",
+    ):
+        print(f"{key:13s}{status.get(key)}")
+    if args.result:
+        if status["state"] != "done":
+            print(f"error: job is {status['state']}, no result yet",
+                  file=sys.stderr)
+            return EXIT_USER
+        _print_job_result(client.result(args.job_id))
+    return EXIT_OK
+
+
+def cmd_cancel(args) -> int:
+    out = _client(args).cancel(args.job_id)
+    print(f"{out['job_id']}: {out['state']}")
+    return EXIT_OK
+
+
 def cmd_figures(args) -> int:
     from benchmarks import run_all  # noqa: F401 (module check)
 
@@ -383,8 +553,119 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.set_defaults(fn=cmd_trace)
 
-    args = ap.parse_args(argv)
-    return args.fn(args)
+    p = sub.add_parser(
+        "serve", help="run the durable job-queue service (HTTP API)"
+    )
+    p.add_argument("--dir", default=".repro_serve",
+                   help="job-store directory (WAL + snapshot)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8757,
+                   help="TCP port (0 picks a free one)")
+    p.add_argument("--jobs", type=int, default=1,
+                   help="worker processes per campaign job")
+    p.add_argument("--max-queued", type=int, default=64,
+                   help="admission cap on the backlog")
+    p.add_argument("--max-running", type=int, default=1,
+                   help="concurrently running jobs")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="attempts before a transient failure is terminal")
+    p.add_argument("--job-timeout", type=float, default=None,
+                   help="per-attempt wall-clock budget in seconds")
+    p.add_argument("--no-fsync", action="store_true",
+                   help="skip fsync on WAL appends (faster, less durable)")
+    p.add_argument("--verbose", action="store_true",
+                   help="log every HTTP request to stderr")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a kernel or campaign job to a server"
+    )
+    p.add_argument("kernel", nargs="?", default=None,
+                   help="kernel source file ('-' for stdin); omit with --figure")
+    p.add_argument("--figure", default=None,
+                   help="campaign job: figure name (fig02/fig11/.../jit)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="campaign input-size scale")
+    p.add_argument("--array", action="append", default=[],
+                   help="array declaration NAME:D0,D1,... (C order)")
+    p.add_argument("-p", "--param", action="append", default=[],
+                   help="size/constant binding NAME=VALUE")
+    p.add_argument("--name", default=None)
+    p.add_argument("--dataflow", choices=("inner", "outer"), default="inner")
+    p.add_argument(
+        "--paradigm",
+        choices=("base", "base-1", "near-l3", "in-l3", "inf-s", "inf-s-nojit"),
+        default="inf-s",
+    )
+    p.add_argument("--iterations", type=int, default=1)
+    p.add_argument("--priority", type=int, default=0,
+                   help="higher runs first (FIFO within a level)")
+    p.add_argument("--max-attempts", type=int, default=None)
+    p.add_argument("--url", default="http://127.0.0.1:8757")
+    p.add_argument("--wait", action="store_true",
+                   help="poll until the job finishes; print its result")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="--wait polling budget in seconds")
+    p.set_defaults(fn=cmd_submit)
+
+    p = sub.add_parser("status", help="list jobs or show one job")
+    p.add_argument("job_id", nargs="?", default=None)
+    p.add_argument("--url", default="http://127.0.0.1:8757")
+    p.add_argument("--result", action="store_true",
+                   help="also fetch and print the job's result")
+    p.set_defaults(fn=cmd_status)
+
+    p = sub.add_parser("cancel", help="cancel a queued or running job")
+    p.add_argument("job_id")
+    p.add_argument("--url", default="http://127.0.0.1:8757")
+    p.set_defaults(fn=cmd_cancel)
+
+    try:
+        args = ap.parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 for --help; fold both
+        # into the uniform contract (usage problems are user errors).
+        return EXIT_OK if exc.code in (0, None) else EXIT_USER
+    return _dispatch(args)
+
+
+def _dispatch(args) -> int:
+    """Run the selected command under the uniform exit-code contract."""
+    from repro.errors import (
+        AdmissionError,
+        ConfigError,
+        FrontendError,
+        GeometryError,
+        JobSpecError,
+        LayoutError,
+        UnknownJobError,
+    )
+    from repro.serve.client import ServeClientError
+
+    user_errors = (
+        UsageError,
+        FrontendError,
+        ConfigError,
+        GeometryError,
+        LayoutError,
+        JobSpecError,
+        AdmissionError,
+        UnknownJobError,
+        ServeClientError,
+        OSError,
+    )
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        raise
+    except KeyboardInterrupt:
+        return 130
+    except user_errors as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USER
+    except ReproError as exc:
+        print(f"internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return EXIT_INTERNAL
 
 
 if __name__ == "__main__":

@@ -99,9 +99,88 @@ class PointExecutionError(SimulationError):
         )
 
 
+class ExecutionCancelled(SimulationError):
+    """A point map was cancelled between points (repro.exec.pool).
+
+    Raised when the executor's ``cancel_event`` fires; ``completed``
+    counts the spec-order prefix of points that finished (and whose
+    results the executor recorded in ``partial_results``) before the
+    cancellation took effect.
+    """
+
+    def __init__(self, message: str, section: str, completed: int) -> None:
+        super().__init__(
+            f"section {section!r} cancelled after {completed} point(s): "
+            f"{message}"
+        )
+        self.section = section
+        self.completed = completed
+
+
 class CoherenceError(SimulationError):
     """Illegal access to transposed data (e.g. core access while trans=1)."""
 
 
 class ConfigError(ReproError):
     """Inconsistent system configuration parameters."""
+
+
+# ----------------------------------------------------------------------
+# Service layer (repro.serve)
+# ----------------------------------------------------------------------
+class ServeError(ReproError):
+    """Base class for job-queue service failures (repro.serve)."""
+
+
+class JobSpecError(ServeError):
+    """A submitted job specification is malformed (user error)."""
+
+
+class JobStateError(ServeError):
+    """An illegal job state-machine transition was requested.
+
+    The job lifecycle is ``queued -> running -> done|failed|cancelled``
+    with ``running -> queued`` allowed for retry/preemption; anything
+    else is a bug in the caller and raises this.
+    """
+
+    def __init__(self, job_id: str, current: str, requested: str) -> None:
+        super().__init__(
+            f"job {job_id}: illegal transition {current} -> {requested}"
+        )
+        self.job_id = job_id
+        self.current = current
+        self.requested = requested
+
+
+class UnknownJobError(ServeError):
+    """No job with the given id exists in the store."""
+
+    def __init__(self, job_id: str) -> None:
+        super().__init__(f"unknown job {job_id!r}")
+        self.job_id = job_id
+
+
+class AdmissionError(ServeError):
+    """The scheduler refused to enqueue a job (structured rejection).
+
+    ``reason`` is a stable machine-readable slug (``queue-full``,
+    ``running-full``); ``limit``/``current`` quantify the violated cap
+    so clients can back off intelligently (HTTP maps this to 429).
+    """
+
+    def __init__(self, reason: str, limit: int, current: int) -> None:
+        super().__init__(
+            f"admission rejected ({reason}): {current} >= limit {limit}"
+        )
+        self.reason = reason
+        self.limit = limit
+        self.current = current
+
+
+class JobCancelled(ServeError):
+    """A running job was cancelled by request; partial checkpoints kept."""
+
+
+class JobTimeout(ServeError):
+    """A running job exceeded its per-job wall-clock budget."""

@@ -43,6 +43,88 @@ from repro.trace.events import Category as _Cat
 DEFAULT_CACHE_DIR = ".repro_cache"
 DEFAULT_MAX_ENTRIES = 8192
 
+# Orphaned-``*.tmp`` collection: a writer holds its tempfile for
+# milliseconds, so anything this old was left by a killed process.
+TMP_ORPHAN_AGE_SECONDS = 300.0
+
+
+# ----------------------------------------------------------------------
+# Cross-process file lock
+# ----------------------------------------------------------------------
+class FileLock:
+    """A lockfile-based mutex shared by every process using one cache dir.
+
+    Acquisition creates ``path`` with ``O_CREAT | O_EXCL`` (atomic on
+    POSIX and NT, local and NFSv3+ filesystems alike) and writes the
+    holder's pid for post-mortem debugging.  A lockfile older than
+    ``stale_after`` seconds is presumed abandoned by a killed writer and
+    is broken.  Acquisition failure after ``timeout`` raises
+    :class:`TimeoutError` rather than deadlocking the campaign.
+    """
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        timeout: float = 10.0,
+        stale_after: float = 30.0,
+        poll_interval: float = 0.01,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout = timeout
+        self.stale_after = stale_after
+        self.poll_interval = poll_interval
+        self._held = False
+
+    def acquire(self) -> None:
+        import time
+
+        deadline = time.monotonic() + self.timeout
+        while True:
+            try:
+                fd = os.open(
+                    self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
+                )
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() >= deadline:
+                    raise TimeoutError(
+                        f"could not acquire {self.path} within "
+                        f"{self.timeout:.1f}s"
+                    ) from None
+                time.sleep(self.poll_interval)
+                continue
+            with os.fdopen(fd, "w") as fh:
+                fh.write(str(os.getpid()))
+            self._held = True
+            return
+
+    def release(self) -> None:
+        if self._held:
+            self._held = False
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def _break_if_stale(self) -> None:
+        import time
+
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return  # released between our open() and stat()
+        if age > self.stale_after:
+            # Best-effort: two breakers racing both unlink; the loser's
+            # unlink is a no-op (missing_ok) and both retry O_EXCL.
+            self.path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
 
 # ----------------------------------------------------------------------
 # Canonical encoding + stable digests
@@ -161,6 +243,10 @@ class CompilationCache:
         self.disk_dir = Path(disk_dir) if disk_dir else None
         self.stats = CacheStats()
         self._lru: OrderedDict[str, object] = OrderedDict()
+        if self.disk_dir is not None and self.disk_dir.is_dir():
+            # Opportunistic: sweep tempfiles left by writers that were
+            # killed mid-publish (anything older than the orphan age).
+            self.gc_orphans()
 
     # ------------------------------------------------------------------
     def get(self, key: str):
@@ -213,8 +299,10 @@ class CompilationCache:
     def clear(self, disk: bool = False) -> None:
         self._lru.clear()
         if disk and self.disk_dir is not None:
-            for path in self.disk_dir.glob("*/*.pkl"):
-                path.unlink(missing_ok=True)
+            with self._index_lock():
+                for path in self.disk_dir.glob("*/*.pkl"):
+                    path.unlink(missing_ok=True)
+                self._write_index({})
 
     def __len__(self) -> int:
         return len(self._lru)
@@ -264,16 +352,103 @@ class CompilationCache:
             self.stats.disk_stores += 1
         except (OSError, pickle.PicklingError):
             return  # persistence is best-effort
+        try:
+            size = path.stat().st_size
+            with self._index_lock():
+                index = self._read_index()
+                index[key] = size
+                self._write_index(index)
+        except (OSError, TimeoutError):
+            # Index bookkeeping is best-effort too: gc_orphans()
+            # reconciles it with the *.pkl files on the next sweep.
+            return
+
+    # ------------------------------------------------------------------
+    # Shared-store bookkeeping: index + orphan collection, both under
+    # the cross-process lock so concurrent writers never corrupt them.
+    # ------------------------------------------------------------------
+    def _index_lock(self) -> FileLock:
+        assert self.disk_dir is not None
+        self.disk_dir.mkdir(parents=True, exist_ok=True)
+        return FileLock(self.disk_dir / "index.lock")
+
+    def _read_index(self) -> dict[str, int]:
+        assert self.disk_dir is not None
+        try:
+            with open(self.disk_dir / "index.json") as fh:
+                raw = json.load(fh)
+            return {str(k): int(v) for k, v in raw.items()}
+        except (OSError, ValueError):
+            return {}
+
+    def _write_index(self, index: dict[str, int]) -> None:
+        assert self.disk_dir is not None
+        fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".idx.tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(index, fh, sort_keys=True)
+            os.replace(tmp, self.disk_dir / "index.json")
+        except BaseException:
+            os.unlink(tmp)
+            raise
+
+    def gc_orphans(
+        self, max_age: float = TMP_ORPHAN_AGE_SECONDS
+    ) -> list[str]:
+        """Remove ``*.tmp`` files abandoned by killed writers.
+
+        Also reconciles ``index.json`` with the ``*.pkl`` files actually
+        present (a writer killed between publishing its pickle and
+        updating the index leaves the two out of sync).  Returns the
+        paths removed.  Everything happens under the cross-process lock.
+        """
+        if self.disk_dir is None or not self.disk_dir.is_dir():
+            return []
+        import time
+
+        removed: list[str] = []
+        try:
+            with self._index_lock():
+                now = time.time()
+                for pattern in ("*.tmp", "*/*.tmp"):
+                    for tmp in self.disk_dir.glob(pattern):
+                        try:
+                            if now - tmp.stat().st_mtime > max_age:
+                                tmp.unlink()
+                                removed.append(str(tmp))
+                        except OSError:
+                            continue  # a live writer published/removed it
+                on_disk = {
+                    p.stem: p.stat().st_size
+                    for p in self.disk_dir.glob("*/*.pkl")
+                }
+                if on_disk != self._read_index():
+                    self._write_index(on_disk)
+        except (OSError, TimeoutError):
+            return removed
+        return removed
 
     # ------------------------------------------------------------------
     def disk_entries(self) -> list[tuple[str, int]]:
-        """(key, bytes) for every entry in the disk store."""
+        """(key, bytes) for every entry in the disk store.
+
+        Served from ``index.json`` when it is consistent with the store;
+        falls back to a directory walk (the ground truth) otherwise.
+        """
         if self.disk_dir is None or not self.disk_dir.is_dir():
             return []
-        out = []
-        for path in sorted(self.disk_dir.glob("*/*.pkl")):
-            out.append((path.stem, path.stat().st_size))
+        out = [
+            (path.stem, path.stat().st_size)
+            for path in sorted(self.disk_dir.glob("*/*.pkl"))
+        ]
         return out
+
+    def disk_index(self) -> dict[str, int]:
+        """The locked bookkeeping index (key -> bytes); may trail the
+        store briefly between a pickle publish and its index update."""
+        if self.disk_dir is None:
+            return {}
+        return self._read_index()
 
 
 # ----------------------------------------------------------------------

@@ -34,7 +34,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
-from repro.errors import PointExecutionError
+from repro.errors import ExecutionCancelled, PointExecutionError
 from repro.exec import cache as cache_mod
 from repro.trace import events as _trace
 from repro.trace import metrics as metrics_mod
@@ -53,10 +53,31 @@ class SectionTiming:
 
 @dataclass
 class PointExecutor:
-    """Run independent simulation points, serially or across processes."""
+    """Run independent simulation points, serially or across processes.
+
+    **Interruption contract** (the serve layer's checkpoints depend on
+    it): when a map is cut short — ``KeyboardInterrupt``, or the
+    optional ``cancel_event`` firing between points — the executor
+    records the spec-order prefix of completed results in
+    ``partial_results`` *before* re-raising (``KeyboardInterrupt``
+    propagates unchanged; cancellation raises
+    :class:`~repro.errors.ExecutionCancelled`).  A parallel pool is shut
+    down without waiting and its worker processes are terminated, so no
+    half-finished point is ever reported as complete.
+    """
 
     jobs: int = 1
     sections: list[SectionTiming] = field(default_factory=list)
+    #: optional cooperative-cancellation flag (any object with a
+    #: ``is_set() -> bool`` method, e.g. ``threading.Event``), polled
+    #: between points.
+    cancel_event: object | None = None
+    #: spec-order prefix of results completed before the most recent
+    #: interruption (None when the last map finished normally).
+    partial_results: list | None = field(default=None, repr=False)
+
+    def _cancelled(self) -> bool:
+        return self.cancel_event is not None and self.cancel_event.is_set()
 
     def map(
         self,
@@ -67,6 +88,7 @@ class PointExecutor:
         """Apply *fn* to every spec; results are in spec order."""
         specs = list(specs)
         label = section or getattr(fn, "__name__", "points")
+        self.partial_results = None
         start = time.perf_counter()
         mode = "serial"
         if self.jobs > 1 and len(specs) > 1:
@@ -110,11 +132,19 @@ class PointExecutor:
         (and the same failure identity) a parallel run would have."""
         results = []
         for index, spec in enumerate(specs):
+            if self._cancelled():
+                self.partial_results = list(results)
+                raise ExecutionCancelled(
+                    "cancel_event set", section=label, completed=len(results)
+                )
             try:
                 with metrics_mod.point_scope() as point_reg:
                     result = fn(spec)
                 if point_reg is not None:
                     metrics_mod.REGISTRY.merge_snapshot(point_reg.snapshot())
+            except KeyboardInterrupt:
+                self.partial_results = list(results)
+                raise
             except PointExecutionError:
                 raise
             except Exception as exc:  # noqa: BLE001 — annotate and re-raise
@@ -132,14 +162,15 @@ class PointExecutor:
 
         workers = min(self.jobs, len(specs))
         results = []
-        with ProcessPoolExecutor(
+        pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
             initargs=(
                 cache_mod.export_config(),
                 metrics_mod.metrics_enabled(),
             ),
-        ) as pool:
+        )
+        try:
             # Executor.map preserves input order; chunk to amortize IPC.
             chunksize = max(1, len(specs) // (workers * 4))
             for result, jit_delta, cache_delta, metrics_snap in pool.map(
@@ -147,6 +178,12 @@ class PointExecutor:
                 [(fn, spec, label, i) for i, spec in enumerate(specs)],
                 chunksize=chunksize,
             ):
+                if self._cancelled():
+                    raise ExecutionCancelled(
+                        "cancel_event set",
+                        section=label,
+                        completed=len(results),
+                    )
                 jit_mod.merge_global_stats(jit_delta)
                 cache_mod.merge_stats(cache_delta)
                 if metrics_snap is not None and metrics_mod.REGISTRY is not None:
@@ -154,6 +191,14 @@ class PointExecutor:
                     # in spec order — byte-identical to the serial path.
                     metrics_mod.REGISTRY.merge_snapshot(metrics_snap)
                 results.append(result)
+        except (KeyboardInterrupt, ExecutionCancelled):
+            # Record the spec-order prefix that finished, then tear the
+            # pool down hard: cancel queued work, terminate workers, and
+            # re-raise so the caller can checkpoint `partial_results`.
+            self.partial_results = list(results)
+            _terminate_pool(pool)
+            raise
+        pool.shutdown()
         return results
 
     # ------------------------------------------------------------------
@@ -254,6 +299,19 @@ def _call_point(payload):
     jit_delta = jit_mod.global_stats_snapshot().delta(jit_before)
     cache_delta = cache_mod.stats_snapshot().delta(cache_before)
     return result, jit_delta, cache_delta, metrics_snap
+
+
+def _terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Shut a pool down without draining it: cancel pending futures and
+    terminate the worker processes (a point mid-flight is abandoned —
+    it was never reported complete, so re-running it later is safe)."""
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except Exception:  # noqa: BLE001 — already-dead workers are fine
+            pass
 
 
 def _pickle_obstacle(fn: Callable, specs: Sequence) -> str | None:

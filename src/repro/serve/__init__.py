@@ -1,0 +1,49 @@
+"""repro.serve — the durable job-queue service layer.
+
+Turns the one-shot compile/simulate CLI into an operable service:
+
+* :mod:`repro.serve.store` — crash-safe job persistence (JSONL
+  write-ahead log + atomic snapshot) with per-point checkpoints;
+* :mod:`repro.serve.scheduler` — priority + FIFO ordering, admission
+  control, retry with deterministic jittered exponential backoff;
+* :mod:`repro.serve.worker` — drains the queue onto the existing
+  :class:`~repro.exec.pool.PointExecutor`/pipeline stack, resuming
+  interrupted campaigns from their last completed point;
+* :mod:`repro.serve.http` / :mod:`repro.serve.client` — a threaded
+  stdlib HTTP API (submit/status/result/cancel, ``/healthz``,
+  ``/metrics``) and its client;
+* :mod:`repro.serve.service` — the composition root.
+
+Quickstart::
+
+    python -m repro serve --dir .repro_serve --port 8757 &
+    python -m repro submit --figure fig14 --scale 0.05 --wait
+    python -m repro status
+"""
+
+from __future__ import annotations
+
+from repro.serve.jobs import (
+    Job,
+    JobState,
+    run_job_spec,
+    validate_spec,
+)
+from repro.serve.scheduler import Scheduler, SchedulerConfig
+from repro.serve.service import DEFAULT_SERVE_DIR, ReproService
+from repro.serve.store import JobStore
+from repro.serve.worker import CheckpointingExecutor, ServeWorker
+
+__all__ = [
+    "Job",
+    "JobState",
+    "JobStore",
+    "Scheduler",
+    "SchedulerConfig",
+    "ReproService",
+    "ServeWorker",
+    "CheckpointingExecutor",
+    "DEFAULT_SERVE_DIR",
+    "run_job_spec",
+    "validate_spec",
+]

@@ -1,0 +1,288 @@
+"""Job model for the service layer: states, records, and spec execution.
+
+A *job* is one unit of queued work — either a single-kernel simulation
+(``{"kind": "kernel", ...}``) or a whole figure campaign (``{"kind":
+"campaign", "figure": "fig14", "scale": 0.05}``).  Specs are plain JSON
+dicts so they survive the store's write-ahead log and the HTTP API
+unchanged.
+
+The state machine (enforced by :func:`check_transition`)::
+
+    queued ──> running ──> done
+       │          │──────> failed      (after max_attempts)
+       │          │──────> cancelled
+       │          └──────> queued      (retry with backoff, or a
+       │                                graceful-shutdown preemption)
+       └────────> cancelled
+
+``running -> queued`` is the resume edge: per-point checkpoints
+accumulated during the interrupted attempt are kept, so the next
+attempt only simulates the points that never finished.
+"""
+
+from __future__ import annotations
+
+import base64
+import enum
+import pickle
+from dataclasses import asdict, dataclass, field
+from typing import Callable
+
+from repro.errors import JobSpecError, JobStateError
+
+
+class JobState(str, enum.Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+VALID_TRANSITIONS: frozenset[tuple[JobState, JobState]] = frozenset(
+    {
+        (JobState.QUEUED, JobState.RUNNING),
+        (JobState.QUEUED, JobState.CANCELLED),
+        (JobState.RUNNING, JobState.DONE),
+        (JobState.RUNNING, JobState.FAILED),
+        (JobState.RUNNING, JobState.CANCELLED),
+        (JobState.RUNNING, JobState.QUEUED),  # retry / preemption
+    }
+)
+
+
+def check_transition(job_id: str, current: JobState, new: JobState) -> None:
+    if (current, new) not in VALID_TRANSITIONS:
+        raise JobStateError(job_id, current.value, new.value)
+
+
+@dataclass
+class Job:
+    """One queued/running/finished unit of work (a store record)."""
+
+    job_id: str
+    spec: dict
+    priority: int = 0
+    state: JobState = JobState.QUEUED
+    attempts: int = 0
+    max_attempts: int = 3
+    seq: int = 0  # submission order: the FIFO tiebreak within priority
+    not_before: float = 0.0  # earliest schedulable time (retry backoff)
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    result: dict | None = None
+    #: "<section>:<index>" -> encoded point result (see encode_point)
+    checkpoints: dict[str, str] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["state"] = self.state.value
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Job":
+        raw = dict(raw)
+        raw["state"] = JobState(raw["state"])
+        return cls(**raw)
+
+    def summary(self) -> dict:
+        """The status-listing view: everything but result payloads."""
+        return {
+            "job_id": self.job_id,
+            "kind": self.spec.get("kind"),
+            "name": describe_spec_dict(self.spec),
+            "priority": self.priority,
+            "state": self.state.value,
+            "attempts": self.attempts,
+            "max_attempts": self.max_attempts,
+            "checkpoints": len(self.checkpoints),
+            "submitted_at": self.submitted_at,
+            "finished_at": self.finished_at,
+            "error": self.error,
+        }
+
+
+# ----------------------------------------------------------------------
+# Point-result checkpoints: picklable campaign results as JSON strings.
+# ----------------------------------------------------------------------
+def checkpoint_key(section: str, index: int) -> str:
+    return f"{section}:{index}"
+
+
+def encode_point(result) -> str:
+    return base64.b64encode(
+        pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_point(payload: str):
+    return pickle.loads(base64.b64decode(payload.encode("ascii")))
+
+
+# ----------------------------------------------------------------------
+# Spec validation + execution
+# ----------------------------------------------------------------------
+def _campaign_table(fn: Callable) -> Callable:
+    """Adapt a campaign function returning (headers, rows[, extra])."""
+
+    def run(scale: float, executor) -> tuple[list, list]:
+        out = fn(scale=scale, executor=executor)
+        headers, rows = out[0], out[1]  # fig11 also returns raw results
+        return headers, rows
+
+    return run
+
+
+def _fig02(scale: float, executor) -> tuple[list, list]:
+    # fig02 sweeps fixed input sizes rather than Table 3 scales.
+    from repro.sim import campaign
+
+    return campaign.fig02_microbench(executor=executor)
+
+
+def campaign_registry() -> dict[str, Callable]:
+    """figure name -> ``fn(scale, executor) -> (headers, rows)``."""
+    from repro.sim import campaign
+
+    return {
+        "fig02": _fig02,
+        "fig11": _campaign_table(campaign.fig11_speedup),
+        "fig13": _campaign_table(campaign.fig13_infs_traffic),
+        "fig14": _campaign_table(campaign.fig14_cycles),
+        "fig15": _campaign_table(campaign.fig15_dataflow),
+        "fig17": _campaign_table(campaign.fig17_tile_sweep_3d),
+        "fig18": _campaign_table(campaign.fig18_energy),
+        "jit": _campaign_table(campaign.jit_overheads),
+    }
+
+
+KERNEL_PARADIGMS = ("base", "base-1", "near-l3", "in-l3", "inf-s", "inf-s-nojit")
+
+
+def validate_spec(spec) -> dict:
+    """Check a submitted spec; returns it normalized or raises
+    :class:`~repro.errors.JobSpecError` (a user error -> HTTP 400)."""
+    if not isinstance(spec, dict):
+        raise JobSpecError(f"job spec must be an object, got {type(spec).__name__}")
+    kind = spec.get("kind")
+    if kind == "campaign":
+        figure = spec.get("figure")
+        known = sorted(campaign_registry())
+        if figure not in known:
+            raise JobSpecError(
+                f"unknown campaign figure {figure!r}; expected one of "
+                f"{', '.join(known)}"
+            )
+        scale = spec.get("scale", 1.0)
+        if not isinstance(scale, (int, float)) or scale <= 0:
+            raise JobSpecError(f"campaign scale must be > 0, got {scale!r}")
+        return {"kind": "campaign", "figure": figure, "scale": float(scale)}
+    if kind == "kernel":
+        source = spec.get("source")
+        if not isinstance(source, str) or not source.strip():
+            raise JobSpecError("kernel job needs a non-empty 'source' string")
+        arrays = spec.get("arrays")
+        if not isinstance(arrays, dict) or not arrays:
+            raise JobSpecError(
+                "kernel job needs 'arrays' ({name: [dims...]})"
+            )
+        params = spec.get("params", {})
+        if not isinstance(params, dict):
+            raise JobSpecError("'params' must be an object of NAME -> int")
+        paradigm = spec.get("paradigm", "inf-s")
+        if paradigm not in KERNEL_PARADIGMS:
+            raise JobSpecError(
+                f"unknown paradigm {paradigm!r}; expected one of "
+                f"{', '.join(KERNEL_PARADIGMS)}"
+            )
+        return {
+            "kind": "kernel",
+            "name": str(spec.get("name", "kernel")),
+            "source": source,
+            "arrays": {
+                str(k): [d for d in v] for k, v in arrays.items()
+            },
+            "params": {str(k): int(v) for k, v in params.items()},
+            "dataflow": spec.get("dataflow", "inner"),
+            "paradigm": paradigm,
+            "iterations": int(spec.get("iterations", 1)),
+        }
+    raise JobSpecError(
+        f"job kind must be 'kernel' or 'campaign', got {kind!r}"
+    )
+
+
+def run_job_spec(spec: dict, executor) -> dict:
+    """Execute a validated spec; the JSON-serializable result payload.
+
+    Campaign points go through *executor* (the serve worker passes a
+    :class:`~repro.serve.worker.CheckpointingExecutor`, so completed
+    points survive crashes and cancellations).
+    """
+    kind = spec["kind"]
+    if kind == "campaign":
+        from repro.sim.campaign import format_table
+
+        fn = campaign_registry()[spec["figure"]]
+        headers, rows = fn(spec["scale"], executor)
+        return {
+            "kind": "campaign",
+            "figure": spec["figure"],
+            "scale": spec["scale"],
+            "headers": list(headers),
+            "rows": [list(r) for r in rows],
+            "table": format_table(list(headers), [list(r) for r in rows]),
+        }
+    if kind == "kernel":
+        return _run_kernel_spec(spec)
+    raise JobSpecError(f"unrunnable job kind {kind!r}")
+
+
+def _run_kernel_spec(spec: dict) -> dict:
+    from repro.ir.dtypes import DType
+    from repro.pipeline import SourceArtifact, simulate_pipeline
+
+    source = SourceArtifact(
+        name=spec["name"],
+        source=spec["source"],
+        arrays={
+            name: tuple(
+                int(d) if isinstance(d, int) or str(d).isdigit() else d
+                for d in dims
+            )
+            for name, dims in spec["arrays"].items()
+        },
+        dtype=DType.FP32,
+        params=dict(spec["params"]),
+        dataflow=spec["dataflow"],
+    )
+    pipeline = simulate_pipeline(
+        paradigm=spec["paradigm"], iterations=spec["iterations"]
+    )
+    result = pipeline.run(source).final.result
+    return {
+        "kind": "kernel",
+        "name": spec["name"],
+        "paradigm": result.paradigm,
+        "total_cycles": result.total_cycles,
+        "cycles": result.cycles.as_dict(),
+        "traffic_byte_hops": result.traffic.total,
+        "energy_nj": result.energy_nj,
+        "in_memory_fraction": result.ops.in_memory_fraction,
+    }
+
+
+def describe_spec_dict(spec: dict) -> str:
+    """A short human label for listings: 'fig14@0.05' / 'saxpy/inf-s'."""
+    if spec.get("kind") == "campaign":
+        return f"{spec.get('figure')}@{spec.get('scale')}"
+    if spec.get("kind") == "kernel":
+        return f"{spec.get('name')}/{spec.get('paradigm')}"
+    return str(spec.get("kind"))

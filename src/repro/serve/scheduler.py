@@ -1,0 +1,176 @@
+"""Scheduling policy: priority queueing, admission control, retries.
+
+The scheduler is pure policy over the :class:`~repro.serve.store.JobStore`
+state — it owns no threads, which keeps every decision unit-testable
+with an injected clock:
+
+* **ordering** — among schedulable jobs (``queued``, past their
+  ``not_before`` backoff deadline), the highest ``priority`` wins;
+  within a priority level, submission order (FIFO) breaks the tie;
+* **admission control** — ``max_queued`` caps the backlog; a submit
+  beyond the cap raises a structured
+  :class:`~repro.errors.AdmissionError` (HTTP 429) instead of growing
+  the queue without bound.  ``max_running`` caps dispatch;
+* **retries** — a transiently failed attempt (``PointExecutionError``,
+  per-job timeout) is re-queued with exponential backoff
+  ``base * factor**(attempt-1)``, capped at ``backoff_max`` and
+  stretched by a *seeded* multiplicative jitter so the schedule is
+  deterministic under test while still de-synchronized in production.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+from repro.errors import AdmissionError
+from repro.serve.jobs import Job, JobState
+from repro.serve.store import JobStore
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    max_queued: int = 64
+    max_running: int = 2
+    max_attempts: int = 3
+    backoff_base: float = 0.25  # seconds before the first retry
+    backoff_factor: float = 2.0
+    backoff_max: float = 30.0
+    backoff_jitter: float = 0.5  # max extra fraction of the raw delay
+    seed: int = 0
+    job_timeout: float | None = None  # per-attempt wall-clock budget
+
+
+class Scheduler:
+    """Admission + ordering + retry policy over a job store."""
+
+    def __init__(
+        self, store: JobStore, config: SchedulerConfig | None = None
+    ) -> None:
+        self.store = store
+        self.config = config or SchedulerConfig()
+        self._rng = random.Random(self.config.seed)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def admit(
+        self,
+        spec: dict,
+        priority: int = 0,
+        max_attempts: int | None = None,
+        now: float = 0.0,
+    ) -> Job:
+        """Enqueue a validated spec, or reject it with structure."""
+        with self._lock:
+            queued = len(self.store.jobs(JobState.QUEUED))
+            if queued >= self.config.max_queued:
+                raise AdmissionError(
+                    "queue-full", limit=self.config.max_queued, current=queued
+                )
+            return self.store.submit(
+                spec,
+                priority=priority,
+                max_attempts=(
+                    self.config.max_attempts
+                    if max_attempts is None
+                    else max_attempts
+                ),
+                now=now,
+            )
+
+    # ------------------------------------------------------------------
+    # Dispatch ordering
+    # ------------------------------------------------------------------
+    def schedulable(self, now: float) -> list[Job]:
+        """Queued jobs past their backoff deadline, best-first."""
+        ready = [
+            job
+            for job in self.store.jobs(JobState.QUEUED)
+            if job.not_before <= now
+        ]
+        ready.sort(key=lambda j: (-j.priority, j.seq))
+        return ready
+
+    def next_job(self, now: float) -> Job | None:
+        """The job to dispatch now, or None (empty / backoff / caps)."""
+        with self._lock:
+            running = len(self.store.jobs(JobState.RUNNING))
+            if running >= self.config.max_running:
+                return None
+            ready = self.schedulable(now)
+            return ready[0] if ready else None
+
+    def next_wakeup(self, now: float) -> float | None:
+        """Earliest future ``not_before`` among queued jobs (to size the
+        worker's idle sleep), or None when nothing is pending."""
+        pending = [
+            job.not_before
+            for job in self.store.jobs(JobState.QUEUED)
+            if job.not_before > now
+        ]
+        return min(pending) if pending else None
+
+    # ------------------------------------------------------------------
+    # Lifecycle edges (each delegates durability to the store)
+    # ------------------------------------------------------------------
+    def start(self, job: Job, now: float) -> Job:
+        return self.store.transition(
+            job.job_id,
+            JobState.RUNNING,
+            attempts=job.attempts + 1,
+            now=now,
+        )
+
+    def complete(self, job: Job, result: dict, now: float) -> Job:
+        self.store.set_result(job.job_id, result)
+        return self.store.transition(job.job_id, JobState.DONE, now=now)
+
+    def fail(
+        self, job: Job, error: str, now: float, transient: bool
+    ) -> Job:
+        """Terminal failure, or a backoff-delayed retry when *transient*
+        and attempts remain."""
+        if transient and job.attempts < job.max_attempts:
+            delay = self.backoff_delay(job.attempts)
+            return self.store.transition(
+                job.job_id,
+                JobState.QUEUED,
+                error=error,
+                not_before=now + delay,
+                now=now,
+            )
+        return self.store.transition(
+            job.job_id, JobState.FAILED, error=error, now=now
+        )
+
+    def preempt(self, job: Job, now: float) -> Job:
+        """Graceful-shutdown path: back to queued, attempt not counted."""
+        return self.store.transition(
+            job.job_id,
+            JobState.QUEUED,
+            attempts=max(0, job.attempts - 1),
+            now=now,
+        )
+
+    def cancel(self, job_id: str, now: float) -> Job:
+        return self.store.transition(
+            job_id, JobState.CANCELLED, error="cancelled by request", now=now
+        )
+
+    # ------------------------------------------------------------------
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before retry number ``attempt + 1`` (attempt >= 1).
+
+        Exponential in the attempt count, capped, then stretched by a
+        jitter drawn from this scheduler's seeded RNG: two schedulers
+        built with the same seed produce the same delay sequence.
+        """
+        cfg = self.config
+        raw = min(
+            cfg.backoff_base * cfg.backoff_factor ** max(0, attempt - 1),
+            cfg.backoff_max,
+        )
+        return raw * (1.0 + cfg.backoff_jitter * self._rng.random())

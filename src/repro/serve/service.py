@@ -1,0 +1,133 @@
+"""The composed service: store + scheduler + worker + serve metrics.
+
+:class:`ReproService` is the single object both the HTTP layer and the
+CLI talk to.  It owns a :class:`~repro.trace.metrics.MetricsRegistry`
+(the same machinery the simulator's observability layer uses) that
+``/metrics`` renders with :func:`repro.trace.metrics_report` — so
+``serve.*`` counters read exactly like ``engine.*`` ones.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.errors import UnknownJobError
+from repro.serve.jobs import Job, JobState, validate_spec
+from repro.serve.scheduler import Scheduler, SchedulerConfig
+from repro.serve.store import JobStore
+from repro.serve.worker import ServeWorker
+from repro.trace.metrics import MetricsRegistry
+
+DEFAULT_SERVE_DIR = ".repro_serve"
+
+
+class ReproService:
+    """Submit / status / cancel over a durable queue and a worker."""
+
+    def __init__(
+        self,
+        root: str = DEFAULT_SERVE_DIR,
+        config: SchedulerConfig | None = None,
+        jobs: int = 1,
+        clock=time.time,
+        fsync: bool = True,
+    ) -> None:
+        self.clock = clock
+        self.registry = MetricsRegistry()
+        self.store = JobStore(root, fsync=fsync)
+        self.scheduler = Scheduler(self.store, config)
+        self.worker = ServeWorker(
+            self.store,
+            self.scheduler,
+            jobs=jobs,
+            clock=clock,
+            registry=self.registry,
+        )
+        self.started_at = clock()
+        for job_id in self.store.recovered_jobs:
+            self.registry.add("serve.jobs.recovered", 1.0)
+            del job_id
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self.worker.start()
+
+    def shutdown(self, wait: bool = True) -> None:
+        self.worker.stop(wait=wait)
+        self.store.compact()
+        self.store.close()
+
+    # ------------------------------------------------------------------
+    # Operations (shared by HTTP handlers and in-process callers)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: dict,
+        priority: int = 0,
+        max_attempts: int | None = None,
+    ) -> Job:
+        spec = validate_spec(spec)
+        try:
+            job = self.scheduler.admit(
+                spec,
+                priority=priority,
+                max_attempts=max_attempts,
+                now=self.clock(),
+            )
+        except Exception:
+            self.registry.add("serve.jobs.rejected", 1.0)
+            raise
+        self.registry.add(
+            "serve.jobs.submitted", 1.0, kind=spec["kind"]
+        )
+        return job
+
+    def status(self, job_id: str) -> dict:
+        job = self.store.get(job_id)
+        out = job.summary()
+        out["not_before"] = job.not_before
+        out["started_at"] = job.started_at
+        return out
+
+    def result(self, job_id: str) -> tuple[JobState, dict | None]:
+        job = self.store.get(job_id)
+        return job.state, job.result
+
+    def list_jobs(self) -> list[dict]:
+        return [job.summary() for job in self.store.jobs()]
+
+    def cancel(self, job_id: str) -> dict:
+        """Cancel a queued job immediately; flag a running one."""
+        job = self.store.get(job_id)
+        if job.state is JobState.QUEUED:
+            job = self.scheduler.cancel(job_id, self.clock())
+            self.registry.add("serve.jobs.finished", 1.0,
+                              outcome="cancelled",
+                              kind=job.spec.get("kind", "?"))
+            return {"job_id": job_id, "state": job.state.value}
+        if job.state is JobState.RUNNING:
+            self.worker.request_cancel(job_id)
+            return {"job_id": job_id, "state": "cancelling"}
+        if job.state.terminal:
+            return {"job_id": job_id, "state": job.state.value}
+        raise UnknownJobError(job_id)  # unreachable; states are total
+
+    # ------------------------------------------------------------------
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "uptime_seconds": self.clock() - self.started_at,
+            "jobs": self.store.counts(),
+            "max_queued": self.scheduler.config.max_queued,
+            "max_running": self.scheduler.config.max_running,
+        }
+
+    def metrics_text(self) -> str:
+        from repro.trace.export import metrics_report
+
+        for state, count in self.store.counts().items():
+            key = f"serve.jobs.state|state={state}"
+            self.registry.counters[key] = float(count)
+        return metrics_report(self.registry)

@@ -1,0 +1,284 @@
+"""The durable job store: append-only WAL + atomic snapshot.
+
+Layout under the store root (default ``.repro_serve/``)::
+
+    wal.jsonl       append-only log, one JSON record per mutation
+    snapshot.json   periodic full-state snapshot (atomic ``os.replace``,
+                    the same publish idiom as ``exec/cache.py``)
+
+Every mutation — submit, state transition, per-point checkpoint, result
+publication — appends one WAL record before the in-memory state is
+considered committed.  Recovery loads the snapshot (if any) and replays
+the WAL on top; a torn final line (the process died mid-append) is
+detected and ignored.  :meth:`JobStore.compact` folds the WAL into a
+fresh snapshot so the log stays bounded.
+
+Jobs found ``running`` at load time belonged to a worker that died
+without transitioning them; they are re-queued (with their checkpoints
+intact), which is precisely the crash/resume path: the next attempt
+skips every checkpointed point.
+
+All methods are thread-safe (one re-entrant lock): HTTP handler threads
+and the worker loop share a store instance.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.errors import ServeError, UnknownJobError
+from repro.exec.cache import stable_digest
+from repro.serve.jobs import Job, JobState, check_transition
+
+WAL_NAME = "wal.jsonl"
+SNAPSHOT_NAME = "snapshot.json"
+
+#: compact automatically once this many WAL records accumulate
+DEFAULT_COMPACT_EVERY = 4096
+
+
+class JobStore:
+    """Crash-safe persistence for :class:`~repro.serve.jobs.Job`\\ s."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        fsync: bool = True,
+        compact_every: int = DEFAULT_COMPACT_EVERY,
+    ) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.compact_every = max(1, int(compact_every))
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0
+        self._wal_records = 0
+        self._wal: io.TextIOWrapper | None = None
+        self.recovered_jobs: list[str] = []
+        self._load()
+        self._open_wal()
+
+    # ------------------------------------------------------------------
+    # Durability plumbing
+    # ------------------------------------------------------------------
+    @property
+    def wal_path(self) -> Path:
+        return self.root / WAL_NAME
+
+    @property
+    def snapshot_path(self) -> Path:
+        return self.root / SNAPSHOT_NAME
+
+    def _open_wal(self) -> None:
+        self._wal = open(self.wal_path, "a", encoding="utf-8")
+
+    def _append(self, record: dict) -> None:
+        assert self._wal is not None
+        self._wal.write(json.dumps(record, sort_keys=True) + "\n")
+        self._wal.flush()
+        if self.fsync:
+            os.fsync(self._wal.fileno())
+        self._wal_records += 1
+        if self._wal_records >= self.compact_every:
+            self.compact()
+
+    def _load(self) -> None:
+        state: dict = {"seq": 0, "jobs": []}
+        try:
+            with open(self.snapshot_path, encoding="utf-8") as fh:
+                state = json.load(fh)
+        except FileNotFoundError:
+            pass
+        except (OSError, ValueError) as exc:
+            raise ServeError(
+                f"corrupt snapshot {self.snapshot_path}: {exc}"
+            ) from exc
+        self._seq = int(state.get("seq", 0))
+        for raw in state.get("jobs", []):
+            job = Job.from_dict(raw)
+            self._jobs[job.job_id] = job
+        self._wal_records = 0
+        try:
+            with open(self.wal_path, encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except ValueError:
+                        # Torn tail from a mid-append crash: everything
+                        # before it already replayed; stop here.
+                        break
+                    self._replay(record)
+                    self._wal_records += 1
+        except FileNotFoundError:
+            pass
+        # Crash recovery: a job still marked running lost its worker.
+        for job in self._jobs.values():
+            if job.state is JobState.RUNNING:
+                job.state = JobState.QUEUED
+                self.recovered_jobs.append(job.job_id)
+
+    def _replay(self, record: dict) -> None:
+        op = record.get("op")
+        if op == "submit":
+            job = Job.from_dict(record["job"])
+            self._jobs[job.job_id] = job
+            self._seq = max(self._seq, job.seq + 1)
+        elif op == "transition":
+            job = self._jobs.get(record["job_id"])
+            if job is None:
+                return
+            job.state = JobState(record["state"])
+            for key in ("attempts", "not_before", "error",
+                        "started_at", "finished_at"):
+                if key in record:
+                    setattr(job, key, record[key])
+        elif op == "checkpoint":
+            job = self._jobs.get(record["job_id"])
+            if job is not None:
+                job.checkpoints[record["key"]] = record["payload"]
+        elif op == "result":
+            job = self._jobs.get(record["job_id"])
+            if job is not None:
+                job.result = record["result"]
+        # Unknown ops from a newer writer are skipped, not fatal.
+
+    def compact(self) -> None:
+        """Fold the WAL into a fresh snapshot (atomic publish)."""
+        with self._lock:
+            state = {
+                "seq": self._seq,
+                "jobs": [job.to_dict() for job in self._jobs.values()],
+            }
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".snap.tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(state, fh, sort_keys=True)
+                    fh.flush()
+                    if self.fsync:
+                        os.fsync(fh.fileno())
+                os.replace(tmp, self.snapshot_path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+            # The snapshot now covers every WAL record: truncate it.
+            if self._wal is not None:
+                self._wal.close()
+            with open(self.wal_path, "w", encoding="utf-8") as fh:
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            self._open_wal()
+            self._wal_records = 0
+
+    def close(self) -> None:
+        with self._lock:
+            if self._wal is not None:
+                self._wal.close()
+                self._wal = None
+
+    # ------------------------------------------------------------------
+    # Mutations (each committed to the WAL before returning)
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        spec: dict,
+        priority: int = 0,
+        max_attempts: int = 3,
+        now: float = 0.0,
+    ) -> Job:
+        with self._lock:
+            seq = self._seq
+            self._seq += 1
+            job = Job(
+                job_id=f"j{seq:05d}-{stable_digest(spec)[:8]}",
+                spec=spec,
+                priority=int(priority),
+                max_attempts=max(1, int(max_attempts)),
+                seq=seq,
+                submitted_at=now,
+            )
+            self._jobs[job.job_id] = job
+            self._append({"op": "submit", "job": job.to_dict()})
+            return job
+
+    def transition(
+        self,
+        job_id: str,
+        state: JobState,
+        *,
+        error: str | None = None,
+        attempts: int | None = None,
+        not_before: float | None = None,
+        now: float = 0.0,
+    ) -> Job:
+        with self._lock:
+            job = self.get(job_id)
+            check_transition(job_id, job.state, state)
+            record: dict = {
+                "op": "transition",
+                "job_id": job_id,
+                "state": state.value,
+                "error": error,
+            }
+            job.state = state
+            job.error = error
+            if attempts is not None:
+                job.attempts = record["attempts"] = attempts
+            if not_before is not None:
+                job.not_before = record["not_before"] = not_before
+            if state is JobState.RUNNING:
+                job.started_at = record["started_at"] = now
+            if state.terminal:
+                job.finished_at = record["finished_at"] = now
+            self._append(record)
+            return job
+
+    def checkpoint(self, job_id: str, key: str, payload: str) -> None:
+        with self._lock:
+            job = self.get(job_id)
+            job.checkpoints[key] = payload
+            self._append(
+                {"op": "checkpoint", "job_id": job_id,
+                 "key": key, "payload": payload}
+            )
+
+    def set_result(self, job_id: str, result: dict) -> None:
+        with self._lock:
+            job = self.get(job_id)
+            job.result = result
+            self._append(
+                {"op": "result", "job_id": job_id, "result": result}
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise UnknownJobError(job_id)
+            return job
+
+    def jobs(self, *states: JobState) -> list[Job]:
+        """All jobs (optionally filtered by state), in submission order."""
+        with self._lock:
+            out = sorted(self._jobs.values(), key=lambda j: j.seq)
+            if states:
+                out = [j for j in out if j.state in states]
+            return out
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            out = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                out[job.state.value] += 1
+            return out

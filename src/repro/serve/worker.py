@@ -1,0 +1,289 @@
+"""The serve worker: drains the queue onto the simulation stack.
+
+Two pieces:
+
+* :class:`CheckpointingExecutor` — a :class:`~repro.exec.pool.
+  PointExecutor` whose ``map`` (the interface every campaign generator
+  already speaks) first satisfies points from the job's durable
+  checkpoints, then simulates only the missing ones, persisting each
+  completed point to the store's WAL before moving on.  Because results
+  are reassembled in spec order regardless of which attempt produced
+  them, a resumed campaign emits tables byte-identical to an
+  uninterrupted run.  Between points it polls three controls: the
+  worker's stop event (graceful shutdown), the job's cancel event, and
+  the per-attempt deadline.
+
+* :class:`ServeWorker` — the loop that asks the scheduler for the next
+  job, runs it, and maps outcomes onto the state machine: success ->
+  ``done``; transient failures (:class:`~repro.errors.
+  PointExecutionError`, timeouts) -> retry with backoff until
+  ``max_attempts`` then ``failed``; cancellation -> ``cancelled``;
+  shutdown preemption -> back to ``queued`` without consuming an
+  attempt.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+
+from repro.errors import (
+    ExecutionCancelled,
+    JobCancelled,
+    JobTimeout,
+    PointExecutionError,
+    ReproError,
+)
+from repro.exec.pool import PointExecutor
+from repro.serve.jobs import (
+    Job,
+    checkpoint_key,
+    decode_point,
+    encode_point,
+    run_job_spec,
+)
+from repro.serve.scheduler import Scheduler
+from repro.serve.store import JobStore
+
+
+class WorkerStopped(Exception):
+    """Internal control flow: the stop event fired between points."""
+
+
+class CheckpointingExecutor(PointExecutor):
+    """A point executor that makes campaign progress durable."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        job: Job,
+        jobs: int = 1,
+        stop_event: threading.Event | None = None,
+        cancel_event: threading.Event | None = None,
+        deadline: float | None = None,
+        clock=time.time,
+        registry=None,
+    ) -> None:
+        super().__init__(jobs=jobs, cancel_event=cancel_event)
+        self.store = store
+        self.job = job
+        self.stop_event = stop_event
+        self.deadline = deadline
+        self.clock = clock
+        self.registry = registry
+        self.points_resumed = 0
+        self.points_computed = 0
+
+    # ------------------------------------------------------------------
+    def map(self, fn, specs, section: str | None = None) -> list:
+        specs = list(specs)
+        label = section or getattr(fn, "__name__", "points")
+        out: list = [None] * len(specs)
+        missing: list[int] = []
+        for i in range(len(specs)):
+            payload = self.job.checkpoints.get(checkpoint_key(label, i))
+            if payload is None:
+                missing.append(i)
+            else:
+                out[i] = decode_point(payload)
+        self.points_resumed += len(specs) - len(missing)
+        if self.registry is not None and len(specs) != len(missing):
+            self.registry.add(
+                "serve.points.resumed",
+                float(len(specs) - len(missing)),
+                section=label,
+            )
+
+        # Missing points run in chunks of the configured parallelism;
+        # each finished chunk is checkpointed before the next starts, so
+        # with jobs=1 every single point is durable the moment it ends.
+        chunk = max(1, self.jobs)
+        for lo in range(0, len(missing), chunk):
+            self._check_controls(label)
+            batch = missing[lo : lo + chunk]
+            try:
+                results = super().map(
+                    fn, [specs[i] for i in batch], section=label
+                )
+            except (KeyboardInterrupt, ExecutionCancelled):
+                # The pool recorded the spec-order prefix that did
+                # finish; persist it so the next attempt skips it.
+                for index, result in zip(batch, self.partial_results or []):
+                    self._save(label, index, result)
+                raise
+            for index, result in zip(batch, results):
+                self._save(label, index, result)
+                out[index] = result
+        return out
+
+    # ------------------------------------------------------------------
+    def _check_controls(self, label: str) -> None:
+        if self.stop_event is not None and self.stop_event.is_set():
+            raise WorkerStopped(label)
+        if self._cancelled():
+            raise JobCancelled(
+                f"job {self.job.job_id} cancelled during {label!r}"
+            )
+        if self.deadline is not None and self.clock() > self.deadline:
+            raise JobTimeout(
+                f"job {self.job.job_id} exceeded its time budget "
+                f"during {label!r}"
+            )
+
+    def _save(self, label: str, index: int, result) -> None:
+        self.store.checkpoint(
+            self.job.job_id, checkpoint_key(label, index), encode_point(result)
+        )
+        self.points_computed += 1
+        if self.registry is not None:
+            self.registry.add(
+                "serve.points.checkpointed", 1.0, section=label
+            )
+
+
+class ServeWorker:
+    """The queue-draining loop (run inline or on a daemon thread)."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        scheduler: Scheduler,
+        jobs: int = 1,
+        clock=time.time,
+        poll_interval: float = 0.05,
+        registry=None,
+    ) -> None:
+        self.store = store
+        self.scheduler = scheduler
+        self.jobs = jobs
+        self.clock = clock
+        self.poll_interval = poll_interval
+        self.registry = registry
+        self.stop_event = threading.Event()
+        self.cancel_events: dict[str, threading.Event] = {}
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    # Thread management
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self.run_forever, name="repro-serve-worker", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, wait: bool = True, timeout: float | None = 30.0) -> None:
+        """Graceful shutdown: finish the in-flight point, checkpoint,
+        re-queue the interrupted job, exit."""
+        self.stop_event.set()
+        if wait and self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def request_cancel(self, job_id: str) -> bool:
+        """Flag a *running* job for cooperative cancellation."""
+        event = self.cancel_events.get(job_id)
+        if event is None:
+            return False
+        event.set()
+        return True
+
+    # ------------------------------------------------------------------
+    def run_forever(self) -> None:
+        while not self.stop_event.is_set():
+            if not self.run_once():
+                now = self.clock()
+                wake = self.scheduler.next_wakeup(now)
+                timeout = self.poll_interval
+                if wake is not None:
+                    timeout = min(timeout, max(0.0, wake - now))
+                self.stop_event.wait(timeout or self.poll_interval)
+
+    def run_once(self) -> bool:
+        """Dispatch at most one job; True when one was run."""
+        job = self.scheduler.next_job(self.clock())
+        if job is None:
+            return False
+        self.run_job(job)
+        return True
+
+    # ------------------------------------------------------------------
+    def run_job(self, job: Job) -> Job:
+        started = self.clock()
+        job = self.scheduler.start(job, started)
+        if self.registry is not None:
+            self.registry.add(
+                "serve.jobs.started", 1.0, kind=job.spec.get("kind", "?")
+            )
+        cancel_event = self.cancel_events.setdefault(
+            job.job_id, threading.Event()
+        )
+        timeout = self.scheduler.config.job_timeout
+        executor = CheckpointingExecutor(
+            store=self.store,
+            job=job,
+            jobs=self.jobs,
+            stop_event=self.stop_event,
+            cancel_event=cancel_event,
+            deadline=None if timeout is None else started + timeout,
+            clock=self.clock,
+            registry=self.registry,
+        )
+        try:
+            result = run_job_spec(job.spec, executor)
+        except WorkerStopped:
+            job = self.scheduler.preempt(job, self.clock())
+            self._count("preempted", job)
+        except KeyboardInterrupt:
+            self.scheduler.preempt(job, self.clock())
+            self._count("preempted", job)
+            raise
+        except (JobCancelled, ExecutionCancelled):
+            job = self.scheduler.cancel(job.job_id, self.clock())
+            self._count("cancelled", job)
+        except JobTimeout as exc:
+            job = self._fail(job, str(exc), transient=True)
+        except PointExecutionError as exc:
+            # The transient class: a point died in a worker process
+            # (OOM, kill, flaky host) — retry with backoff.
+            job = self._fail(job, str(exc), transient=True)
+        except ReproError as exc:
+            # Deterministic model/compile errors never heal on retry.
+            job = self._fail(
+                job, f"{type(exc).__name__}: {exc}", transient=False
+            )
+        except Exception as exc:  # noqa: BLE001 — keep the service alive
+            job = self._fail(
+                job,
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+                transient=False,
+            )
+        else:
+            job = self.scheduler.complete(job, result, self.clock())
+            self._count("done", job)
+            if self.registry is not None:
+                self.registry.observe(
+                    "serve.job.wall_seconds",
+                    self.clock() - started,
+                    kind=job.spec.get("kind", "?"),
+                )
+        finally:
+            self.cancel_events.pop(job.job_id, None)
+        return job
+
+    # ------------------------------------------------------------------
+    def _fail(self, job: Job, error: str, transient: bool) -> Job:
+        job = self.scheduler.fail(job, error, self.clock(), transient)
+        self._count(
+            "retried" if job.state.value == "queued" else "failed", job
+        )
+        return job
+
+    def _count(self, outcome: str, job: Job) -> None:
+        if self.registry is not None:
+            self.registry.add(
+                "serve.jobs.finished",
+                1.0,
+                outcome=outcome,
+                kind=job.spec.get("kind", "?"),
+            )

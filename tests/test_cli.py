@@ -97,21 +97,23 @@ class TestCompile:
         assert "jit-lower" not in table
         assert "total" in table
 
-    def test_param_rejects_non_integer(self, stencil_file):
-        with pytest.raises(SystemExit) as exc:
-            cli.main(stencil_args(stencil_file, "-p", "N=sixteen"))
-        assert "expected an integer value" in str(exc.value)
-        assert "'sixteen'" in str(exc.value)
+    def test_param_rejects_non_integer(self, stencil_file, capsys):
+        code = cli.main(stencil_args(stencil_file, "-p", "N=sixteen"))
+        assert code == cli.EXIT_USER
+        err = capsys.readouterr().err
+        assert "expected an integer value" in err
+        assert "'sixteen'" in err
 
-    def test_param_requires_name_and_value(self, stencil_file):
-        with pytest.raises(SystemExit, match="NAME=VALUE"):
-            cli.main(stencil_args(stencil_file, "-p", "N"))
+    def test_param_requires_name_and_value(self, stencil_file, capsys):
+        assert cli.main(stencil_args(stencil_file, "-p", "N")) == 1
+        assert "NAME=VALUE" in capsys.readouterr().err
 
-    def test_array_requires_dims(self, stencil_file):
-        with pytest.raises(SystemExit, match="NAME:D0"):
-            cli.main(
-                ["compile", stencil_file, "--array", "X", "-p", "N=16"]
-            )
+    def test_array_requires_dims(self, stencil_file, capsys):
+        code = cli.main(
+            ["compile", stencil_file, "--array", "X", "-p", "N=16"]
+        )
+        assert code == cli.EXIT_USER
+        assert "NAME:D0" in capsys.readouterr().err
 
     def test_kernel_from_stdin(self, capsys, monkeypatch):
         import io
@@ -125,13 +127,13 @@ class TestCompile:
         assert cli.main(args) == 0
         assert GOLDEN_STENCIL_TDFG in capsys.readouterr().out
 
-    def test_missing_kernel_file_reports_cleanly(self, tmp_path):
+    def test_missing_kernel_file_reports_cleanly(self, tmp_path, capsys):
         args = [
             "compile", str(tmp_path / "nope.k"),
             "--array", "X:N", "-p", "N=16",
         ]
-        with pytest.raises((SystemExit, OSError)):
-            cli.main(args)
+        assert cli.main(args) == cli.EXIT_USER
+        assert "error:" in capsys.readouterr().err
 
 
 class TestSimulate:
@@ -186,10 +188,10 @@ class TestReplay:
         assert replay_out == section.rstrip("\n") + "\n" or replay_out == section
 
     def test_replay_missing_dump_fails(self, tmp_path, capsys):
-        from repro.errors import PipelineError
-
-        with pytest.raises(PipelineError, match="manifest"):
-            cli.main(["replay", str(tmp_path / "empty")])
+        # PipelineError is an internal/pipeline failure: exit code 2.
+        code = cli.main(["replay", str(tmp_path / "empty")])
+        assert code == cli.EXIT_INTERNAL
+        assert "manifest" in capsys.readouterr().err
 
     def test_dump_dir_files(self, saxpy_file, tmp_path):
         dump = tmp_path / "dump"
@@ -202,6 +204,42 @@ class TestReplay:
         assert any(n.endswith("-parse.json") for n in names)
         assert any(n.endswith("-fatbinary.pkl") for n in names)
         assert any(n.endswith("-jit-lower.commands.txt") for n in names)
+
+
+class TestExitCodes:
+    """The uniform contract: 0 ok, 1 user/config, 2 internal/pipeline."""
+
+    def test_ok_is_zero(self, stencil_file):
+        assert cli.main(stencil_args(stencil_file)) == cli.EXIT_OK == 0
+
+    def test_argparse_usage_error_is_user_error(self, capsys):
+        # argparse would exit(2); the CLI folds usage errors into 1.
+        assert cli.main(["no-such-command"]) == cli.EXIT_USER == 1
+        capsys.readouterr()
+
+    def test_help_exits_zero(self, capsys):
+        assert cli.main(["--help"]) == cli.EXIT_OK
+        assert "repro" in capsys.readouterr().out
+
+    def test_bad_kernel_source_is_user_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.k"
+        bad.write_text("this is not a kernel\n")
+        code = cli.main(
+            ["compile", str(bad), "--array", "X:N", "-p", "N=16"]
+        )
+        assert code == cli.EXIT_USER
+        assert "error:" in capsys.readouterr().err
+
+    def test_unreachable_server_is_user_error(self, capsys):
+        # Port 1 is never listening; the client error maps to exit 1.
+        code = cli.main(["status", "--url", "http://127.0.0.1:1"])
+        assert code == cli.EXIT_USER
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_internal_pipeline_error_is_two(self, tmp_path, capsys):
+        code = cli.main(["replay", str(tmp_path / "missing")])
+        assert code == cli.EXIT_INTERNAL == 2
+        capsys.readouterr()
 
 
 class TestTrace:

@@ -255,3 +255,124 @@ class TestCompilationReuse:
         configure_cache(enabled=False)
         _h, rows_off, _res = fig11_speedup(0.05)
         assert rows_on == rows_off
+
+
+class TestFileLock:
+    def test_mutual_exclusion_times_out(self, tmp_path):
+        from repro.exec.cache import FileLock
+
+        path = tmp_path / "index.lock"
+        holder = FileLock(path)
+        holder.acquire()
+        contender = FileLock(path, timeout=0.05, stale_after=60.0)
+        with pytest.raises(TimeoutError):
+            contender.acquire()
+        holder.release()
+        assert not path.exists()
+
+    def test_release_allows_reacquire(self, tmp_path):
+        from repro.exec.cache import FileLock
+
+        path = tmp_path / "index.lock"
+        with FileLock(path):
+            assert path.exists()
+        with FileLock(path, timeout=0.2):
+            pass  # reacquire after release: no timeout
+
+    def test_stale_lock_from_killed_writer_is_broken(self, tmp_path):
+        from repro.exec.cache import FileLock
+
+        path = tmp_path / "index.lock"
+        path.write_text("pid 12345\n")  # abandoned by a kill -9'd writer
+        old = os.stat(path).st_mtime - 120.0
+        os.utime(path, (old, old))
+        lock = FileLock(path, timeout=0.5, stale_after=30.0)
+        lock.acquire()  # must break the stale lock, not time out
+        assert lock._held
+        lock.release()
+
+    def test_fresh_foreign_lock_is_respected(self, tmp_path):
+        from repro.exec.cache import FileLock
+
+        path = tmp_path / "index.lock"
+        path.write_text("pid 12345\n")  # just created by a live writer
+        lock = FileLock(path, timeout=0.05, stale_after=60.0)
+        with pytest.raises(TimeoutError):
+            lock.acquire()
+
+
+class TestSharedStoreHygiene:
+    def test_gc_removes_only_stale_tmp_files(self, tmp_path):
+        cache = CompilationCache(disk_dir=tmp_path)
+        cache.put("live-key", {"v": 1})
+        sub = tmp_path / "ab"
+        sub.mkdir(exist_ok=True)
+        stale = sub / "orphan.tmp"
+        stale.write_bytes(b"half-written pickle")
+        old = os.stat(stale).st_mtime - 600.0
+        os.utime(stale, (old, old))
+        fresh = sub / "inflight.tmp"
+        fresh.write_bytes(b"a concurrent writer owns this")
+
+        removed = cache.gc_orphans(max_age=300.0)
+        assert str(stale) in removed
+        assert not stale.exists()
+        assert fresh.exists()  # a live writer's tmp is left alone
+        assert cache.get("live-key") == {"v": 1}  # real entries untouched
+
+    def test_startup_gc_runs_automatically(self, tmp_path):
+        first = CompilationCache(disk_dir=tmp_path)
+        first.put("k", 1)
+        orphan = next(tmp_path.glob("*/")) / "dead.tmp"
+        orphan.write_bytes(b"x")
+        old = os.stat(orphan).st_mtime - 600.0
+        os.utime(orphan, (old, old))
+        CompilationCache(disk_dir=tmp_path)  # constructor sweeps
+        assert not orphan.exists()
+
+    def test_gc_reconciles_index_with_pickles(self, tmp_path):
+        import json
+
+        cache = CompilationCache(disk_dir=tmp_path)
+        cache.put("kept", {"v": 1})
+        # Simulate a writer killed between pickle publish and index
+        # update: the index claims an entry whose pickle never landed.
+        index = dict(cache.disk_index())
+        index["ghost-entry"] = 999
+        (tmp_path / "index.json").write_text(json.dumps(index))
+
+        cache.gc_orphans()
+        reconciled = cache.disk_index()
+        assert "ghost-entry" not in reconciled
+        assert "kept" in reconciled
+
+    def test_index_tracks_disk_entries(self, tmp_path):
+        cache = CompilationCache(disk_dir=tmp_path)
+        cache.put("a", 1)
+        cache.put("b", {"x": 2})
+        index = cache.disk_index()
+        assert set(index) == {"a", "b"}
+        assert index == dict(cache.disk_entries())
+
+    def test_concurrent_writers_leave_consistent_index(self, tmp_path):
+        import threading
+
+        def writer(worker_id):
+            mine = CompilationCache(disk_dir=tmp_path)
+            for i in range(8):
+                mine.put(f"w{worker_id}-k{i}", {"worker": worker_id, "i": i})
+
+        threads = [
+            threading.Thread(target=writer, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        cache = CompilationCache(disk_dir=tmp_path)
+        expected = {f"w{w}-k{i}" for w in range(4) for i in range(8)}
+        assert {k for k, _ in cache.disk_entries()} == expected
+        assert set(cache.disk_index()) == expected
+        for key in expected:
+            assert cache.get(key) is not None

@@ -81,3 +81,82 @@ class TestCampaignParity:
         stats = global_stats()
         assert stats.lowered > 0  # deltas shipped back from worker processes
         reset_global_stats()
+
+
+def _set_event_then_square(arg):
+    event, x = arg
+    if x >= 2:
+        event.set()
+    return x * x
+
+
+def _raise_interrupt_at(arg):
+    x, boom_at = arg
+    if x == boom_at:
+        raise KeyboardInterrupt
+    return x * x
+
+
+class TestInterruption:
+    """The serve layer's checkpoint contract (ISSUE 4 pool satellite)."""
+
+    def test_preset_cancel_event_stops_before_first_point(self):
+        import threading
+
+        from repro.errors import ExecutionCancelled
+
+        event = threading.Event()
+        event.set()
+        ex = PointExecutor(jobs=1, cancel_event=event)
+        with pytest.raises(ExecutionCancelled) as exc:
+            ex.map(_square, [1, 2, 3], section="s")
+        assert exc.value.completed == 0
+        assert ex.partial_results == []
+
+    def test_cancel_mid_serial_records_completed_prefix(self):
+        import threading
+
+        from repro.errors import ExecutionCancelled
+
+        event = threading.Event()
+        ex = PointExecutor(jobs=1, cancel_event=event)
+        specs = [(event, x) for x in range(6)]
+        with pytest.raises(ExecutionCancelled) as exc:
+            ex.map(_set_event_then_square, specs, section="s")
+        # Points 0..2 ran (the third one tripped the event); the check
+        # fires before point 3.
+        assert exc.value.completed == 3
+        assert ex.partial_results == [0, 1, 4]
+
+    def test_keyboard_interrupt_serial_records_prefix_and_reraises(self):
+        ex = PointExecutor(jobs=1)
+        with pytest.raises(KeyboardInterrupt):
+            ex.map(_raise_interrupt_at, [(x, 2) for x in range(5)], section="s")
+        assert ex.partial_results == [0, 1]
+
+    def test_cancel_parallel_terminates_pool_promptly(self):
+        import threading
+
+        from repro.errors import ExecutionCancelled
+
+        event = threading.Event()
+        event.set()  # cancelled before any result is consumed
+        ex = PointExecutor(jobs=2, cancel_event=event)
+        with pytest.raises(ExecutionCancelled):
+            ex.map(_square, list(range(8)), section="s")
+        assert ex.partial_results == []
+
+    def test_partial_results_reset_on_next_successful_map(self):
+        import threading
+
+        from repro.errors import ExecutionCancelled
+
+        event = threading.Event()
+        event.set()
+        ex = PointExecutor(jobs=1, cancel_event=event)
+        with pytest.raises(ExecutionCancelled):
+            ex.map(_square, [1, 2], section="s")
+        assert ex.partial_results == []
+        event.clear()
+        assert ex.map(_square, [1, 2], section="s") == [1, 4]
+        assert ex.partial_results is None

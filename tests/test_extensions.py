@@ -174,10 +174,11 @@ class TestCLI:
         assert rc == 0
         assert "in-memory" in capsys.readouterr().out
 
-    def test_bad_array_spec(self, tmp_path):
-        from repro.cli import main
+    def test_bad_array_spec(self, tmp_path, capsys):
+        from repro.cli import EXIT_USER, main
 
-        with pytest.raises(SystemExit):
-            main(
-                ["compile", self._kernel_file(tmp_path), "--array", "X"]
-            )
+        rc = main(
+            ["compile", self._kernel_file(tmp_path), "--array", "X"]
+        )
+        assert rc == EXIT_USER
+        assert "NAME:D0" in capsys.readouterr().err

@@ -1,0 +1,173 @@
+"""End-to-end HTTP API: submit/poll/result, errors, metrics, restart."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.http import make_server
+from repro.serve.scheduler import SchedulerConfig
+from repro.serve.service import ReproService
+
+SPEC = {"kind": "campaign", "figure": "fig14", "scale": 0.05}
+KERNEL_SPEC = {
+    "kind": "kernel",
+    "name": "saxpy",
+    "source": "for i in [0, N):\n    Y[i] = a * X[i] + Y[i]\n",
+    "arrays": {"X": ["N"], "Y": ["N"]},
+    "params": {"N": 4096, "a": 2},
+    "paradigm": "inf-s",
+}
+
+
+def start_stack(tmp_path, *, worker=True, **cfg):
+    service = ReproService(
+        root=tmp_path / "serve",
+        config=SchedulerConfig(**cfg),
+        jobs=1,
+        fsync=False,
+    )
+    if worker:
+        service.start()
+    httpd = make_server(service, port=0)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    host, port = httpd.server_address[:2]
+    client = ServeClient(f"http://{host}:{port}")
+    return service, httpd, client
+
+
+def stop_stack(service, httpd):
+    httpd.shutdown()
+    httpd.server_close()
+    service.shutdown(wait=True)
+
+
+@pytest.fixture
+def stack(tmp_path):
+    service, httpd, client = start_stack(tmp_path)
+    yield service, client
+    stop_stack(service, httpd)
+
+
+class TestRoundTrip:
+    def test_healthz(self, stack):
+        _, client = stack
+        health = client.healthz()
+        assert health["status"] == "ok"
+        assert "jobs" in health and "max_running" in health
+
+    def test_submit_poll_result(self, stack):
+        _, client = stack
+        job_id = client.submit(SPEC)
+        assert job_id.startswith("j")
+
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done"
+        result = client.result(job_id)
+        assert result["kind"] == "campaign"
+        assert result["figure"] == "fig14"
+        assert len(result["rows"]) == 13
+
+        # The result matches a direct in-process campaign run.
+        from repro.sim.campaign import fig14_cycles, format_table
+
+        headers, rows = fig14_cycles(scale=SPEC["scale"])
+        assert result["table"] == format_table(
+            list(headers), [list(r) for r in rows]
+        )
+
+    def test_kernel_job(self, stack):
+        _, client = stack
+        job_id = client.submit(KERNEL_SPEC)
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done"
+        result = client.result(job_id)
+        assert result["kind"] == "kernel"
+        assert result["total_cycles"] > 0
+
+    def test_metrics_exposes_serve_counters(self, stack):
+        _, client = stack
+        job_id = client.submit(SPEC)
+        client.wait(job_id, timeout=300)
+        text = client.metrics()
+        assert "serve.jobs.submitted" in text
+        assert "serve.points.checkpointed" in text
+        assert "serve.jobs.state|state=done" in text
+
+    def test_failing_job_does_not_drop_queued_jobs(self, stack):
+        _, client = stack
+        bad = client.submit(
+            {**KERNEL_SPEC, "source": "this is not a kernel\n"},
+            max_attempts=1,
+        )
+        good = client.submit(SPEC)
+        assert client.wait(bad, timeout=300)["state"] == "failed"
+        assert client.wait(good, timeout=300)["state"] == "done"
+        status = client.status(bad)
+        assert status["error"]
+
+
+class TestErrors:
+    def test_bad_spec_is_400(self, stack):
+        _, client = stack
+        with pytest.raises(ServeClientError) as exc:
+            client.submit({"kind": "campaign", "figure": "fig99"})
+        assert exc.value.status == 400
+
+    def test_unknown_job_is_404(self, stack):
+        _, client = stack
+        with pytest.raises(ServeClientError) as exc:
+            client.status("j99999-deadbeef")
+        assert exc.value.status == 404
+
+    def test_result_before_done_is_409(self, tmp_path):
+        service, httpd, client = start_stack(tmp_path, worker=False)
+        try:
+            job_id = client.submit(SPEC)
+            with pytest.raises(ServeClientError) as exc:
+                client.result(job_id)
+            assert exc.value.status == 409
+        finally:
+            stop_stack(service, httpd)
+
+    def test_queue_full_is_429_with_structure(self, tmp_path):
+        service, httpd, client = start_stack(
+            tmp_path, worker=False, max_queued=1
+        )
+        try:
+            client.submit(SPEC)
+            with pytest.raises(ServeClientError) as exc:
+                client.submit(SPEC)
+            assert exc.value.status == 429
+            assert "queue-full" in str(exc.value)
+        finally:
+            stop_stack(service, httpd)
+
+    def test_cancel_queued_job(self, tmp_path):
+        service, httpd, client = start_stack(tmp_path, worker=False)
+        try:
+            job_id = client.submit(SPEC)
+            cancelled = client.cancel(job_id)
+            assert cancelled["state"] == "cancelled"
+            assert client.status(job_id)["state"] == "cancelled"
+        finally:
+            stop_stack(service, httpd)
+
+
+class TestPersistence:
+    def test_jobs_survive_service_restart(self, tmp_path):
+        service, httpd, client = start_stack(tmp_path)
+        job_id = client.submit(SPEC)
+        client.wait(job_id, timeout=300)
+        stop_stack(service, httpd)
+
+        service2, httpd2, client2 = start_stack(tmp_path)
+        try:
+            status = client2.status(job_id)
+            assert status["state"] == "done"
+            assert client2.result(job_id)["figure"] == "fig14"
+        finally:
+            stop_stack(service2, httpd2)

@@ -1,0 +1,314 @@
+"""Worker loop: checkpoint/resume, retries, cancellation, crash-kill.
+
+The acceptance-critical test is ``TestCrashResume``: a campaign
+interrupted after k points (graceful stop, and a real ``SIGKILL`` of a
+worker process) resumes from its durable checkpoints and produces a
+table byte-identical to an uninterrupted serial run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.errors import PointExecutionError
+from repro.serve import jobs as jobs_mod
+from repro.serve import worker as worker_mod
+from repro.serve.jobs import JobState
+from repro.serve.scheduler import Scheduler, SchedulerConfig
+from repro.serve.store import JobStore
+from repro.serve.worker import CheckpointingExecutor, ServeWorker
+
+SPEC = {"kind": "campaign", "figure": "fig14", "scale": 0.05}
+
+
+class FakeClock:
+    def __init__(self, value: float = 0.0) -> None:
+        self.value = value
+
+    def __call__(self) -> float:
+        return self.value
+
+    def advance(self, dt: float) -> None:
+        self.value += dt
+
+
+def make_stack(tmp_path, **cfg):
+    store = JobStore(tmp_path / "serve", fsync=False)
+    clock = FakeClock()
+    scheduler = Scheduler(store, SchedulerConfig(**cfg))
+    worker = ServeWorker(store, scheduler, jobs=1, clock=clock)
+    return store, scheduler, worker, clock
+
+
+class TestCheckpointingExecutor:
+    def test_checkpoints_every_point_and_resumes(self, tmp_path):
+        store, sched, worker, clock = make_stack(tmp_path)
+        job = sched.admit(SPEC)
+        calls: list[int] = []
+
+        def fn(spec):
+            calls.append(spec)
+            return spec * 10
+
+        ex1 = CheckpointingExecutor(store=store, job=job)
+        assert ex1.map(fn, range(4), section="s") == [0, 10, 20, 30]
+        assert len(job.checkpoints) == 4 and calls == [0, 1, 2, 3]
+
+        # A second executor over the same job recomputes nothing.
+        calls.clear()
+        ex2 = CheckpointingExecutor(store=store, job=job)
+        assert ex2.map(fn, range(4), section="s") == [0, 10, 20, 30]
+        assert calls == [] and ex2.points_resumed == 4
+        store.close()
+
+    def test_stop_event_interrupts_between_points(self, tmp_path):
+        store, sched, worker, clock = make_stack(tmp_path)
+        job = sched.admit(SPEC)
+        stop = threading.Event()
+
+        def fn(spec):
+            if spec == 2:
+                stop.set()  # takes effect before the *next* point
+            return spec
+
+        ex = CheckpointingExecutor(store=store, job=job, stop_event=stop)
+        with pytest.raises(worker_mod.WorkerStopped):
+            ex.map(fn, range(10), section="s")
+        assert len(job.checkpoints) == 3  # points 0..2 durable
+        store.close()
+
+    def test_deadline_raises_timeout(self, tmp_path):
+        store, sched, worker, clock = make_stack(tmp_path)
+        job = sched.admit(SPEC)
+
+        def fn(spec):
+            clock.advance(10.0)
+            return spec
+
+        ex = CheckpointingExecutor(
+            store=store, job=job, deadline=15.0, clock=clock
+        )
+        from repro.errors import JobTimeout
+
+        with pytest.raises(JobTimeout):
+            ex.map(fn, range(5), section="s")
+        assert len(job.checkpoints) == 2  # 0 and 1 finished before 15.0
+        store.close()
+
+
+class TestRunJob:
+    def test_transient_failure_retries_then_succeeds(
+        self, tmp_path, monkeypatch
+    ):
+        store, sched, worker, clock = make_stack(
+            tmp_path, max_attempts=3, backoff_base=1.0, backoff_jitter=0.0
+        )
+        job = sched.admit(SPEC)
+        attempts: list[int] = []
+
+        def flaky(spec, executor):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise PointExecutionError(
+                    "worker died", section="fig14", index=1, spec="wl"
+                )
+            return {"ok": True}
+
+        monkeypatch.setattr(worker_mod, "run_job_spec", flaky)
+        assert worker.run_once()
+        assert job.state is JobState.QUEUED and job.attempts == 1
+        assert job.not_before > clock()
+
+        assert not worker.run_once()  # backoff still pending
+        clock.value = job.not_before + 0.01
+        assert worker.run_once()
+        assert job.state is JobState.QUEUED and job.attempts == 2
+
+        clock.value = job.not_before + 0.01
+        assert worker.run_once()
+        assert job.state is JobState.DONE
+        assert store.get(job.job_id).result == {"ok": True}
+        store.close()
+
+    def test_exhausted_retries_mark_failed_without_dropping_others(
+        self, tmp_path, monkeypatch
+    ):
+        store, sched, worker, clock = make_stack(
+            tmp_path, max_attempts=2, backoff_base=0.5, backoff_jitter=0.0
+        )
+        bad = sched.admit({**SPEC, "figure": "fig13"})
+        good = sched.admit(SPEC)
+
+        def spec_runner(spec, executor):
+            if spec["figure"] == "fig13":
+                raise PointExecutionError(
+                    "flaky point", section="fig13", index=0, spec="wl"
+                )
+            return {"ok": True}
+
+        monkeypatch.setattr(worker_mod, "run_job_spec", spec_runner)
+        for _ in range(8):
+            if not worker.run_once():
+                wake = sched.next_wakeup(clock())
+                if wake is None:
+                    break
+                clock.value = wake + 0.01
+        assert bad.state is JobState.FAILED
+        assert "flaky point" in bad.error
+        assert good.state is JobState.DONE  # the queue kept draining
+        store.close()
+
+    def test_nontransient_error_fails_immediately(
+        self, tmp_path, monkeypatch
+    ):
+        store, sched, worker, clock = make_stack(tmp_path, max_attempts=5)
+        job = sched.admit(SPEC)
+
+        def broken(spec, executor):
+            from repro.errors import LoweringError
+
+            raise LoweringError("deterministic model bug")
+
+        monkeypatch.setattr(worker_mod, "run_job_spec", broken)
+        worker.run_once()
+        assert job.state is JobState.FAILED and job.attempts == 1
+        store.close()
+
+    def test_cancel_running_job_keeps_checkpoints(
+        self, tmp_path, monkeypatch
+    ):
+        store, sched, worker, clock = make_stack(tmp_path)
+        job = sched.admit(SPEC)
+
+        def cancelling(spec, executor):
+            def fn(i):
+                if i == 1:
+                    worker.request_cancel(job.job_id)
+                return i
+
+            return executor.map(fn, range(6), section="s")
+
+        monkeypatch.setattr(worker_mod, "run_job_spec", cancelling)
+        worker.run_once()
+        assert job.state is JobState.CANCELLED
+        assert len(job.checkpoints) == 2  # 0 and 1 persisted
+        store.close()
+
+
+class TestCrashResume:
+    def _uninterrupted_table(self):
+        from repro.sim.campaign import fig14_cycles, format_table
+
+        headers, rows = fig14_cycles(scale=SPEC["scale"])
+        return format_table(
+            list(headers), [list(r) for r in rows]
+        )
+
+    def test_graceful_stop_then_resume_is_byte_identical(
+        self, tmp_path, monkeypatch
+    ):
+        store, sched, worker, clock = make_stack(tmp_path)
+        job = sched.admit(SPEC)
+
+        # Trip the stop event after the third durable checkpoint, as a
+        # SIGTERM between points would.
+        real_checkpoint = store.checkpoint
+
+        def tripping(job_id, key, payload):
+            real_checkpoint(job_id, key, payload)
+            if len(store.get(job_id).checkpoints) == 3:
+                worker.stop_event.set()
+
+        monkeypatch.setattr(store, "checkpoint", tripping)
+        worker.run_once()
+        assert job.state is JobState.QUEUED  # preempted, not failed
+        assert job.attempts == 0
+        assert len(job.checkpoints) == 3
+        monkeypatch.setattr(store, "checkpoint", real_checkpoint)
+
+        # "Restart": fresh worker over the same store resumes the rest.
+        worker2 = ServeWorker(store, sched, jobs=1, clock=clock)
+        worker2.run_once()
+        assert job.state is JobState.DONE
+        assert job.result["table"] == self._uninterrupted_table()
+        store.close()
+
+    def test_sigkill_mid_campaign_then_resume_is_byte_identical(
+        self, tmp_path
+    ):
+        root = tmp_path / "serve"
+        parent = JobStore(root, fsync=True)
+        scheduler = Scheduler(parent, SchedulerConfig())
+        job = scheduler.admit(SPEC)
+        job_id = job.job_id
+        parent.close()
+
+        child_src = (
+            "import sys\n"
+            "from repro.serve.scheduler import Scheduler, SchedulerConfig\n"
+            "from repro.serve.store import JobStore\n"
+            "from repro.serve.worker import ServeWorker\n"
+            "store = JobStore(sys.argv[1], fsync=True)\n"
+            "worker = ServeWorker(store, Scheduler(store, SchedulerConfig()))\n"
+            "worker.run_forever()\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, "-c", child_src, str(root)],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            # Wait for >= 2 durable checkpoints, then kill -9 the worker.
+            deadline = time.monotonic() + 120.0
+            wal = root / "wal.jsonl"
+            while time.monotonic() < deadline:
+                checkpoints = 0
+                if wal.exists():
+                    checkpoints = sum(
+                        1
+                        for line in wal.read_text().splitlines()
+                        if '"op": "checkpoint"' in line
+                    )
+                if checkpoints >= 2:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("worker subprocess exited prematurely")
+                time.sleep(0.01)
+            else:
+                pytest.fail("no checkpoints appeared within the deadline")
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        # Restart: the running job is recovered to queued, checkpoints
+        # intact, and the resumed table matches an uninterrupted run.
+        store = JobStore(root, fsync=False)
+        assert store.recovered_jobs == [job_id]
+        recovered = store.get(job_id)
+        assert recovered.state is JobState.QUEUED
+        resumed_from = len(recovered.checkpoints)
+        assert resumed_from >= 2
+
+        worker = ServeWorker(store, Scheduler(store, SchedulerConfig()))
+        worker.run_once()
+        finished = store.get(job_id)
+        assert finished.state is JobState.DONE
+        assert finished.result["table"] == self._uninterrupted_table()
+
+        # And the resume actually resumed: a fresh executor would have
+        # found `resumed_from` checkpoints already present.
+        assert len(finished.checkpoints) == 13  # fig14's 13 variants
+        store.close()
