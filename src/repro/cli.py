@@ -154,10 +154,59 @@ def _print_lowered(jres) -> None:
         print(f"  {cmd}")
 
 
+def _optimizer_knobs(args) -> tuple[int, int, str]:
+    """Validate the optimizer budgets/strategy flags (UsageError -> 1)."""
+    from repro.egraph.saturate import validate_optimizer_knobs
+
+    knobs = (args.max_iterations, args.node_budget, args.strategy)
+    problems = validate_optimizer_knobs(*knobs)
+    if problems:
+        raise UsageError("; ".join(problems))
+    return knobs
+
+
+def _print_egraph_stats(report) -> None:
+    from repro.sim.campaign import format_table
+
+    print(
+        f"\n-- e-graph stats ({report.strategy}, "
+        f"{report.iterations} iterations, "
+        f"{'saturated' if report.saturated else 'budget-limited'}) --"
+    )
+    if report.budget_tripped_by is not None:
+        print(f"node budget exhausted by rule {report.budget_tripped_by!r}")
+    p = report.phases
+    print(
+        f"phases: match {p.match_seconds * 1e3:.1f}ms  "
+        f"apply {p.apply_seconds * 1e3:.1f}ms  "
+        f"rebuild {p.rebuild_seconds * 1e3:.1f}ms  "
+        f"extract {p.extract_seconds * 1e3:.1f}ms"
+    )
+    rows = [
+        [rs.name, rs.matches, rs.applied, rs.unions, rs.bans,
+         f"{rs.seconds * 1e3:.1f}"]
+        for rs in report.rule_stats
+        if rs.matches or rs.bans
+    ]
+    if rows:
+        print(format_table(
+            ["rule", "matches", "applied", "unions", "bans", "ms"], rows
+        ))
+
+
 def cmd_compile(args) -> int:
+    if args.egraph_stats:
+        args.optimize = True
+    max_iterations, node_budget, strategy = _optimizer_knobs(args)
     timing, hooks = _instrumentation(args)
     with _observing(args):
-        pipeline = compile_pipeline(optimize=args.optimize, hooks=hooks)
+        pipeline = compile_pipeline(
+            optimize=args.optimize,
+            max_iterations=max_iterations,
+            node_budget=node_budget,
+            strategy=strategy,
+            hooks=hooks,
+        )
         if args.lower:
             until = "jit-lower"
         elif args.optimize:
@@ -174,6 +223,8 @@ def cmd_compile(args) -> int:
             print(f"\n-- optimized (cost {opt.report.cost_before:.0f} -> "
                   f"{opt.report.cost_after:.0f}) --")
             print(format_tdfg(opt.tdfg))
+            if args.egraph_stats:
+                _print_egraph_stats(opt.report)
         if args.lower:
             # Same pipeline run: with --optimize the lowering comes from
             # the optimized tDFG artifact, not a second parse/instantiate.
@@ -185,10 +236,17 @@ def cmd_compile(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    max_iterations, node_budget, strategy = _optimizer_knobs(args)
     timing, hooks = _instrumentation(args)
     with _observing(args):
         pipeline = simulate_pipeline(
-            paradigm=args.paradigm, iterations=args.iterations, hooks=hooks
+            paradigm=args.paradigm,
+            iterations=args.iterations,
+            optimize=args.optimize,
+            opt_max_iterations=max_iterations,
+            opt_node_budget=node_budget,
+            opt_strategy=strategy,
+            hooks=hooks,
         )
         result = pipeline.run(_source_artifact(args)).final.result
         print(f"paradigm     {result.paradigm}")
@@ -339,7 +397,7 @@ def _submit_spec(args) -> dict:
         }
     if args.kernel is None:
         raise UsageError("submit needs --figure NAME or a kernel file")
-    return {
+    spec = {
         "kind": "kernel",
         "name": args.name or "kernel",
         "source": _read_source(args),
@@ -352,6 +410,12 @@ def _submit_spec(args) -> dict:
         "paradigm": args.paradigm,
         "iterations": args.iterations,
     }
+    if args.optimize:
+        spec["optimize"] = True
+        spec["max_iterations"] = args.max_iterations
+        spec["node_budget"] = args.node_budget
+        spec["strategy"] = args.strategy
+    return spec
 
 
 def _print_job_result(result: dict) -> None:
@@ -457,6 +521,26 @@ def _add_kernel_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--dataflow", choices=("inner", "outer"), default="inner")
 
 
+def _add_optimizer_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--max-iterations",
+        type=int,
+        default=4,
+        help="equality-saturation iteration budget",
+    )
+    p.add_argument(
+        "--node-budget",
+        type=int,
+        default=20_000,
+        help="e-graph node budget (saturation stops when exceeded)",
+    )
+    p.add_argument(
+        "--strategy",
+        default="indexed",
+        help="e-matching strategy: indexed (incremental) or naive",
+    )
+
+
 def _add_instrumentation_args(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--time-passes",
@@ -491,6 +575,12 @@ def main(argv: list[str] | None = None) -> int:
     _add_kernel_args(p)
     p.add_argument("--optimize", action="store_true")
     p.add_argument("--lower", action="store_true")
+    p.add_argument(
+        "--egraph-stats",
+        action="store_true",
+        help="print per-rule counters and phase timings (implies --optimize)",
+    )
+    _add_optimizer_args(p)
     _add_instrumentation_args(p)
     p.set_defaults(fn=cmd_compile)
 
@@ -502,6 +592,12 @@ def main(argv: list[str] | None = None) -> int:
         default="inf-s",
     )
     p.add_argument("--iterations", type=int, default=1)
+    p.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the e-graph optimizer on every region before lowering",
+    )
+    _add_optimizer_args(p)
     _add_instrumentation_args(p)
     p.set_defaults(fn=cmd_simulate)
 
@@ -598,6 +694,12 @@ def main(argv: list[str] | None = None) -> int:
         default="inf-s",
     )
     p.add_argument("--iterations", type=int, default=1)
+    p.add_argument(
+        "--optimize",
+        action="store_true",
+        help="run the e-graph optimizer on every region before lowering",
+    )
+    _add_optimizer_args(p)
     p.add_argument("--priority", type=int, default=0,
                    help="higher runs first (FIFO within a level)")
     p.add_argument("--max-attempts", type=int, default=None)

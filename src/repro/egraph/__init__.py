@@ -11,6 +11,24 @@ rewrites must preserve.
 """
 
 from repro.egraph.egraph import EGraph, ENode
-from repro.egraph.saturate import OptimizationReport, optimize_tdfg
+from repro.egraph.saturate import (
+    STRATEGIES,
+    BackoffScheduler,
+    OptimizationReport,
+    PhaseTimings,
+    RuleStats,
+    optimize_tdfg,
+    validate_optimizer_knobs,
+)
 
-__all__ = ["EGraph", "ENode", "optimize_tdfg", "OptimizationReport"]
+__all__ = [
+    "EGraph",
+    "ENode",
+    "optimize_tdfg",
+    "OptimizationReport",
+    "PhaseTimings",
+    "RuleStats",
+    "BackoffScheduler",
+    "STRATEGIES",
+    "validate_optimizer_knobs",
+]

@@ -10,11 +10,34 @@ Each e-class carries an *analysis* value — the lattice domain of the
 tensors it represents (``None`` for infinite constants) — because the
 paper defines node equivalence as "same result and same domain" and
 several rewrites need domains to fire (tensor expansion, shrink fusion).
+
+Incremental bookkeeping
+-----------------------
+Beyond the textbook structure, the graph maintains three indices that
+make e-matching and congruence repair proportional to the *change* since
+the last query instead of the whole graph:
+
+* **parent lists** (``_class_parents``): for every class, the e-nodes
+  that reference it as a child.  ``rebuild`` repairs exactly the parents
+  of merged classes (the egg upward-merging scheme) instead of rescanning
+  the full hashcons, and extraction uses the same lists to propagate
+  cost improvements upward;
+* **kind index** (``_kind_classes``): label head (``"cmp"``, ``"mv"``,
+  ...) → classes containing such a node, so a rule seeds only from
+  classes that can possibly match;
+* **touch log** (``_touch_log``): an append-only ``(tick, class)``
+  journal of structural changes.  A rule that last ran at tick *t*
+  rematches only classes touched after *t* (plus their ancestors up to
+  the maximum pattern depth) — see :func:`touched_since`.
+
+``tick`` counts every structural change (node insertion or effective
+union); ``version`` keeps its historical meaning of counting effective
+unions only, which the saturation driver uses for fixpoint detection.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import OptimizationError
 from repro.geometry.hyperrect import Hyperrect
@@ -46,6 +69,15 @@ class EGraph:
         self._has_domain: dict[int, bool] = {}
         self._worklist: list[int] = []
         self.version = 0  # bumped on every union; cheap fixpoint detection
+        #: monotone change counter: bumped on node insertion *and* union.
+        self.tick = 0
+        self._node_total = 0
+        #: canonical child class -> {e-node referencing it -> owning class}
+        self._class_parents: dict[int, dict[ENode, int]] = {}
+        #: label head -> classes known to contain a node with that head
+        self._kind_classes: dict[str, set[int]] = {}
+        #: append-only (tick, class) journal of structural changes
+        self._touch_log: list[tuple[int, int]] = []
 
     # ------------------------------------------------------------------
     # Union-find
@@ -58,12 +90,21 @@ class EGraph:
             self._parent[cid], cid = root, self._parent[cid]
         return root
 
+    def _touch(self, cid: int) -> None:
+        self._touch_log.append((self.tick, cid))
+
     def _new_class(self, node: ENode, domain: Hyperrect | None, has: bool) -> int:
         cid = len(self._parent)
         self._parent.append(cid)
         self._classes[cid] = {node}
         self._domains[cid] = domain
         self._has_domain[cid] = has
+        self._node_total += 1
+        self.tick += 1
+        self._touch(cid)
+        self._kind_classes.setdefault(node.label[0], set()).add(cid)
+        for child in set(node.children):
+            self._class_parents.setdefault(child, {})[node] = cid
         return cid
 
     # ------------------------------------------------------------------
@@ -99,15 +140,32 @@ class EGraph:
         # Keep the larger class as root (union by size).
         if len(self._classes[ra]) < len(self._classes[rb]):
             ra, rb = rb, ra
+        merged_size = len(self._classes[ra]) + len(self._classes[rb])
         self._parent[rb] = ra
         self._classes[ra] |= self._classes.pop(rb)
-        if not self._has_domain[ra] and self._has_domain.get(rb, False):
+        self._node_total += len(self._classes[ra]) - merged_size
+        domain_gained = not self._has_domain[ra] and self._has_domain.get(
+            rb, False
+        )
+        if domain_gained:
             self._domains[ra] = self._domains[rb]
             self._has_domain[ra] = True
         self._domains.pop(rb, None)
         self._has_domain.pop(rb, None)
+        # Merge parent lists so rebuild repairs exactly the affected nodes.
+        moved = self._class_parents.pop(rb, None)
+        if moved:
+            self._class_parents.setdefault(ra, {}).update(moved)
         self._worklist.append(ra)
         self.version += 1
+        self.tick += 1
+        self._touch(ra)
+        if domain_gained:
+            # A class gaining a domain can enable shrink-validity checks
+            # two levels up; touching its parents widens the dirty
+            # closure far enough for the indexed matcher to see it.
+            for pcid in set(self._class_parents.get(ra, {}).values()):
+                self._touch(self.find(pcid))
         return ra
 
     # ------------------------------------------------------------------
@@ -119,12 +177,61 @@ class EGraph:
             todo = {self.find(c) for c in self._worklist}
             self._worklist.clear()
             for cid in todo:
-                self._repair(cid)
+                self._repair(self.find(cid))
 
     def _repair(self, cid: int) -> None:
-        # Re-canonicalize the hashcons entries touching this class: a node
-        # is stale if any child *now resolves* to the repaired class, or
-        # if the node itself lives in it.
+        # Re-canonicalize exactly the nodes referencing the merged class:
+        # its parent list (the egg upward-merging scheme).  Entries may be
+        # stale after earlier repairs; processing them is idempotent.
+        parents = self._class_parents.pop(cid, None)
+        if not parents:
+            return
+        for pnode, pcid in parents.items():
+            self._hashcons.pop(pnode, None)
+            canon = pnode.canonicalize(self.find)
+            owner = self.find(pcid)
+            prev = self._hashcons.get(canon)
+            if prev is not None and self.find(prev) != owner:
+                self.union(prev, pcid)
+                owner = self.find(pcid)
+            self._hashcons[canon] = owner
+            # Swap the stale node for its canonical form in the owning
+            # class's node set (dedupes congruent siblings).
+            nodes = self._classes.get(owner)
+            if nodes is not None and canon != pnode and pnode in nodes:
+                before = len(nodes)
+                nodes.discard(pnode)
+                nodes.add(canon)
+                self._node_total += len(nodes) - before
+            if canon != pnode:
+                self._kind_classes.setdefault(canon.label[0], set()).add(owner)
+            # Re-register under the *current* child roots; ``parents`` was
+            # popped above, so re-creating an entry for ``cid`` is safe.
+            for child in set(canon.children):
+                self._class_parents.setdefault(self.find(child), {})[
+                    canon
+                ] = owner
+
+    # ------------------------------------------------------------------
+    # Reference (textbook) congruence closure
+    # ------------------------------------------------------------------
+    def full_rebuild(self) -> None:
+        """Restore congruence by full hashcons scans (the naive scheme).
+
+        This is the pre-index algorithm the ``"naive"`` strategy keeps as
+        its reference baseline: every repair rescans the entire hashcons
+        for stale entries — O(nodes) per merged class — and the
+        incremental indices are rebuilt from scratch afterwards so the
+        graph stays queryable either way.
+        """
+        while self._worklist:
+            todo = {self.find(c) for c in self._worklist}
+            self._worklist.clear()
+            for cid in todo:
+                self._full_repair(self.find(cid))
+        self._reindex()
+
+    def _full_repair(self, cid: int) -> None:
         stale = [
             (node, nid)
             for node, nid in self._hashcons.items()
@@ -144,6 +251,21 @@ class EGraph:
                 n.canonicalize(self.find) for n in self._classes[root]
             }
 
+    def _reindex(self) -> None:
+        """Recompute node count, parent lists, and kind index from scratch."""
+        self._class_parents = {}
+        self._kind_classes = {}
+        total = 0
+        for cid, nodes in self._classes.items():
+            total += len(nodes)
+            for node in nodes:
+                self._kind_classes.setdefault(node.label[0], set()).add(cid)
+                for child in set(node.children):
+                    self._class_parents.setdefault(self.find(child), {})[
+                        node
+                    ] = cid
+        self._node_total = total
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
@@ -161,7 +283,61 @@ class EGraph:
 
     @property
     def num_nodes(self) -> int:
-        return sum(len(nodes) for nodes in self._classes.values())
+        return self._node_total
+
+    # ------------------------------------------------------------------
+    # Incremental-matching support
+    # ------------------------------------------------------------------
+    def parents_of(self, cid: int) -> set[int]:
+        """Canonical classes containing a node with ``cid`` as a child."""
+        entry = self._class_parents.get(self.find(cid))
+        if not entry:
+            return set()
+        return {self.find(pcid) for pcid in entry.values()}
+
+    def classes_with_kind(self, kind: str) -> set[int]:
+        """Canonical classes containing a node labelled ``(kind, ...)``.
+
+        Compresses the stored index in place so repeated queries stay
+        proportional to the number of live classes.
+        """
+        cids = self._kind_classes.get(kind)
+        if not cids:
+            return set()
+        roots = {self.find(c) for c in cids}
+        self._kind_classes[kind] = set(roots)
+        return roots
+
+    def touched_since(self, tick: int) -> set[int]:
+        """Canonical classes structurally changed after ``tick``."""
+        out: set[int] = set()
+        for t, cid in reversed(self._touch_log):
+            if t <= tick:
+                break
+            out.add(self.find(cid))
+        return out
+
+    def dirty_closure(self, roots: set[int], depth: int = 2) -> set[int]:
+        """``roots`` plus their ancestors up to ``depth`` parent hops.
+
+        ``depth=2`` covers every rewrite rule in :mod:`repro.egraph.
+        rewrites`: the deepest pattern (``distrib``) seeds at a class and
+        compares the *grandchildren* of its operand nodes, so a change
+        two levels down can enable a new match at the seed.
+        """
+        out = {self.find(c) for c in roots}
+        frontier = out
+        for _ in range(depth):
+            grown: set[int] = set()
+            for cid in frontier:
+                for p in self.parents_of(cid):
+                    if p not in out:
+                        grown.add(p)
+            if not grown:
+                break
+            out |= grown
+            frontier = grown
+        return out
 
     def dump(self) -> str:
         lines = []

@@ -1,12 +1,19 @@
 """Cost-based extraction from a saturated e-graph.
 
-A classic bottom-up fixpoint computes, per e-class, the cheapest
-representative node under tree-cost semantics; the final DAG is then
-hash-consed, so subexpressions selected in multiple places are shared —
-which is exactly the compute-reuse benefit the optimization targets
-(Fig 6).  We additionally report the *DAG cost* (each selected class
-counted once) so the driver can verify extraction actually improved on
-the original graph.
+A bottom-up pass computes, per e-class, the cheapest representative node
+under tree-cost semantics; the final DAG is then hash-consed, so
+subexpressions selected in multiple places are shared — which is exactly
+the compute-reuse benefit the optimization targets (Fig 6).  We
+additionally report the *DAG cost* (each selected class counted once) so
+the driver can verify extraction actually improved on the original graph.
+
+The :class:`Extractor` is *incremental*: it memoizes per-node costs and
+per-class best choices, and a :meth:`~Extractor.refresh` after more
+saturation recomputes only classes touched since the previous pass (via
+the e-graph's touch log), propagating cost changes upward along parent
+lists instead of re-running the global fixpoint.  The saturation driver
+keeps one extractor alive across the run, so the post-saturation
+extraction reuses everything computed for the pre-saturation baseline.
 """
 
 from __future__ import annotations
@@ -18,43 +25,156 @@ from repro.errors import OptimizationError
 from repro.egraph.cost import CostParams, node_cost
 from repro.egraph.egraph import EGraph, ENode
 
+#: tolerance for treating a recomputed class cost as "changed"
+_EPS = 1e-9
+
+
+class Extractor:
+    """Incremental cheapest-node-per-class extraction.
+
+    ``best`` / ``cost`` are keyed by the class id that was canonical at
+    the time of the last refresh; always look up through ``eg.find``.
+    Stale keys from merged-away classes may linger — they are never read
+    through a canonical lookup.
+    """
+
+    def __init__(self, eg: EGraph, params: CostParams) -> None:
+        self.eg = eg
+        self.params = params
+        self.best: dict[int, ENode] = {}
+        self.cost: dict[int, float] = {}
+        self._node_cost: dict[ENode, float] = {}
+        self._tick = -1  # e-graph tick covered by the last refresh
+
+    # ------------------------------------------------------------------
+    def _ncost(self, node: ENode) -> float:
+        c = self._node_cost.get(node)
+        if c is None:
+            c = self._node_cost[node] = node_cost(self.eg, node, self.params)
+        return c
+
+    def _node_total(self, node: ENode) -> float:
+        total = self._ncost(node)
+        for child in node.children:
+            c = self.cost.get(self.eg.find(child), math.inf)
+            if c == math.inf:
+                return math.inf
+            total += c
+        return total
+
+    def _recompute(self, cid: int) -> float:
+        """Cheapest feasible node of one canonical class (``inf`` if none).
+
+        The previously chosen node is evaluated first and only displaced
+        by a *strictly* cheaper one: a class's first witness is acyclic
+        (its children were costed before it), and keeping it on ties is
+        what stops a zero-cost cycle (e.g. mutually-shrinking classes)
+        from ever entering the extraction — the same guarantee the
+        classic monotone fixpoint gets from its strict-decrease update.
+        """
+        eg = self.eg
+        nodes = eg.nodes(cid)
+        best_node: ENode | None = None
+        best_cost = math.inf
+        prev = self.best.get(cid)
+        if prev is not None:
+            prev = prev.canonicalize(eg.find)
+            if prev in nodes:
+                best_cost = self._node_total(prev)
+                if best_cost < math.inf:
+                    best_node = prev
+        for node in nodes:
+            if node == prev:
+                continue
+            total = self._node_total(node)
+            if total < best_cost:
+                best_cost = total
+                best_node = node
+        if best_node is not None:
+            self.best[cid] = best_node
+        return best_cost
+
+    # ------------------------------------------------------------------
+    def refresh(self) -> None:
+        """Bring ``best``/``cost`` up to date with the e-graph.
+
+        The first call processes every class; later calls seed the
+        worklist with classes touched since the previous refresh and
+        propagate changes upward through parent lists.  Class costs are
+        monotonically non-increasing as the graph only gains nodes and
+        equivalences, so propagation terminates; a generous pop guard
+        falls back to the full fixpoint against pathological inputs
+        (e.g. domain-gain unions shifting node costs upward).
+        """
+        eg = self.eg
+        if self._tick < 0:
+            seed = set(eg.classes())
+        else:
+            seed = eg.touched_since(self._tick)
+        self._tick = eg.tick
+        work = {eg.find(c) for c in seed}
+        # Touched classes may have changed domains (domain-gain unions),
+        # which shifts term_domain-derived node costs: drop their memos.
+        for cid in work:
+            for node in eg.nodes(cid):
+                self._node_cost.pop(node, None)
+        pending = list(work)
+        in_work = set(pending)
+        budget = 50 * (len(eg.classes()) + len(pending)) + 100
+        pops = 0
+        while pending:
+            pops += 1
+            if pops > budget:
+                self._full_fixpoint()
+                return
+            cid = eg.find(pending.pop())
+            in_work.discard(cid)
+            old = self.cost.get(cid, math.inf)
+            new = self._recompute(cid)
+            if new == math.inf:
+                continue
+            if old < math.inf and new > old + _EPS:
+                # Node costs shifted upward (a domain-gain union changed
+                # a term_domain): incremental invariants no longer hold.
+                self._full_fixpoint()
+                return
+            self.cost[cid] = new
+            if abs(new - old) <= _EPS:
+                continue
+            for parent in eg.parents_of(cid):
+                if parent not in in_work:
+                    in_work.add(parent)
+                    pending.append(parent)
+
+    def _full_fixpoint(self) -> None:
+        """The classic global fixpoint (correctness fallback)."""
+        eg = self.eg
+        self.best.clear()
+        self.cost.clear()
+        self._node_cost.clear()
+        classes = eg.classes()
+        changed = True
+        rounds = 0
+        while changed:
+            changed = False
+            rounds += 1
+            if rounds > len(classes) + 2:
+                break
+            for cid in classes:
+                old = self.cost.get(cid, math.inf)
+                new = self._recompute(cid)
+                if new < old - _EPS:
+                    self.cost[cid] = new
+                    changed = True
+
 
 def best_nodes(
     eg: EGraph, params: CostParams
 ) -> tuple[dict[int, ENode], dict[int, float]]:
-    """Fixpoint: cheapest node per e-class (tree cost)."""
-    best: dict[int, ENode] = {}
-    cost: dict[int, float] = {}
-    node_costs: dict[tuple[int, ENode], float] = {}
-    classes = eg.classes()
-    for cid in classes:
-        for node in eg.nodes(cid):
-            node_costs[(cid, node)] = node_cost(eg, node, params)
-    changed = True
-    rounds = 0
-    while changed:
-        changed = False
-        rounds += 1
-        if rounds > len(classes) + 2:
-            break
-        for cid in classes:
-            for node in eg.nodes(cid):
-                child_costs = 0.0
-                feasible = True
-                for child in node.children:
-                    c = cost.get(eg.find(child))
-                    if c is None:
-                        feasible = False
-                        break
-                    child_costs += c
-                if not feasible:
-                    continue
-                total = node_costs[(cid, node)] + child_costs
-                if total < cost.get(cid, math.inf):
-                    cost[cid] = total
-                    best[cid] = node
-                    changed = True
-    return best, cost
+    """One-shot extraction: cheapest node per e-class (tree cost)."""
+    ex = Extractor(eg, params)
+    ex.refresh()
+    return ex.best, ex.cost
 
 
 def dag_cost(

@@ -1,8 +1,15 @@
 """The tDFG equivalence rules (paper Appendix, Eq. 3–9).
 
-Each rule scans the e-graph for matches and returns ``(existing_class,
-equivalent_class)`` pairs to union.  Rules must preserve the lattice
-domain of the class they fire on — the e-graph asserts this on union.
+Each rule is a :class:`Rule`: a set of *seed kinds* (the label heads it
+can fire on) plus a matcher that inspects one candidate ``(class,
+e-node)`` pair and returns ``(existing_class, equivalent_class)`` pairs
+to union.  Rules must preserve the lattice domain of the class they fire
+on — the e-graph asserts this on union.
+
+Calling a rule with just an e-graph (``rule(eg)``) performs the naive
+full scan over every e-node; the incremental saturation driver instead
+pulls candidate classes from the e-graph's kind index and touch log and
+calls :meth:`Rule.match_class` on those only.
 
 Implemented rules:
 
@@ -22,7 +29,8 @@ Implemented rules:
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from dataclasses import dataclass
+from typing import Callable
 
 from repro.geometry.hyperrect import Hyperrect
 from repro.ir.ops import Op
@@ -31,7 +39,36 @@ from repro.egraph.egraph import EGraph, ENode
 from repro.egraph.lang import add_term
 
 Match = tuple[int, int]  # (class to keep, equivalent class)
-Rule = Callable[[EGraph], list[Match]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A named rewrite with indexed seed kinds.
+
+    ``matcher(eg, cid, node)`` fires the rule from one seed e-node and
+    returns the matches it found.  ``kinds`` is the set of label heads
+    the matcher can seed on; the driver uses it to restrict candidates
+    via the e-graph's kind index.
+    """
+
+    name: str
+    kinds: tuple[str, ...]
+    matcher: Callable[[EGraph, int, ENode], list[Match]]
+
+    def match_class(self, eg: EGraph, cid: int) -> list[Match]:
+        """Fire the rule from every seed node of one e-class."""
+        out: list[Match] = []
+        for node in list(eg.nodes(cid)):
+            if node.label[0] in self.kinds:
+                out.extend(self.matcher(eg, cid, node))
+        return out
+
+    def __call__(self, eg: EGraph) -> list[Match]:
+        """The naive strategy: scan every e-node in the graph."""
+        out: list[Match] = []
+        for cid in eg.classes():
+            out.extend(self.match_class(eg, cid))
+        return out
 
 
 def _enodes(eg: EGraph) -> list[tuple[int, ENode]]:
@@ -49,84 +86,74 @@ def _is_const_class(eg: EGraph, cid: int) -> bool:
 # ----------------------------------------------------------------------
 # Eq. 3: algebraic rules
 # ----------------------------------------------------------------------
-def rule_comm(eg: EGraph) -> list[Match]:
+def _m_comm(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    op = Op(node.label[1])
+    if not op.is_commutative or len(node.children) != 2:
+        return []
+    a, b = node.children
+    return [(cid, add_term(eg, node.label, (b, a)))]
+
+
+def _m_assoc(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    if len(node.children) != 2:
+        return []
+    op = Op(node.label[1])
+    if not op.is_associative:
+        return []
     out = []
-    for cid, node in _enodes(eg):
-        if node.label[0] != "cmp":
+    ab, c = node.children
+    for inner in list(eg.nodes(ab)):
+        if inner.label != node.label or len(inner.children) != 2:
             continue
-        op = Op(node.label[1])
-        if not op.is_commutative or len(node.children) != 2:
-            continue
-        a, b = node.children
-        out.append((cid, add_term(eg, node.label, (b, a))))
+        a, b = inner.children
+        bc = add_term(eg, node.label, (b, c))
+        out.append((cid, add_term(eg, node.label, (a, bc))))
     return out
 
 
-def rule_assoc(eg: EGraph) -> list[Match]:
-    out = []
-    for cid, node in _enodes(eg):
-        if node.label[0] != "cmp" or len(node.children) != 2:
-            continue
-        op = Op(node.label[1])
-        if not op.is_associative:
-            continue
-        ab, c = node.children
-        for inner in list(eg.nodes(ab)):
-            if inner.label != node.label or len(inner.children) != 2:
-                continue
-            a, b = inner.children
-            bc = add_term(eg, node.label, (b, c))
-            out.append((cid, add_term(eg, node.label, (a, bc))))
-    return out
-
-
-def rule_distrib(eg: EGraph) -> list[Match]:
+def _m_distrib(eg: EGraph, cid: int, node: ENode) -> list[Match]:
     """``c*A + c*B  ⇔  c*(A + B)`` for a shared (constant) factor c."""
+    if len(node.children) != 2:
+        return []
+    outer = Op(node.label[1])
+    if outer not in (Op.ADD, Op.SUB):
+        return []
     out = []
-    for cid, node in _enodes(eg):
-        if node.label[0] != "cmp" or len(node.children) != 2:
+    left, right = node.children
+    for ln in list(eg.nodes(left)):
+        if ln.label != ("cmp", Op.MUL.value) or len(ln.children) != 2:
             continue
-        outer = Op(node.label[1])
-        if outer not in (Op.ADD, Op.SUB):
-            continue
-        left, right = node.children
-        for ln in list(eg.nodes(left)):
-            if ln.label != ("cmp", Op.MUL.value) or len(ln.children) != 2:
+        for rn in list(eg.nodes(right)):
+            if rn.label != ("cmp", Op.MUL.value) or len(rn.children) != 2:
                 continue
-            for rn in list(eg.nodes(right)):
-                if rn.label != ("cmp", Op.MUL.value) or len(rn.children) != 2:
-                    continue
-                for li in range(2):
-                    for ri in range(2):
-                        if eg.find(ln.children[li]) != eg.find(rn.children[ri]):
-                            continue
-                        shared = ln.children[li]
-                        a = ln.children[1 - li]
-                        b = rn.children[1 - ri]
-                        inner = add_term(eg, ("cmp", outer.value), (a, b))
-                        out.append(
-                            (
-                                cid,
-                                add_term(
-                                    eg, ("cmp", Op.MUL.value), (shared, inner)
-                                ),
-                            )
+            for li in range(2):
+                for ri in range(2):
+                    if eg.find(ln.children[li]) != eg.find(rn.children[ri]):
+                        continue
+                    shared = ln.children[li]
+                    a = ln.children[1 - li]
+                    b = rn.children[1 - ri]
+                    inner = add_term(eg, ("cmp", outer.value), (a, b))
+                    out.append(
+                        (
+                            cid,
+                            add_term(
+                                eg, ("cmp", Op.MUL.value), (shared, inner)
+                            ),
                         )
+                    )
     return out
 
 
 # ----------------------------------------------------------------------
 # Eq. 4: exchanging compute with move / broadcast
 # ----------------------------------------------------------------------
-def rule_mv_cmp(eg: EGraph) -> list[Match]:
-    out = []
-    # Pull: cmp(f, mv(x,i,d), rest...) -> mv(cmp(f, x, rest'), i, d)
-    # where every non-const operand is mv with identical (i, d).
-    for cid, node in _enodes(eg):
-        if node.label[0] != "cmp":
-            continue
+def _m_mv_cmp(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    out: list[Match] = []
+    if node.label[0] == "cmp":
+        # Pull: cmp(f, mv(x,i,d), rest...) -> mv(cmp(f, x, rest'), i, d)
+        # where every non-const operand is mv with identical (i, d).
         key: tuple[int, int] | None = None
-        ok = True
         for child in node.children:
             if _is_const_class(eg, child):
                 continue
@@ -134,16 +161,14 @@ def rule_mv_cmp(eg: EGraph) -> list[Match]:
                 (n for n in eg.nodes(child) if n.label[0] == "mv"), None
             )
             if mv is None:
-                ok = False
-                break
+                return out
             k = (mv.label[1], mv.label[2])
             if key is None:
                 key = k
             elif key != k:
-                ok = False
-                break
-        if not ok or key is None:
-            continue
+                return out
+        if key is None:
+            return out
         new_children = []
         for child in node.children:
             if _is_const_class(eg, child):
@@ -153,31 +178,26 @@ def rule_mv_cmp(eg: EGraph) -> list[Match]:
             new_children.append(mv.children[0])
         inner = add_term(eg, node.label, tuple(new_children))
         out.append((cid, add_term(eg, ("mv", key[0], key[1]), (inner,))))
+        return out
     # Push: mv(cmp(f, xs...), i, d) -> cmp(f, mv(x,i,d)...)
-    for cid, node in _enodes(eg):
-        if node.label[0] != "mv":
+    dim, dist = node.label[1], node.label[2]
+    for inner in list(eg.nodes(node.children[0])):
+        if inner.label[0] != "cmp":
             continue
-        dim, dist = node.label[1], node.label[2]
-        for inner in list(eg.nodes(node.children[0])):
-            if inner.label[0] != "cmp":
-                continue
-            moved = tuple(
-                c
-                if _is_const_class(eg, c)
-                else add_term(eg, ("mv", dim, dist), (c,))
-                for c in inner.children
-            )
-            out.append((cid, add_term(eg, inner.label, moved)))
+        moved = tuple(
+            c
+            if _is_const_class(eg, c)
+            else add_term(eg, ("mv", dim, dist), (c,))
+            for c in inner.children
+        )
+        out.append((cid, add_term(eg, inner.label, moved)))
     return out
 
 
-def rule_bc_cmp(eg: EGraph) -> list[Match]:
-    out = []
-    for cid, node in _enodes(eg):
-        if node.label[0] != "cmp":
-            continue
+def _m_bc_cmp(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    out: list[Match] = []
+    if node.label[0] == "cmp":
         key: tuple[int, int, int] | None = None
-        ok = True
         for child in node.children:
             if _is_const_class(eg, child):
                 continue
@@ -185,16 +205,14 @@ def rule_bc_cmp(eg: EGraph) -> list[Match]:
                 (n for n in eg.nodes(child) if n.label[0] == "bc"), None
             )
             if bc is None:
-                ok = False
-                break
+                return out
             k = (bc.label[1], bc.label[2], bc.label[3])
             if key is None:
                 key = k
             elif key != k:
-                ok = False
-                break
-        if not ok or key is None:
-            continue
+                return out
+        if key is None:
+            return out
         new_children = []
         for child in node.children:
             if _is_const_class(eg, child):
@@ -206,135 +224,136 @@ def rule_bc_cmp(eg: EGraph) -> list[Match]:
         out.append(
             (cid, add_term(eg, ("bc", key[0], key[1], key[2]), (inner,)))
         )
-    for cid, node in _enodes(eg):
-        if node.label[0] != "bc":
+        return out
+    dim, dist, count = node.label[1], node.label[2], node.label[3]
+    for inner in list(eg.nodes(node.children[0])):
+        if inner.label[0] != "cmp":
             continue
-        dim, dist, count = node.label[1], node.label[2], node.label[3]
-        for inner in list(eg.nodes(node.children[0])):
-            if inner.label[0] != "cmp":
-                continue
-            cast = tuple(
-                c
-                if _is_const_class(eg, c)
-                else add_term(eg, ("bc", dim, dist, count), (c,))
-                for c in inner.children
-            )
-            out.append((cid, add_term(eg, inner.label, cast)))
+        cast = tuple(
+            c
+            if _is_const_class(eg, c)
+            else add_term(eg, ("bc", dim, dist, count), (c,))
+            for c in inner.children
+        )
+        out.append((cid, add_term(eg, inner.label, cast)))
     return out
 
 
 # ----------------------------------------------------------------------
 # Move fusion / commutation
 # ----------------------------------------------------------------------
-def rule_mv_fuse(eg: EGraph) -> list[Match]:
+def _m_mv_fuse(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    dim, dist = node.label[1], node.label[2]
+    if dist == 0:
+        return [(cid, node.children[0])]
     out = []
-    for cid, node in _enodes(eg):
-        if node.label[0] != "mv":
+    for inner in list(eg.nodes(node.children[0])):
+        if inner.label[0] != "mv" or inner.label[1] != dim:
             continue
-        dim, dist = node.label[1], node.label[2]
-        if dist == 0:
-            out.append((cid, node.children[0]))
-            continue
-        for inner in list(eg.nodes(node.children[0])):
-            if inner.label[0] != "mv" or inner.label[1] != dim:
-                continue
-            total = dist + inner.label[2]
-            src = inner.children[0]
-            if total == 0:
-                out.append((cid, src))
-            else:
-                out.append((cid, add_term(eg, ("mv", dim, total), (src,))))
+        total = dist + inner.label[2]
+        src = inner.children[0]
+        if total == 0:
+            out.append((cid, src))
+        else:
+            out.append((cid, add_term(eg, ("mv", dim, total), (src,))))
     return out
 
 
-def rule_mv_commute(eg: EGraph) -> list[Match]:
+def _m_mv_commute(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    dim, dist = node.label[1], node.label[2]
     out = []
-    for cid, node in _enodes(eg):
-        if node.label[0] != "mv":
+    for inner in list(eg.nodes(node.children[0])):
+        if inner.label[0] != "mv" or inner.label[1] == dim:
             continue
-        dim, dist = node.label[1], node.label[2]
-        for inner in list(eg.nodes(node.children[0])):
-            if inner.label[0] != "mv" or inner.label[1] == dim:
-                continue
-            idim, idist = inner.label[1], inner.label[2]
-            swapped = add_term(eg, ("mv", dim, dist), (inner.children[0],))
-            out.append((cid, add_term(eg, ("mv", idim, idist), (swapped,))))
+        idim, idist = inner.label[1], inner.label[2]
+        swapped = add_term(eg, ("mv", dim, dist), (inner.children[0],))
+        out.append((cid, add_term(eg, ("mv", idim, idist), (swapped,))))
     return out
 
 
 # ----------------------------------------------------------------------
 # Eq. 5: tensor expansion
 # ----------------------------------------------------------------------
-def rule_expand(eg: EGraph, array_domains: dict[str, Hyperrect]) -> list[Match]:
+def _m_expand(
+    eg: EGraph, cid: int, node: ENode, array_domains: dict[str, Hyperrect]
+) -> list[Match]:
     """``T(..., p, q, ...) ⇔ S(i, p, q, T(..., 0, S_i, ...))``.
 
     We expand straight to the full array extent: intermediate expansions
     add search space without enabling further reuse.
     """
+    array, bounds = node.label[1], node.label[2]
+    full = array_domains.get(array)
+    if full is None:
+        return []
+    out = []
+    for dim, (p, q) in enumerate(bounds):
+        fp, fq = full.interval(dim)
+        if (p, q) == (fp, fq):
+            continue
+        expanded_bounds = tuple(
+            (fp, fq) if d == dim else b for d, b in enumerate(bounds)
+        )
+        expanded = add_term(
+            eg, ("tensor", array, expanded_bounds, node.label[3]), ()
+        )
+        out.append((cid, add_term(eg, ("shrink", dim, p, q), (expanded,))))
+    return out
+
+
+def rule_expand(eg: EGraph, array_domains: dict[str, Hyperrect]) -> list[Match]:
+    """Naive full-scan form of ``expand`` (kept for direct rule tests)."""
     out = []
     for cid, node in _enodes(eg):
-        if node.label[0] != "tensor":
-            continue
-        array, bounds = node.label[1], node.label[2]
-        full = array_domains.get(array)
-        if full is None:
-            continue
-        for dim, (p, q) in enumerate(bounds):
-            fp, fq = full.interval(dim)
-            if (p, q) == (fp, fq):
-                continue
-            expanded_bounds = tuple(
-                (fp, fq) if d == dim else b for d, b in enumerate(bounds)
-            )
-            expanded = add_term(
-                eg, ("tensor", array, expanded_bounds, node.label[3]), ()
-            )
-            out.append(
-                (cid, add_term(eg, ("shrink", dim, p, q), (expanded,)))
-            )
+        if node.label[0] == "tensor":
+            out.extend(_m_expand(eg, cid, node, array_domains))
     return out
+
+
+def expand_rule(array_domains: dict[str, Hyperrect]) -> Rule:
+    """The indexed ``expand`` rule, closed over the kernel's arrays."""
+    return Rule(
+        "expand",
+        ("tensor",),
+        lambda eg, cid, node: _m_expand(eg, cid, node, array_domains),
+    )
 
 
 # ----------------------------------------------------------------------
 # Eq. 6–9: shrink interactions
 # ----------------------------------------------------------------------
-def rule_shrink_shrink(eg: EGraph) -> list[Match]:
+def _m_shrink_shrink(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    dim, p, q = node.label[1], node.label[2], node.label[3]
     out = []
-    for cid, node in _enodes(eg):
-        if node.label[0] != "shrink":
+    # Identity: shrinking to the child's own interval.
+    child = node.children[0]
+    if eg.has_domain(child):
+        d = eg.domain(child)
+        if d is not None and d.interval(dim) == (p, q):
+            out.append((cid, child))
+    for inner in list(eg.nodes(child)):
+        if inner.label[0] != "shrink":
             continue
-        dim, p, q = node.label[1], node.label[2], node.label[3]
-        # Identity: shrinking to the child's own interval.
-        child = node.children[0]
-        if eg.has_domain(child):
-            d = eg.domain(child)
-            if d is not None and d.interval(dim) == (p, q):
-                out.append((cid, child))
-        for inner in list(eg.nodes(child)):
-            if inner.label[0] != "shrink":
-                continue
-            idim, ip, iq = inner.label[1], inner.label[2], inner.label[3]
-            src = inner.children[0]
-            if idim == dim:
-                np_, nq = max(p, ip), min(q, iq)
-                if np_ <= nq:
-                    out.append(
-                        (cid, add_term(eg, ("shrink", dim, np_, nq), (src,)))
-                    )
-            else:
-                first = add_term(eg, ("shrink", dim, p, q), (src,))
+        idim, ip, iq = inner.label[1], inner.label[2], inner.label[3]
+        src = inner.children[0]
+        if idim == dim:
+            np_, nq = max(p, ip), min(q, iq)
+            if np_ <= nq:
                 out.append(
-                    (cid, add_term(eg, ("shrink", idim, ip, iq), (first,)))
+                    (cid, add_term(eg, ("shrink", dim, np_, nq), (src,)))
                 )
+        else:
+            first = add_term(eg, ("shrink", dim, p, q), (src,))
+            out.append(
+                (cid, add_term(eg, ("shrink", idim, ip, iq), (first,)))
+            )
     return out
 
 
-def rule_mv_shrink(eg: EGraph) -> list[Match]:
-    out = []
-    # mv(shrink(i,p,q,x), j, d)
-    for cid, node in _enodes(eg):
-        if node.label[0] != "mv":
-            continue
+def _m_mv_shrink(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    out: list[Match] = []
+    if node.label[0] == "mv":
+        # mv(shrink(i,p,q,x), j, d)
         dim, dist = node.label[1], node.label[2]
         for inner in list(eg.nodes(node.children[0])):
             if inner.label[0] != "shrink":
@@ -355,26 +374,24 @@ def rule_mv_shrink(eg: EGraph) -> list[Match]:
                 out.append(
                     (cid, add_term(eg, ("shrink", idim, p, q), (moved,)))
                 )
+        return out
     # shrink(i,p,q, mv(x, j, d)) — the reverse direction.
-    for cid, node in _enodes(eg):
-        if node.label[0] != "shrink":
+    dim, p, q = node.label[1], node.label[2], node.label[3]
+    for inner in list(eg.nodes(node.children[0])):
+        if inner.label[0] != "mv":
             continue
-        dim, p, q = node.label[1], node.label[2], node.label[3]
-        for inner in list(eg.nodes(node.children[0])):
-            if inner.label[0] != "mv":
+        mdim, dist = inner.label[1], inner.label[2]
+        src = inner.children[0]
+        if mdim == dim:
+            sp, sq = p - dist, q - dist
+            if not _valid_shrink(eg, src, dim, sp, sq):
                 continue
-            mdim, dist = inner.label[1], inner.label[2]
-            src = inner.children[0]
-            if mdim == dim:
-                sp, sq = p - dist, q - dist
-                if not _valid_shrink(eg, src, dim, sp, sq):
-                    continue
-                shr = add_term(eg, ("shrink", dim, sp, sq), (src,))
-            else:
-                if not _valid_shrink(eg, src, dim, p, q):
-                    continue
-                shr = add_term(eg, ("shrink", dim, p, q), (src,))
-            out.append((cid, add_term(eg, ("mv", mdim, dist), (shr,))))
+            shr = add_term(eg, ("shrink", dim, sp, sq), (src,))
+        else:
+            if not _valid_shrink(eg, src, dim, p, q):
+                continue
+            shr = add_term(eg, ("shrink", dim, p, q), (src,))
+        out.append((cid, add_term(eg, ("mv", mdim, dist), (shr,))))
     return out
 
 
@@ -388,48 +405,39 @@ def _valid_shrink(eg: EGraph, cid: int, dim: int, p: int, q: int) -> bool:
     return dp <= p and q <= dq
 
 
-def rule_bc_shrink(eg: EGraph) -> list[Match]:
+def _m_bc_shrink(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    dim, p, q = node.label[1], node.label[2], node.label[3]
     out = []
-    for cid, node in _enodes(eg):
-        if node.label[0] != "shrink":
+    for inner in list(eg.nodes(node.children[0])):
+        if inner.label[0] != "bc":
             continue
-        dim, p, q = node.label[1], node.label[2], node.label[3]
-        for inner in list(eg.nodes(node.children[0])):
-            if inner.label[0] != "bc":
+        bdim, dist, count = inner.label[1], inner.label[2], inner.label[3]
+        src = inner.children[0]
+        if bdim == dim:
+            # Eq. 8b: broadcast straight to the shrunken region (the
+            # source must have extent 1 on the dimension).
+            if eg.has_domain(src):
+                d = eg.domain(src)
+                if d is not None and d.shape[dim] == 1 and q > p:
+                    out.append(
+                        (cid, add_term(eg, ("bc", dim, p, q - p), (src,)))
+                    )
+        else:
+            if not _valid_shrink(eg, src, dim, p, q):
                 continue
-            bdim, dist, count = inner.label[1], inner.label[2], inner.label[3]
-            src = inner.children[0]
-            if bdim == dim:
-                # Eq. 8b: broadcast straight to the shrunken region (the
-                # source must have extent 1 on the dimension).
-                if eg.has_domain(src):
-                    d = eg.domain(src)
-                    if d is not None and d.shape[dim] == 1 and q > p:
-                        out.append(
-                            (
-                                cid,
-                                add_term(eg, ("bc", dim, p, q - p), (src,)),
-                            )
-                        )
-            else:
-                if not _valid_shrink(eg, src, dim, p, q):
-                    continue
-                shr = add_term(eg, ("shrink", dim, p, q), (src,))
-                out.append(
-                    (cid, add_term(eg, ("bc", bdim, dist, count), (shr,)))
-                )
+            shr = add_term(eg, ("shrink", dim, p, q), (src,))
+            out.append(
+                (cid, add_term(eg, ("bc", bdim, dist, count), (shr,)))
+            )
     return out
 
 
-def rule_cmp_shrink(eg: EGraph) -> list[Match]:
-    out = []
-    # Pull: cmp(f, shrink(i,p,q,x), others...) -> shrink(i,p,q, cmp(...))
-    # when every non-const operand is shrunk by the identical interval.
-    for cid, node in _enodes(eg):
-        if node.label[0] != "cmp":
-            continue
+def _m_cmp_shrink(eg: EGraph, cid: int, node: ENode) -> list[Match]:
+    out: list[Match] = []
+    if node.label[0] == "cmp":
+        # Pull: cmp(f, shrink(i,p,q,x), others...) -> shrink(i,p,q, cmp(...))
+        # when every non-const operand is shrunk by the identical interval.
         key: tuple[int, int, int] | None = None
-        ok = True
         for child in node.children:
             if _is_const_class(eg, child):
                 continue
@@ -437,47 +445,61 @@ def rule_cmp_shrink(eg: EGraph) -> list[Match]:
                 (n for n in eg.nodes(child) if n.label[0] == "shrink"), None
             )
             if sh is None:
-                ok = False
-                break
+                return out
             k = (sh.label[1], sh.label[2], sh.label[3])
             if key is None:
                 key = k
             elif key != k:
-                ok = False
-                break
-        if ok and key is not None:
-            new_children = []
-            for child in node.children:
-                if _is_const_class(eg, child):
-                    new_children.append(child)
-                    continue
-                sh = next(n for n in eg.nodes(child) if n.label[0] == "shrink")
-                new_children.append(sh.children[0])
-            inner = add_term(eg, node.label, tuple(new_children))
-            out.append(
-                (cid, add_term(eg, ("shrink", key[0], key[1], key[2]), (inner,)))
-            )
+                return out
+        if key is None:
+            return out
+        new_children = []
+        for child in node.children:
+            if _is_const_class(eg, child):
+                new_children.append(child)
+                continue
+            sh = next(n for n in eg.nodes(child) if n.label[0] == "shrink")
+            new_children.append(sh.children[0])
+        inner = add_term(eg, node.label, tuple(new_children))
+        out.append(
+            (cid, add_term(eg, ("shrink", key[0], key[1], key[2]), (inner,)))
+        )
+        return out
     # Push: shrink(i,p,q, cmp(f, xs)) -> cmp(f, shrink(x)...)
-    for cid, node in _enodes(eg):
-        if node.label[0] != "shrink":
+    dim, p, q = node.label[1], node.label[2], node.label[3]
+    for inner in list(eg.nodes(node.children[0])):
+        if inner.label[0] != "cmp":
             continue
-        dim, p, q = node.label[1], node.label[2], node.label[3]
-        for inner in list(eg.nodes(node.children[0])):
-            if inner.label[0] != "cmp":
-                continue
-            if not all(
-                _is_const_class(eg, c) or _valid_shrink(eg, c, dim, p, q)
-                for c in inner.children
-            ):
-                continue
-            shrunk = tuple(
-                c
-                if _is_const_class(eg, c)
-                else add_term(eg, ("shrink", dim, p, q), (c,))
-                for c in inner.children
-            )
-            out.append((cid, add_term(eg, inner.label, shrunk)))
+        if not all(
+            _is_const_class(eg, c) or _valid_shrink(eg, c, dim, p, q)
+            for c in inner.children
+        ):
+            continue
+        shrunk = tuple(
+            c
+            if _is_const_class(eg, c)
+            else add_term(eg, ("shrink", dim, p, q), (c,))
+            for c in inner.children
+        )
+        out.append((cid, add_term(eg, inner.label, shrunk)))
     return out
+
+
+# ----------------------------------------------------------------------
+# The rule set.  Module-level rules are callable (``rule(eg)`` performs
+# the naive full scan), so direct per-rule tests keep working.
+# ----------------------------------------------------------------------
+rule_comm = Rule("comm", ("cmp",), _m_comm)
+rule_assoc = Rule("assoc", ("cmp",), _m_assoc)
+rule_distrib = Rule("distrib", ("cmp",), _m_distrib)
+rule_mv_cmp = Rule("mv_cmp", ("cmp", "mv"), _m_mv_cmp)
+rule_bc_cmp = Rule("bc_cmp", ("cmp", "bc"), _m_bc_cmp)
+rule_mv_fuse = Rule("mv_fuse", ("mv",), _m_mv_fuse)
+rule_mv_commute = Rule("mv_commute", ("mv",), _m_mv_commute)
+rule_shrink_shrink = Rule("shrink_shrink", ("shrink",), _m_shrink_shrink)
+rule_mv_shrink = Rule("mv_shrink", ("mv", "shrink"), _m_mv_shrink)
+rule_bc_shrink = Rule("bc_shrink", ("shrink",), _m_bc_shrink)
+rule_cmp_shrink = Rule("cmp_shrink", ("cmp", "shrink"), _m_cmp_shrink)
 
 
 def default_rules(array_domains: dict[str, Hyperrect]) -> list[Rule]:
@@ -490,7 +512,7 @@ def default_rules(array_domains: dict[str, Hyperrect]) -> list[Rule]:
         rule_bc_cmp,
         rule_mv_fuse,
         rule_mv_commute,
-        lambda eg: rule_expand(eg, array_domains),
+        expand_rule(array_domains),
         rule_shrink_shrink,
         rule_mv_shrink,
         rule_bc_shrink,

@@ -7,22 +7,73 @@ reduce compile time", §3.2).  Extraction picks the cheapest graph under
 the architecture-informed cost model; if the extracted DAG is not
 actually cheaper than the original (tree-cost extraction can be fooled by
 sharing), the original is kept.
+
+Two matching strategies share the rule set and extraction:
+
+* ``"indexed"`` (default) — incremental e-matching.  Each rule keeps a
+  *watermark* into the e-graph's touch log and rematches only classes
+  touched since it last ran (widened by a two-hop parent closure to
+  cover the deepest rule patterns), seeded through the per-kind class
+  index.  Unions are batched with one deferred :meth:`rebuild` per
+  iteration, and an egg-style backoff scheduler benches rules whose
+  match counts explode (doubling their ban each time), un-benching
+  everyone before saturation can be declared.
+* ``"naive"`` — the textbook loop: every rule full-scans every e-node
+  each iteration with a rebuild after each rule.  Kept as the reference
+  the property tests cross-check cost-identical extraction against.
+
+Per-rule match/apply/union counters and phase timings land in the
+:class:`OptimizationReport` and, when enabled, in :mod:`repro.trace`
+metrics under ``egraph.*``.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
+from repro.errors import OptimizationError
 from repro.geometry.hyperrect import Hyperrect
 from repro.ir.nodes import Node, StreamNode
 from repro.ir.tdfg import TensorDFG
+from repro.trace import events as trace_events
+from repro.trace import metrics as trace_metrics
+from repro.trace.events import Category
 
 from repro.egraph.cost import CostParams
 from repro.egraph.egraph import EGraph
-from repro.egraph.extract import best_nodes, dag_cost
+from repro.egraph.extract import Extractor, dag_cost
 from repro.egraph.lang import add_node, build_node
-from repro.egraph.rewrites import default_rules
+from repro.egraph.rewrites import Rule, default_rules
+
+STRATEGIES = ("indexed", "naive")
+
+#: hard floors/ceilings for the optimizer knobs (validated at the API
+#: boundary too — CLI and serve map violations to user-error exits).
+MIN_ITERATIONS = 1
+MIN_NODE_BUDGET = 64
+
+
+@dataclass(frozen=True)
+class RuleStats:
+    """What one rule did across the whole saturation run."""
+
+    name: str
+    matches: int = 0  # candidate pairs found by the matcher
+    applied: int = 0  # pairs handed to union()
+    unions: int = 0  # effective merges (version delta)
+    bans: int = 0  # times the backoff scheduler benched the rule
+    seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class PhaseTimings:
+    """Wall-clock split of one optimize_tdfg call."""
+
+    match_seconds: float = 0.0
+    apply_seconds: float = 0.0
+    rebuild_seconds: float = 0.0
+    extract_seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -36,6 +87,11 @@ class OptimizationReport:
     cost_before: float
     cost_after: float
     elapsed_seconds: float
+    strategy: str = "indexed"
+    #: rule whose unions pushed past node_budget (None = budget held)
+    budget_tripped_by: str | None = None
+    rule_stats: tuple[RuleStats, ...] = ()
+    phases: PhaseTimings = field(default_factory=PhaseTimings)
 
     @property
     def improvement(self) -> float:
@@ -44,17 +100,305 @@ class OptimizationReport:
         return self.cost_after / self.cost_before
 
 
+def validate_optimizer_knobs(
+    max_iterations: int, node_budget: int, strategy: str
+) -> list[str]:
+    """Human-readable problems with the knob values (empty = valid).
+
+    Shared by every API boundary so the CLI (``UsageError`` -> exit 1)
+    and the serve job validator (``JobSpecError`` -> HTTP 400) reject
+    bad values identically.
+    """
+    problems = []
+    if not isinstance(max_iterations, int) or isinstance(max_iterations, bool):
+        problems.append(f"max_iterations must be an integer, got {max_iterations!r}")
+    elif max_iterations < MIN_ITERATIONS:
+        problems.append(
+            f"max_iterations must be >= {MIN_ITERATIONS}, got {max_iterations}"
+        )
+    if not isinstance(node_budget, int) or isinstance(node_budget, bool):
+        problems.append(f"node_budget must be an integer, got {node_budget!r}")
+    elif node_budget < MIN_NODE_BUDGET:
+        problems.append(
+            f"node_budget must be >= {MIN_NODE_BUDGET}, got {node_budget}"
+        )
+    if strategy not in STRATEGIES:
+        problems.append(
+            f"strategy must be one of {', '.join(STRATEGIES)}, got {strategy!r}"
+        )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Backoff rule scheduling (the egg BackoffScheduler scheme)
+# ----------------------------------------------------------------------
+class BackoffScheduler:
+    """Bench rules whose match counts explode, with exponential backoff.
+
+    A rule exceeding ``match_limit * 2**times_banned`` matches in one
+    round is banned for ``ban_length * 2**times_banned`` iterations.
+    Banned rules keep their watermark, so on un-benching they rematch
+    everything they missed.  Saturation must not be declared while any
+    rule is benched — the driver un-bans everyone and re-checks.
+    """
+
+    def __init__(
+        self, n_rules: int, match_limit: int = 1_000, ban_length: int = 2
+    ) -> None:
+        self.match_limit = match_limit
+        self.ban_length = ban_length
+        self.banned_until = [0] * n_rules
+        self.times_banned = [0] * n_rules
+
+    def is_banned(self, i: int, iteration: int) -> bool:
+        return iteration < self.banned_until[i]
+
+    def any_banned(self, iteration: int) -> bool:
+        return any(iteration < b for b in self.banned_until)
+
+    def record_matches(self, i: int, n: int, iteration: int) -> bool:
+        """Record a rule's round match count; True if it just got benched."""
+        if n > self.match_limit * (2 ** self.times_banned[i]):
+            length = self.ban_length * (2 ** self.times_banned[i])
+            self.banned_until[i] = iteration + 1 + length
+            self.times_banned[i] += 1
+            return True
+        return False
+
+    def unban_all(self) -> None:
+        self.banned_until = [0] * len(self.banned_until)
+
+
+# ----------------------------------------------------------------------
+# Mutable per-run accounting (frozen into RuleStats for the report)
+# ----------------------------------------------------------------------
+class _RuleCounters:
+    __slots__ = ("name", "matches", "applied", "unions", "bans", "seconds")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.matches = 0
+        self.applied = 0
+        self.unions = 0
+        self.bans = 0
+        self.seconds = 0.0
+
+    def freeze(self) -> RuleStats:
+        return RuleStats(
+            name=self.name,
+            matches=self.matches,
+            applied=self.applied,
+            unions=self.unions,
+            bans=self.bans,
+            seconds=self.seconds,
+        )
+
+
+class _Saturation:
+    """One saturation run: the loop state shared by both strategies."""
+
+    def __init__(
+        self,
+        eg: EGraph,
+        rules: list[Rule],
+        max_iterations: int,
+        node_budget: int,
+    ) -> None:
+        self.eg = eg
+        self.rules = rules
+        self.max_iterations = max_iterations
+        self.node_budget = node_budget
+        self.counters = [_RuleCounters(r.name) for r in rules]
+        self.iterations = 0
+        self.saturated = False
+        self.budget_tripped_by: str | None = None
+        self.match_seconds = 0.0
+        self.apply_seconds = 0.0
+        self.rebuild_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def _apply(self, i: int, matches: list[tuple[int, int]]) -> None:
+        """Union the full match list (budget is checked *after* a rule)."""
+        eg = self.eg
+        ctr = self.counters[i]
+        t0 = time.perf_counter()
+        v0 = eg.version
+        for a, b in matches:
+            ctr.applied += 1
+            eg.union(a, b)
+        ctr.unions += eg.version - v0
+        self.apply_seconds += time.perf_counter() - t0
+
+    def _rebuild(self, full: bool = False) -> None:
+        t0 = time.perf_counter()
+        if full:
+            self.eg.full_rebuild()
+        else:
+            self.eg.rebuild()
+        self.rebuild_seconds += time.perf_counter() - t0
+
+    def _budget_event(self) -> None:
+        tracer = trace_events.TRACER
+        if tracer is not None:
+            tracer.instant(
+                "egraph.node_budget_exhausted",
+                Category.EGRAPH,
+                track="jit",
+                rule=self.budget_tripped_by,
+                nodes=self.eg.num_nodes,
+                budget=self.node_budget,
+            )
+
+    # ------------------------------------------------------------------
+    def run_naive(self) -> None:
+        """The textbook loop: full scans, full rebuild after every rule."""
+        eg = self.eg
+        for _ in range(self.max_iterations):
+            self.iterations += 1
+            before_version = eg.version
+            before_nodes = eg.num_nodes
+            for i, rule in enumerate(self.rules):
+                t0 = time.perf_counter()
+                matches = rule(eg)
+                self.counters[i].matches += len(matches)
+                dt = time.perf_counter() - t0
+                self.match_seconds += dt
+                self.counters[i].seconds += dt
+                t1 = time.perf_counter()
+                self._apply(i, matches)
+                self._rebuild(full=True)
+                self.counters[i].seconds += time.perf_counter() - t1
+                if eg.num_nodes > self.node_budget:
+                    self.budget_tripped_by = rule.name
+                    break
+            if self.budget_tripped_by is not None:
+                self._budget_event()
+                return
+            if eg.version == before_version and eg.num_nodes == before_nodes:
+                self.saturated = True
+                return
+
+    # ------------------------------------------------------------------
+    def _candidates(self, rule: Rule, watermark: int) -> set[int]:
+        """Classes worth rematching for one rule."""
+        eg = self.eg
+        kinded: set[int] = set()
+        for kind in rule.kinds:
+            kinded |= eg.classes_with_kind(kind)
+        if watermark < 0:
+            return kinded  # first run: every class that can seed the rule
+        dirty = eg.dirty_closure(eg.touched_since(watermark))
+        return dirty & kinded
+
+    def run_indexed(self, scheduler: BackoffScheduler) -> None:
+        """Incremental matching with deferred rebuilds and backoff."""
+        eg = self.eg
+        watermarks = [-1] * len(self.rules)
+        for it in range(self.max_iterations):
+            self.iterations += 1
+            before_version = eg.version
+            before_nodes = eg.num_nodes
+            for i, rule in enumerate(self.rules):
+                if scheduler.is_banned(i, it):
+                    continue
+                t0 = time.perf_counter()
+                tick0 = eg.tick
+                matches: list[tuple[int, int]] = []
+                for cid in self._candidates(rule, watermarks[i]):
+                    matches.extend(rule.match_class(eg, cid))
+                # Watermark sits *before* this round's matching, so the
+                # rule re-sees classes its own unions touch.
+                watermarks[i] = tick0
+                self.counters[i].matches += len(matches)
+                dt = time.perf_counter() - t0
+                self.match_seconds += dt
+                self.counters[i].seconds += dt
+                if scheduler.record_matches(i, len(matches), it):
+                    self.counters[i].bans += 1
+                t1 = time.perf_counter()
+                self._apply(i, matches)
+                self.counters[i].seconds += time.perf_counter() - t1
+                if eg.num_nodes > self.node_budget:
+                    self.budget_tripped_by = rule.name
+                    break
+            # One deferred rebuild per iteration (congruence repair is
+            # proportional to the merged classes' parent lists).
+            self._rebuild()
+            if (
+                self.budget_tripped_by is None
+                and eg.num_nodes > self.node_budget
+            ):
+                self.budget_tripped_by = "rebuild"
+            if self.budget_tripped_by is not None:
+                self._budget_event()
+                return
+            if eg.version == before_version and eg.num_nodes == before_nodes:
+                if scheduler.any_banned(it + 1):
+                    # Stalled with benched rules: give them one more shot
+                    # before concluding anything about saturation.
+                    scheduler.unban_all()
+                    continue
+                self.saturated = True
+                return
+
+
+def _emit_metrics(
+    sat: _Saturation, report: "OptimizationReport"
+) -> None:
+    reg = trace_metrics.REGISTRY
+    if reg is None:
+        return
+    s = report.strategy
+    reg.add("egraph.saturate.seconds", report.elapsed_seconds, strategy=s)
+    reg.add("egraph.iterations", report.iterations, strategy=s)
+    reg.add(
+        "egraph.phase.seconds", report.phases.match_seconds,
+        phase="match", strategy=s,
+    )
+    reg.add(
+        "egraph.phase.seconds", report.phases.apply_seconds,
+        phase="apply", strategy=s,
+    )
+    reg.add(
+        "egraph.phase.seconds", report.phases.rebuild_seconds,
+        phase="rebuild", strategy=s,
+    )
+    reg.add(
+        "egraph.phase.seconds", report.phases.extract_seconds,
+        phase="extract", strategy=s,
+    )
+    for rs in report.rule_stats:
+        reg.add("egraph.rule.matches", rs.matches, rule=rs.name)
+        reg.add("egraph.rule.applied", rs.applied, rule=rs.name)
+        reg.add("egraph.rule.unions", rs.unions, rule=rs.name)
+        if rs.bans:
+            reg.add("egraph.rule.bans", rs.bans, rule=rs.name)
+    reg.observe("egraph.nodes", report.num_nodes)
+    reg.observe("egraph.classes", report.num_classes)
+    if report.budget_tripped_by is not None:
+        reg.add(
+            "egraph.budget_exhausted", 1.0, rule=report.budget_tripped_by
+        )
+
+
 def optimize_tdfg(
     tdfg: TensorDFG,
     params: CostParams | None = None,
     max_iterations: int = 6,
     node_budget: int = 20_000,
+    strategy: str = "indexed",
 ) -> tuple[TensorDFG, OptimizationReport]:
     """Optimize a tDFG with equality saturation; returns (tdfg, report).
 
     The input is not modified; the result shares immutable nodes where
-    extraction kept them.
+    extraction kept them.  ``strategy`` selects incremental (indexed) or
+    reference (naive) e-matching — both extract cost-identical results.
     """
+    problems = validate_optimizer_knobs(max_iterations, node_budget, strategy)
+    if problems:
+        raise OptimizationError(
+            "invalid optimizer knobs: " + "; ".join(problems)
+        )
     params = params or CostParams(
         dtype=next(iter(tdfg.arrays.values())).elem_type if tdfg.arrays
         else CostParams().dtype
@@ -73,41 +417,53 @@ def optimize_tdfg(
     }
     rules = default_rules(array_domains)
 
-    baseline_best, _ = best_nodes(eg, params)
-    cost_before = dag_cost(eg, baseline_best, root_ids, params)
+    extractor = Extractor(eg, params)
+    t_extract = time.perf_counter()
+    extractor.refresh()
+    cost_before = dag_cost(eg, extractor.best, root_ids, params)
+    extract_seconds = time.perf_counter() - t_extract
 
-    iterations = 0
-    saturated = False
-    for _ in range(max_iterations):
-        iterations += 1
-        before_version = eg.version
-        before_nodes = eg.num_nodes
-        for rule in rules:
-            for a, b in rule(eg):
-                eg.union(a, b)
-            eg.rebuild()
-            if eg.num_nodes > node_budget:
-                break
-        if eg.num_nodes > node_budget:
-            break
-        if eg.version == before_version and eg.num_nodes == before_nodes:
-            saturated = True
-            break
+    sat = _Saturation(eg, rules, max_iterations, node_budget)
+    if strategy == "naive":
+        sat.run_naive()
+    else:
+        sat.run_indexed(BackoffScheduler(len(rules)))
 
-    best, _cost = best_nodes(eg, params)
+    t_extract = time.perf_counter()
+    if strategy == "naive":
+        # The reference restarts extraction from scratch, as the seed
+        # implementation did; the indexed path reuses the baseline
+        # extractor's memoized per-class costs via the touch log.
+        extractor = Extractor(eg, params)
+    extractor.refresh()
+    best = extractor.best
     cost_after = dag_cost(eg, best, root_ids, params)
+    extract_seconds += time.perf_counter() - t_extract
 
-    if cost_after >= cost_before:
+    def make_report(cost_after_final: float) -> OptimizationReport:
         report = OptimizationReport(
-            iterations=iterations,
-            saturated=saturated,
+            iterations=sat.iterations,
+            saturated=sat.saturated,
             num_classes=len(eg.classes()),
             num_nodes=eg.num_nodes,
             cost_before=cost_before,
-            cost_after=cost_before,
+            cost_after=cost_after_final,
             elapsed_seconds=time.perf_counter() - start,
+            strategy=strategy,
+            budget_tripped_by=sat.budget_tripped_by,
+            rule_stats=tuple(c.freeze() for c in sat.counters),
+            phases=PhaseTimings(
+                match_seconds=sat.match_seconds,
+                apply_seconds=sat.apply_seconds,
+                rebuild_seconds=sat.rebuild_seconds,
+                extract_seconds=extract_seconds,
+            ),
         )
-        return tdfg, report
+        _emit_metrics(sat, report)
+        return report
+
+    if cost_after >= cost_before:
+        return tdfg, make_report(cost_before)
 
     # Rebuild the tDFG around the extracted nodes.
     node_cache: dict[int, Node] = {}
@@ -127,13 +483,4 @@ def optimize_tdfg(
     out.hints = tdfg.hints
     out.sdfg = tdfg.sdfg
     out.params = dict(tdfg.params)
-    report = OptimizationReport(
-        iterations=iterations,
-        saturated=saturated,
-        num_classes=len(eg.classes()),
-        num_nodes=eg.num_nodes,
-        cost_before=cost_before,
-        cost_after=cost_after,
-        elapsed_seconds=time.perf_counter() - start,
-    )
-    return out, report
+    return out, make_report(cost_after)

@@ -76,7 +76,12 @@ def build_region_stage() -> Stage:
     )
 
 
-def optimize_stage(enabled: bool = True, max_iterations: int = 4) -> Stage:
+def optimize_stage(
+    enabled: bool = True,
+    max_iterations: int = 4,
+    node_budget: int = 20_000,
+    strategy: str = "indexed",
+) -> Stage:
     """E-graph optimization; a typed passthrough when ``enabled=False``."""
 
     def run(art: RegionArtifact | TDFGArtifact) -> TDFGArtifact:
@@ -89,7 +94,12 @@ def optimize_stage(enabled: bool = True, max_iterations: int = 4) -> Stage:
         from repro.egraph import optimize_tdfg
         from repro.ir.printer import format_tdfg
 
-        optimized, report = optimize_tdfg(tdfg, max_iterations=max_iterations)
+        optimized, report = optimize_tdfg(
+            tdfg,
+            max_iterations=max_iterations,
+            node_budget=node_budget,
+            strategy=strategy,
+        )
         return TDFGArtifact(
             tdfg=optimized, signature=format_tdfg(optimized), report=report
         )
@@ -156,6 +166,10 @@ def simulate_stage(
     paradigm: str = "inf-s",
     iterations: int = 1,
     system=None,
+    optimize: bool = False,
+    opt_max_iterations: int = 4,
+    opt_node_budget: int = 20_000,
+    opt_strategy: str = "indexed",
 ) -> Stage:
     """Whole-workload timing under one Fig 11 configuration.
 
@@ -179,6 +193,10 @@ def simulate_stage(
             params={k: int(v) for k, v in art.params.items()},
             dataflow=art.dataflow,
             iterations=iterations,
+            optimize=optimize,
+            opt_max_iterations=opt_max_iterations,
+            opt_node_budget=opt_node_budget,
+            opt_strategy=opt_strategy,
         )
         energy = EnergyModel()
         if paradigm in ("base", "base-1"):
@@ -209,6 +227,8 @@ def simulate_stage(
 def compile_pipeline(
     optimize: bool = False,
     max_iterations: int = 4,
+    node_budget: int = 20_000,
+    strategy: str = "indexed",
     sram_sizes: tuple[int, ...] | None = None,
     jit=None,
     tile_override: tuple[int, ...] | None = None,
@@ -220,7 +240,12 @@ def compile_pipeline(
         [
             parse_stage(),
             build_region_stage(),
-            optimize_stage(enabled=optimize, max_iterations=max_iterations),
+            optimize_stage(
+                enabled=optimize,
+                max_iterations=max_iterations,
+                node_budget=node_budget,
+                strategy=strategy,
+            ),
             fatbinary_stage(sram_sizes=sram_sizes),
             jit_lower_stage(jit=jit, tile_override=tile_override),
         ],
@@ -233,6 +258,10 @@ def simulate_pipeline(
     paradigm: str = "inf-s",
     iterations: int = 1,
     system=None,
+    optimize: bool = False,
+    opt_max_iterations: int = 4,
+    opt_node_budget: int = 20_000,
+    opt_strategy: str = "indexed",
     hooks: Sequence[PipelineHooks] = (),
     verify: bool = True,
 ) -> PassManager:
@@ -241,7 +270,13 @@ def simulate_pipeline(
         [
             parse_stage(),
             simulate_stage(
-                paradigm=paradigm, iterations=iterations, system=system
+                paradigm=paradigm,
+                iterations=iterations,
+                system=system,
+                optimize=optimize,
+                opt_max_iterations=opt_max_iterations,
+                opt_node_budget=opt_node_budget,
+                opt_strategy=opt_strategy,
             ),
         ],
         hooks=hooks,
@@ -255,6 +290,10 @@ def region_pipeline(
     tile_override: tuple[int, ...] | None = None,
     use_cache: bool = True,
     verify: bool = False,
+    optimize: bool = False,
+    opt_max_iterations: int = 4,
+    opt_node_budget: int = 20_000,
+    opt_strategy: str = "indexed",
 ) -> PassManager:
     """The timing engine's per-region chain: fatbinary → jit-lower.
 
@@ -273,11 +312,17 @@ def region_pipeline(
         from repro.pipeline.hooks import TraceHooks
 
         hooks.append(TraceHooks())
-    return PassManager(
-        [
-            fatbinary_stage(sram_sizes=sram_sizes, use_cache=use_cache),
-            jit_lower_stage(jit=jit, tile_override=tile_override),
-        ],
-        hooks=hooks,
-        verify=verify,
-    )
+    stages = [
+        fatbinary_stage(sram_sizes=sram_sizes, use_cache=use_cache),
+        jit_lower_stage(jit=jit, tile_override=tile_override),
+    ]
+    if optimize:
+        stages.insert(
+            0,
+            optimize_stage(
+                max_iterations=opt_max_iterations,
+                node_budget=opt_node_budget,
+                strategy=opt_strategy,
+            ),
+        )
+    return PassManager(stages, hooks=hooks, verify=verify)

@@ -202,7 +202,7 @@ def validate_spec(spec) -> dict:
                 f"unknown paradigm {paradigm!r}; expected one of "
                 f"{', '.join(KERNEL_PARADIGMS)}"
             )
-        return {
+        out = {
             "kind": "kernel",
             "name": str(spec.get("name", "kernel")),
             "source": source,
@@ -214,6 +214,23 @@ def validate_spec(spec) -> dict:
             "paradigm": paradigm,
             "iterations": int(spec.get("iterations", 1)),
         }
+        if spec.get("optimize"):
+            from repro.egraph.saturate import validate_optimizer_knobs
+
+            knobs = {
+                "max_iterations": spec.get("max_iterations", 4),
+                "node_budget": spec.get("node_budget", 20_000),
+                "strategy": spec.get("strategy", "indexed"),
+            }
+            problems = validate_optimizer_knobs(
+                knobs["max_iterations"], knobs["node_budget"],
+                knobs["strategy"],
+            )
+            if problems:
+                raise JobSpecError("; ".join(problems))
+            out["optimize"] = True
+            out.update(knobs)
+        return out
     raise JobSpecError(
         f"job kind must be 'kernel' or 'campaign', got {kind!r}"
     )
@@ -264,7 +281,12 @@ def _run_kernel_spec(spec: dict) -> dict:
         dataflow=spec["dataflow"],
     )
     pipeline = simulate_pipeline(
-        paradigm=spec["paradigm"], iterations=spec["iterations"]
+        paradigm=spec["paradigm"],
+        iterations=spec["iterations"],
+        optimize=bool(spec.get("optimize", False)),
+        opt_max_iterations=int(spec.get("max_iterations", 4)),
+        opt_node_budget=int(spec.get("node_budget", 20_000)),
+        opt_strategy=str(spec.get("strategy", "indexed")),
     )
     result = pipeline.run(source).final.result
     return {

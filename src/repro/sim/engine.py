@@ -86,6 +86,10 @@ class InfinityStreamRunner:
             tile_override=self.tile_override,
             use_cache=self.use_content_cache,
             verify=self.verify_pipeline,
+            optimize=wl.optimize,
+            opt_max_iterations=wl.opt_max_iterations,
+            opt_node_budget=wl.opt_node_budget,
+            opt_strategy=wl.opt_strategy,
         )
         result = RunResult(workload=wl.name, paradigm=self.paradigm)
         cy = result.cycles

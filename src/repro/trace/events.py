@@ -44,6 +44,7 @@ class Category(enum.Enum):
     STREAM = "stream-prefetch"  # near-memory stream engine activity
     CACHE = "cache"  # content-cache / memo hits and misses
     PIPELINE = "pipeline-stage"  # compilation pipeline stages
+    EGRAPH = "egraph"  # equality-saturation phases and budget events
     REGION = "region"  # per-region engine execution
     CAMPAIGN = "campaign"  # campaign sections / point batches
 

@@ -73,6 +73,11 @@ class Workload:
     extra_phases: tuple[NearMemPhase, ...] = ()
     elem_type: DType = DType.FP32
     optimize: bool = False  # run the e-graph optimizer on regions
+    # Optimizer budgets/strategy forwarded to optimize_tdfg when
+    # ``optimize`` is set (the CLI / serve job-spec knobs land here).
+    opt_max_iterations: int = 4
+    opt_node_budget: int = 20_000
+    opt_strategy: str = "indexed"
     host_loops: tuple[str, ...] = ()
 
     def instantiate(self) -> InstantiatedKernel:

@@ -1,0 +1,313 @@
+"""Incremental equality saturation: early exits, scheduling, and knobs.
+
+Covers the optimizer's control surface around the indexed matcher:
+
+* early-exit paths — fixpoint saturation, node-budget exhaustion (with
+  the tripping rule recorded and a trace instant emitted), the
+  iteration cap, and the ``cost_after >= cost_before`` fallback that
+  returns the input tDFG untouched;
+* the egg-style :class:`BackoffScheduler` (ban thresholds double, bans
+  expire, stall-unban via ``unban_all``);
+* knob validation at both the library boundary (``OptimizationError``)
+  and the user boundaries (CLI exit code 1, serve ``JobSpecError``);
+* cross-strategy agreement: ``indexed`` and ``naive`` extract
+  cost-identical tDFGs on every workload kernel that saturates, and
+  both still improve the one kernel (conv2d) whose search the node
+  budget truncates;
+* the ``egraph.*`` metrics and stats surfaced through
+  :class:`OptimizationReport` and ``repro compile --egraph-stats``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import cli
+from repro.egraph import (
+    STRATEGIES,
+    BackoffScheduler,
+    optimize_tdfg,
+    validate_optimizer_knobs,
+)
+from repro.errors import JobSpecError, OptimizationError
+from repro.frontend import parse_kernel
+from repro.serve.jobs import validate_spec
+from repro.trace import events as trace_events
+from repro.trace import metrics as trace_metrics
+from repro.workloads import suite
+
+# V*A[i-1] + V*A[i+1] factors via distributivity: plenty of rewrites.
+FACTOR_SRC = "for i in [1, N-1):\n    B[i] = V*A[i-1] + V*A[i+1]\n"
+FACTOR_ARRAYS = {"A": ("N",), "B": ("N",)}
+
+# A 5-point weighted stencil: assoc/distrib/comm blow past small node
+# budgets within an iteration or two.
+RICH_SRC = (
+    "for i in [2, N-2):\n"
+    "    B[i] = V*A[i-2] + V*A[i-1] + V*A[i] + V*A[i+1] + V*A[i+2]\n"
+)
+
+# X[i] + Y[i]: nothing to factor, fuse, or expand profitably.
+PLAIN_SRC = "for i in [0, N):\n    Y[i] = X[i] + Y[i]\n"
+PLAIN_ARRAYS = {"X": ("N",), "Y": ("N",)}
+
+RULE_NAMES = {
+    "comm", "assoc", "distrib", "mv_cmp", "bc_cmp", "mv_fuse",
+    "mv_commute", "expand", "shrink_shrink", "mv_shrink", "bc_shrink",
+    "cmp_shrink",
+}
+
+
+def _tdfg(src, arrays, params):
+    prog = parse_kernel("inc", src, arrays=arrays)
+    return prog.instantiate(params).first_region().tdfg
+
+
+def _factor_tdfg(n=64):
+    return _tdfg(FACTOR_SRC, FACTOR_ARRAYS, {"N": n, "V": 3})
+
+
+def _rich_tdfg(n=64):
+    return _tdfg(RICH_SRC, FACTOR_ARRAYS, {"N": n, "V": 3})
+
+
+# ----------------------------------------------------------------------
+# Early-exit paths
+# ----------------------------------------------------------------------
+class TestEarlyExits:
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_fixpoint_saturates(self, strategy):
+        out, report = optimize_tdfg(
+            _factor_tdfg(), max_iterations=16, strategy=strategy
+        )
+        assert report.saturated
+        assert report.budget_tripped_by is None
+        assert report.iterations < 16
+        assert report.cost_after < report.cost_before
+        assert report.strategy == strategy
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_node_budget_exhaustion_records_rule(self, strategy):
+        out, report = optimize_tdfg(
+            _rich_tdfg(), node_budget=64, strategy=strategy
+        )
+        assert not report.saturated
+        assert report.budget_tripped_by in RULE_NAMES | {"rebuild"}
+        assert report.num_nodes > 64
+
+    def test_budget_exhaustion_emits_trace_instant_and_metric(self):
+        with trace_events.tracing() as tr, trace_metrics.collecting() as reg:
+            optimize_tdfg(_rich_tdfg(), node_budget=64)
+        names = [e.name for e in tr.events]
+        assert "egraph.node_budget_exhausted" in names
+        snap = reg.snapshot()
+        tripped = [
+            k for k in snap.counters if k.startswith("egraph.budget_exhausted")
+        ]
+        assert tripped, f"no egraph.budget_exhausted counter in {snap.counters}"
+
+    def test_iteration_cap_reports_unsaturated(self):
+        _, report = optimize_tdfg(_factor_tdfg(), max_iterations=1)
+        assert report.iterations == 1
+        assert not report.saturated
+        assert report.budget_tripped_by is None
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_no_improvement_returns_input_tdfg(self, strategy):
+        tdfg = _tdfg(PLAIN_SRC, PLAIN_ARRAYS, {"N": 64})
+        out, report = optimize_tdfg(tdfg, strategy=strategy)
+        assert out is tdfg  # the fallback hands back the original object
+        assert report.cost_after == report.cost_before
+        assert report.improvement == 1.0  # ratio: unchanged cost
+
+
+# ----------------------------------------------------------------------
+# Knob validation: library raises, boundaries map to user errors
+# ----------------------------------------------------------------------
+class TestKnobValidation:
+    def test_valid_knobs_pass(self):
+        assert validate_optimizer_knobs(4, 20_000, "indexed") == []
+        assert validate_optimizer_knobs(1, 64, "naive") == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_iterations": 0},
+            {"max_iterations": True},
+            {"node_budget": 63},
+            {"node_budget": 2.5},
+            {"strategy": "bogus"},
+        ],
+        ids=["zero-iters", "bool-iters", "low-budget", "float-budget",
+             "bad-strategy"],
+    )
+    def test_bad_knobs_raise_optimization_error(self, kwargs):
+        with pytest.raises(OptimizationError):
+            optimize_tdfg(_factor_tdfg(), **kwargs)
+
+    def test_cli_rejects_bad_knobs_with_exit_1(self, tmp_path, capsys):
+        path = tmp_path / "factor.k"
+        path.write_text(FACTOR_SRC)
+        base = [
+            "compile", str(path), "--array", "A:N", "--array", "B:N",
+            "-p", "N=64", "-p", "V=3", "--name", "factor", "--optimize",
+        ]
+        assert cli.main(base + ["--node-budget", "10"]) == 1
+        assert "node_budget" in capsys.readouterr().err
+        assert cli.main(base + ["--strategy", "bogus"]) == 1
+        assert "strategy" in capsys.readouterr().err
+        assert cli.main(base + ["--max-iterations", "0"]) == 1
+        assert "max_iterations" in capsys.readouterr().err
+
+    def test_cli_egraph_stats_prints_rule_table(self, tmp_path, capsys):
+        path = tmp_path / "factor.k"
+        path.write_text(FACTOR_SRC)
+        rc = cli.main([
+            "compile", str(path), "--array", "A:N", "--array", "B:N",
+            "-p", "N=64", "-p", "V=3", "--name", "factor", "--egraph-stats",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "e-graph stats" in out
+        assert "distrib" in out  # the factoring rule fired and is listed
+        assert "phases:" in out
+
+    def test_serve_spec_validates_knobs(self):
+        spec = {
+            "kind": "kernel",
+            "source": FACTOR_SRC,
+            "arrays": {"A": ["N"], "B": ["N"]},
+            "params": {"N": 64, "V": 3},
+            "optimize": True,
+        }
+        norm = validate_spec(spec)
+        assert norm["optimize"] is True
+        assert norm["strategy"] == "indexed"
+        assert norm["max_iterations"] == 4
+        assert norm["node_budget"] == 20_000
+        with pytest.raises(JobSpecError):
+            validate_spec({**spec, "node_budget": 8})
+        with pytest.raises(JobSpecError):
+            validate_spec({**spec, "strategy": "bogus"})
+
+    def test_serve_spec_without_optimize_has_no_knobs(self):
+        norm = validate_spec({
+            "kind": "kernel",
+            "source": PLAIN_SRC,
+            "arrays": {"X": ["N"], "Y": ["N"]},
+            "params": {"N": 64},
+        })
+        assert "optimize" not in norm
+        assert "strategy" not in norm
+
+
+# ----------------------------------------------------------------------
+# Backoff scheduler
+# ----------------------------------------------------------------------
+class TestBackoffScheduler:
+    def test_under_limit_never_bans(self):
+        s = BackoffScheduler(1, match_limit=10, ban_length=2)
+        for it in range(5):
+            assert not s.record_matches(0, 10, it)
+            assert not s.is_banned(0, it + 1)
+
+    def test_exceeding_limit_bans_then_expires(self):
+        s = BackoffScheduler(1, match_limit=10, ban_length=2)
+        assert s.record_matches(0, 11, 0)  # banned for iterations 1..2
+        assert s.is_banned(0, 1)
+        assert s.is_banned(0, 2)
+        assert not s.is_banned(0, 3)
+
+    def test_repeat_offender_threshold_and_ban_double(self):
+        s = BackoffScheduler(1, match_limit=10, ban_length=1)
+        assert s.record_matches(0, 11, 0)  # banned for iteration 1
+        # After one ban the threshold doubles: 11 matches no longer trips.
+        assert not s.record_matches(0, 11, 2)
+        assert s.record_matches(0, 21, 3)  # 2nd ban: length doubles to 2
+        assert s.is_banned(0, 4)
+        assert s.is_banned(0, 5)
+        assert not s.is_banned(0, 6)
+
+    def test_unban_all_clears_active_bans(self):
+        s = BackoffScheduler(2, match_limit=1, ban_length=8)
+        s.record_matches(0, 5, 0)
+        s.record_matches(1, 5, 0)
+        assert s.any_banned(1)
+        s.unban_all()
+        assert not s.any_banned(1)
+        assert not s.is_banned(0, 1)
+
+
+# ----------------------------------------------------------------------
+# Cross-strategy agreement on the workload kernels
+# ----------------------------------------------------------------------
+def _workload_tdfg(name, scale=0.02):
+    w = suite.workload(name, scale=scale)
+    kernel = w.program.instantiate(
+        {k: int(v) for k, v in w.params.items()}, dataflow=w.dataflow
+    )
+    return kernel.first_region().tdfg
+
+
+class TestStrategyAgreement:
+    # Every repro.workloads kernel whose saturation fits tier-1 time
+    # budgets; stencil2d/3d and conv2d are exercised (with the same
+    # assertions) by benchmarks/bench_compile_time.py at bench scale.
+    KERNELS = (
+        "stencil1d", "dwt2d", "gauss_elim", "conv3d", "mm", "kmeans",
+        "gather_mlp",
+    )
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_cost_identical_extraction(self, name):
+        tdfg = _workload_tdfg(name)
+        reports = {}
+        for strategy in STRATEGIES:
+            _, reports[strategy] = optimize_tdfg(
+                tdfg, max_iterations=6, strategy=strategy
+            )
+        indexed, naive = reports["indexed"], reports["naive"]
+        assert indexed.cost_before == naive.cost_before
+        assert indexed.cost_after == naive.cost_after
+        # Each either reached fixpoint or returned the input unchanged.
+        for rep in reports.values():
+            assert rep.saturated or rep.cost_after == rep.cost_before
+
+    def test_budget_truncated_kernel_improves_under_both(self):
+        # conv2d trips the node budget: frontiers (and costs) legitimately
+        # diverge, but both strategies must still find an improvement.
+        tdfg = _workload_tdfg("conv2d", scale=0.01)
+        for strategy in STRATEGIES:
+            _, rep = optimize_tdfg(
+                tdfg, max_iterations=6, node_budget=2048, strategy=strategy
+            )
+            assert rep.cost_after <= rep.cost_before
+
+
+# ----------------------------------------------------------------------
+# Report stats and metrics
+# ----------------------------------------------------------------------
+class TestReportStats:
+    def test_rule_stats_and_phases_populated(self):
+        _, report = optimize_tdfg(_factor_tdfg())
+        by_name = {s.name: s for s in report.rule_stats}
+        assert set(by_name) <= RULE_NAMES
+        assert by_name["distrib"].matches > 0
+        assert by_name["distrib"].applied > 0
+        total_unions = sum(s.unions for s in report.rule_stats)
+        assert total_unions > 0
+        assert report.phases.match_seconds >= 0.0
+        assert report.elapsed_seconds > 0.0
+
+    def test_metrics_registry_sees_egraph_series(self):
+        with trace_metrics.collecting() as reg:
+            optimize_tdfg(_factor_tdfg())
+        snap = reg.snapshot()
+        assert any(k.startswith("egraph.iterations") for k in snap.counters)
+        assert any(
+            k.startswith("egraph.rule.matches") for k in snap.counters
+        )
+        assert any(
+            k.startswith("egraph.saturate.seconds") for k in snap.counters
+        ), f"missing egraph.saturate.seconds in {list(snap.counters)}"
+        assert "egraph.nodes" in snap.dists

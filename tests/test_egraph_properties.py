@@ -44,7 +44,9 @@ from repro.egraph.rewrites import (
     rule_mv_shrink,
     rule_shrink_shrink,
 )
+from repro.egraph.saturate import STRATEGIES, optimize_tdfg
 from repro.geometry import Hyperrect
+from repro.ir.dtypes import DType
 from repro.ir.nodes import (
     BroadcastNode,
     ComputeNode,
@@ -55,6 +57,7 @@ from repro.ir.nodes import (
     TensorNode,
 )
 from repro.ir.ops import Op
+from repro.ir.tdfg import ArrayDecl, TensorDFG
 from repro.sim.functional import LatticeContext, eval_node
 
 N = 12  # 1-D lattice extent
@@ -268,6 +271,54 @@ def test_saturation_extraction_never_increases_cost(term):
     assert cost_after <= cost_before + 1e-9, (
         f"extraction raised cost {cost_before} -> {cost_after} for {term!r}"
     )
+
+
+def _tdfg_of(term: Node) -> TensorDFG:
+    """Wrap a random term as a one-binding region for optimize_tdfg."""
+    tdfg = TensorDFG(name="prop")
+    for name in ARRAYS:
+        tdfg.declare(ArrayDecl(name, (N,), DType.FP32))
+    tdfg.declare(ArrayDecl("O", (N,), DType.FP32))
+    tdfg.bind("O", term.domain, term)
+    return tdfg
+
+
+@given(term=terms(), seed=st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_strategies_preserve_semantics_and_agree_on_cost(term, seed):
+    """Indexed and naive saturation extract cost-identical, exact tDFGs.
+
+    Both strategies run the whole optimize_tdfg pipeline on the same
+    term.  Semantic preservation must hold unconditionally; extracted
+    costs must be identical whenever the searches reach fixpoint (a
+    budget-truncated search stops at a strategy-dependent frontier, so
+    tiny budgets are avoided here — tier-1 covers that path on the
+    workload kernels instead).
+    """
+    dom = _lattice_domain(term)
+    if dom is None:
+        return
+    expected = _evaluate(term, seed)
+    sel = dom.numpy_slices()
+
+    reports = {}
+    for strategy in STRATEGIES:
+        out, reports[strategy] = optimize_tdfg(
+            _tdfg_of(term), max_iterations=8, strategy=strategy
+        )
+        rebuilt = out.results[0].node
+        assert rebuilt.domain == term.domain
+        np.testing.assert_array_equal(
+            _evaluate(rebuilt, seed)[sel],
+            expected[sel],
+            err_msg=f"{strategy} strategy changed values of {term!r}",
+        )
+    indexed, naive = reports["indexed"], reports["naive"]
+    assert indexed.cost_before == naive.cost_before
+    if indexed.saturated and naive.saturated:
+        assert indexed.cost_after == naive.cost_after, (
+            f"strategies extracted different costs for {term!r}"
+        )
 
 
 @given(term=terms(), seed=st.integers(0, 2**16))
