@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Simulation wall-clock benchmark for the timing-engine hot path.
+
+Measures the end-to-end wall-time of the figure campaigns that exercise
+the timing engine (fig11 speedups and the fig14 cycle breakdown, both at
+smoke scale) and maintains the committed ``benchmarks/BENCH_sim.json``
+baseline that CI gates against — the simulation-side twin of
+``bench_compile_time.py``.
+
+Usage::
+
+    python benchmarks/bench_sim_time.py                     # measure + report
+    python benchmarks/bench_sim_time.py --update benchmarks/BENCH_sim.json
+    python benchmarks/bench_sim_time.py --check benchmarks/BENCH_sim.json
+
+``--check`` re-measures and fails (exit 1) if the calibrated total
+wall-time regresses more than ``--tolerance`` (default 0.25) over the
+baseline.  Raw seconds are not comparable across machines, so both the
+baseline and the check run time a fixed pure-python calibration loop
+and the baseline total is rescaled by the calibration ratio before the
+band is applied (the same scheme as the e-graph compile-time gate).  A
+missing baseline file is a graceful skip (exit 0), so the gate can land
+before the first baseline does.
+
+Measurement protocol: every repeat re-creates the process-global
+compilation cache (fresh, in-memory) so each repeat pays the full
+compile + lower + execute path — the quantity the vectorization work
+targets — and the best (minimum) repeat is kept.  ``points`` counts
+simulation points (workload x paradigm runs), so ``points_per_sec`` is
+the serve-fleet-facing throughput figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.exec.cache import configure_cache
+from repro.sim import campaign
+
+SCALE = 0.05
+
+
+def _calibrate(rounds: int = 3) -> float:
+    """Seconds for a fixed pure-python loop: the machine-speed yardstick."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(2_000_000):
+            acc += i * 3 % 7
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _run_fig11() -> int:
+    _h, _rows, results = campaign.fig11_speedup(SCALE)
+    # fig12 is derived from fig11's results; include its assembly so the
+    # benchmark covers the whole golden-figure surface.
+    campaign.fig12_noc_traffic(results)
+    return sum(len(res) for res in results.values())
+
+
+def _run_fig14() -> int:
+    _h, rows = campaign.fig14_cycles(SCALE)
+    return len(rows)
+
+
+CAMPAIGNS = {
+    "fig14": _run_fig14,
+    "fig11": _run_fig11,
+}
+
+
+def _measure(fn, repeats: int) -> tuple[float, int]:
+    """(best wall seconds, points) over *repeats* cold-cache runs."""
+    best = float("inf")
+    points = 0
+    for _ in range(repeats):
+        # A fresh in-memory cache per repeat: every repeat measures the
+        # full compile + lower + execute path, not warm-cache replay.
+        configure_cache(enabled=True)
+        t0 = time.perf_counter()
+        points = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, points
+
+
+def run_bench(args) -> dict:
+    results: dict[str, dict] = {}
+    for name in args.campaigns:
+        seconds, points = _measure(CAMPAIGNS[name], args.repeats)
+        row = {
+            "seconds": round(seconds, 4),
+            "points": points,
+            "points_per_sec": round(points / seconds, 2) if seconds else None,
+        }
+        results[name] = row
+        print(
+            f"{name:<7} {seconds * 1e3:9.1f}ms  {points:>4} points  "
+            f"{row['points_per_sec']:>8} points/s",
+            flush=True,
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Baseline handling
+# ----------------------------------------------------------------------
+def write_baseline(path: Path, args, calibration: float, results: dict) -> None:
+    payload = {
+        "scale": SCALE,
+        "repeats": args.repeats,
+        "calibration_seconds": round(calibration, 4),
+        "total_seconds": round(
+            sum(r["seconds"] for r in results.values()), 4
+        ),
+        "campaigns": results,
+    }
+    if args.reference is not None:
+        # The pre-vectorization wall-clock measured with this same
+        # protocol on the same machine (see EXPERIMENTS.md), kept in the
+        # baseline so the achieved speedup stays on the record.
+        payload["reference_pre_vectorization_seconds"] = args.reference
+        payload["speedup_vs_reference"] = round(
+            args.reference / payload["total_seconds"], 2
+        )
+    elif path.exists():
+        # Preserve the recorded reference across baseline refreshes.
+        old = json.loads(path.read_text())
+        ref = old.get("reference_pre_vectorization_seconds")
+        if ref is not None:
+            cal_ratio = calibration / old["calibration_seconds"]
+            payload["reference_pre_vectorization_seconds"] = ref
+            payload["speedup_vs_reference"] = round(
+                ref * cal_ratio / payload["total_seconds"], 2
+            )
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"baseline written to {path}")
+
+
+def check_baseline(path: Path, args, calibration: float, results: dict) -> int:
+    if not path.exists():
+        print(f"no baseline at {path}; skipping regression check")
+        return 0
+    base = json.loads(path.read_text())
+    if base.get("scale") != SCALE:
+        print(
+            f"baseline was recorded at scale {base.get('scale')}; "
+            "skipping regression check"
+        )
+        return 0
+    cal_ratio = calibration / base["calibration_seconds"]
+    allowed = base["total_seconds"] * cal_ratio * (1.0 + args.tolerance)
+    total = sum(r["seconds"] for r in results.values())
+    print(
+        f"total sim wall-time {total:.3f}s; calibrated budget "
+        f"{allowed:.3f}s (baseline {base['total_seconds']:.3f}s "
+        f"x cal {cal_ratio:.2f} x {1.0 + args.tolerance:.2f})"
+    )
+    if total > allowed:
+        print(
+            f"FAIL: sim wall-clock regression: {total:.3f}s > {allowed:.3f}s "
+            f"(+{args.tolerance:.0%} band)"
+        )
+        return 1
+    print("sim wall-clock regression check passed")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument(
+        "--campaigns", nargs="*", default=list(CAMPAIGNS), choices=CAMPAIGNS
+    )
+    ap.add_argument("--update", type=Path, help="write the baseline JSON here")
+    ap.add_argument("--check", type=Path, help="compare against this baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    ap.add_argument(
+        "--reference",
+        type=float,
+        default=None,
+        help="pre-vectorization total seconds measured with this protocol "
+        "on this machine (recorded into the baseline with --update)",
+    )
+    args = ap.parse_args()
+
+    calibration = _calibrate()
+    print(f"calibration {calibration * 1e3:.1f}ms  scale {SCALE}")
+    results = run_bench(args)
+
+    if args.update:
+        write_baseline(args.update, args, calibration, results)
+    if args.check:
+        return check_baseline(args.check, args, calibration, results)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

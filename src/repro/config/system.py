@@ -230,10 +230,16 @@ class SystemConfig:
         """SHA-256 digest of the full parameter tree (stable across
         processes), used to key the content-addressed compilation cache:
         any parameter change — SRAM geometry, bank counts, NoC shape —
-        invalidates every artifact compiled under this configuration."""
-        from repro.exec.cache import stable_digest
+        invalidates every artifact compiled under this configuration.
+        Cached per instance (the dataclass is frozen, so the parameter
+        tree cannot change under the cache)."""
+        cached = self.__dict__.get("_fingerprint")
+        if cached is None:
+            from repro.exec.cache import stable_digest
 
-        return stable_digest(self)
+            cached = stable_digest(self)
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
 
     def with_sram_size(self, wordlines: int) -> "SystemConfig":
         """A copy using square SRAM arrays of the given size (256 or 512)."""

@@ -160,10 +160,158 @@ def canonical(obj):
     raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
 
 
+# Per-dataclass encoding plan: (type tag, field names in declaration
+# order).  ``fields()`` walks the class dict on every call; compilation
+# keys hash the same few dataclass types thousands of times per
+# campaign, so the plan is computed once per type.
+_DATACLASS_PLAN: dict[type, tuple[bytes, tuple[str, ...]]] = {}
+
+
+def _encode(out: list, obj) -> None:
+    """Append a deterministic, injective byte encoding of *obj* to *out*.
+
+    This is the hot-path twin of :func:`canonical`: same value domain,
+    same determinism guarantees (no dependence on the string-hash seed),
+    but it emits length-prefixed byte tokens directly instead of
+    building nested lists and JSON-serializing them.  Only
+    :func:`stable_digest` consumes the encoding, so its exact byte
+    format is free to differ from ``canonical()``'s list form — digests
+    just change, and content-addressed caches re-fill.
+    """
+    t = obj.__class__
+    if t is int:
+        out.append(b"i%d;" % obj)
+    elif t is str:
+        raw = obj.encode("utf-8", "surrogatepass")
+        out.append(b"s%d:" % len(raw))
+        out.append(raw)
+    elif t is float:
+        # float.hex round-trips exactly, like canonical().
+        out.append(b"f" + float.hex(obj).encode() + b";")
+    elif t is bool:
+        out.append(b"T" if obj else b"F")
+    elif obj is None:
+        out.append(b"N;")
+    elif t is tuple or t is list:
+        for item in obj:
+            if item.__class__ is not int:
+                out.append(b"[")
+                for item in obj:
+                    _encode(out, item)
+                out.append(b"]")
+                break
+        else:
+            # Int-only sequences (domain bounds, index lists) dominate
+            # digest traffic; one C-level repr replaces N recursions.
+            # The exact-class check excludes bools, repr of an int tuple
+            # is ASCII and deterministic, and the "I" prefix is unused
+            # by every other token, so injectivity holds.
+            out.append(b"I" + repr(tuple(obj)).encode() + b";")
+    elif t is dict:
+        # Sort by encoded bytes: deterministic for any key mix, and
+        # injective because each pair's encoding is self-delimiting.
+        pairs = []
+        for key, value in obj.items():
+            buf: list = []
+            _encode(buf, key)
+            _encode(buf, value)
+            pairs.append(b"".join(buf))
+        pairs.sort()
+        out.append(b"{")
+        out.extend(pairs)
+        out.append(b"}")
+    else:
+        _encode_slow(out, obj, t)
+
+
+#: Pre-built byte tokens per enum *member*, keyed by ``id``.  Members are
+#: class attributes and so live for the process lifetime, which keeps ids
+#: stable; keying by the member itself would let IntEnum members of
+#: different classes (equal as ints) alias each other's tokens.
+_ENUM_TOKENS: dict[int, bytes] = {}
+
+
+def _encode_slow(out: list, obj, t: type) -> None:
+    """Uncommon types: dataclasses (planned per type), enums, subclasses."""
+    plan = _DATACLASS_PLAN.get(t)
+    if plan is not None:
+        tag, names = plan
+        out.append(tag)
+        for name in names:
+            _encode(out, getattr(obj, name))
+        out.append(b")")
+        return
+    if isinstance(obj, enum.Enum):
+        # Enum before int: IntEnum members must not collide with ints.
+        tok = _ENUM_TOKENS.get(id(obj))
+        if tok is None:
+            tok = _ENUM_TOKENS[id(obj)] = (
+                b"e" + t.__name__.encode() + b":" + obj.name.encode() + b";"
+            )
+        out.append(tok)
+        return
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        names = tuple(f.name for f in fields(obj))
+        tag = b"d" + t.__name__.encode() + b"("
+        _DATACLASS_PLAN[t] = (tag, names)
+        out.append(tag)
+        for name in names:
+            _encode(out, getattr(obj, name))
+        out.append(b")")
+        return
+    if isinstance(obj, (set, frozenset)):
+        members = []
+        for item in obj:
+            buf: list = []
+            _encode(buf, item)
+            members.append(b"".join(buf))
+        members.sort()
+        out.append(b"<")
+        out.extend(members)
+        out.append(b">")
+        return
+    if isinstance(obj, str):
+        raw = obj.encode("utf-8", "surrogatepass")
+        out.append(b"s%d:" % len(raw))
+        out.append(raw)
+        return
+    if isinstance(obj, int):
+        out.append(b"i%d;" % obj)
+        return
+    if isinstance(obj, float):
+        out.append(b"f" + float.hex(obj).encode() + b";")
+        return
+    if isinstance(obj, (list, tuple)):
+        out.append(b"[")
+        for item in obj:
+            _encode(out, item)
+        out.append(b"]")
+        return
+    if isinstance(obj, dict):
+        pairs = []
+        for key, value in obj.items():
+            buf: list = []
+            _encode(buf, key)
+            _encode(buf, value)
+            pairs.append(b"".join(buf))
+        pairs.sort()
+        out.append(b"{")
+        out.extend(pairs)
+        out.append(b"}")
+        return
+    raise TypeError(f"cannot canonicalize {type(obj).__name__}: {obj!r}")
+
+
 def stable_digest(obj) -> str:
-    """SHA-256 hex digest of the canonical encoding of *obj*."""
-    payload = json.dumps(canonical(obj), separators=(",", ":"))
-    return hashlib.sha256(payload.encode()).hexdigest()
+    """SHA-256 hex digest of a deterministic encoding of *obj*.
+
+    Accepts the same value domain as :func:`canonical` and has the same
+    cross-process stability, via the streaming byte encoder above (one
+    hash over joined tokens instead of nested lists + JSON).
+    """
+    out: list = []
+    _encode(out, obj)
+    return hashlib.sha256(b"".join(out)).hexdigest()
 
 
 # ----------------------------------------------------------------------
@@ -189,7 +337,16 @@ class CacheStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def copy(self) -> "CacheStats":
-        return dataclasses.replace(self)
+        # Field-by-field construction: ``dataclasses.replace`` shows up
+        # in campaign profiles (the engine snapshots stats per region).
+        return CacheStats(
+            self.hits,
+            self.misses,
+            self.stores,
+            self.evictions,
+            self.disk_hits,
+            self.disk_stores,
+        )
 
     def delta(self, before: "CacheStats") -> "CacheStats":
         return CacheStats(

@@ -46,8 +46,15 @@ class AffineExpr:
         return self.coeff_map().get(var, 0)
 
     # -- arithmetic -----------------------------------------------------
+    # Constructed expressions keep ``coeffs`` normalized (sorted by
+    # variable, unique, nonzero), so the fast paths below can reuse an
+    # operand's coefficient tuple without re-sorting.
     def __add__(self, other: "AffineExpr") -> "AffineExpr":
-        merged = self.coeff_map()
+        if not other.coeffs:
+            return AffineExpr(self.coeffs, self.const + other.const)
+        if not self.coeffs:
+            return AffineExpr(other.coeffs, self.const + other.const)
+        merged = dict(self.coeffs)
         for v, c in other.coeffs:
             merged[v] = merged.get(v, 0) + c
         return AffineExpr(_normalize(merged), self.const + other.const)
@@ -56,29 +63,46 @@ class AffineExpr:
         return self + other.scaled(-1)
 
     def scaled(self, factor: int) -> "AffineExpr":
+        if factor == 1:
+            return self
+        if factor == 0 or not self.coeffs:
+            return AffineExpr((), self.const * factor)
+        # Scaling by a nonzero factor keeps coefficients nonzero and
+        # leaves the variable order untouched: still normalized.
         return AffineExpr(
-            _normalize({v: c * factor for v, c in self.coeffs}),
+            tuple([(v, c * factor) for v, c in self.coeffs]),
             self.const * factor,
         )
 
     def substitute(self, bindings: Mapping[str, int]) -> "AffineExpr":
         """Replace bound variables by their values."""
-        remaining: dict[str, int] = {}
+        if not self.coeffs:
+            return self
+        remaining: list[tuple[str, int]] = []
         const = self.const
         for v, c in self.coeffs:
             if v in bindings:
                 const += c * int(bindings[v])
             else:
-                remaining[v] = remaining.get(v, 0) + c
-        return AffineExpr(_normalize(remaining), const)
+                remaining.append((v, c))
+        # The unbound subsequence of a normalized tuple is normalized.
+        return AffineExpr(tuple(remaining), const)
 
     def evaluate(self, bindings: Mapping[str, int]) -> int:
-        out = self.substitute(bindings)
-        if not out.is_constant:
+        const = self.const
+        free = None
+        for v, c in self.coeffs:
+            if v in bindings:
+                const += c * int(bindings[v])
+            elif free is None:
+                free = [v]
+            else:
+                free.append(v)
+        if free is not None:
             raise FrontendError(
-                f"affine expression still has free vars {sorted(out.vars)}"
+                f"affine expression still has free vars {sorted(free)}"
             )
-        return out.const
+        return const
 
     def __str__(self) -> str:
         parts = [f"{c}*{v}" if c != 1 else v for v, c in self.coeffs]
@@ -92,7 +116,28 @@ def _normalize(coeffs: Mapping[str, int]) -> tuple[tuple[str, int], ...]:
 
 
 def extract_affine(expr: Expr) -> AffineExpr:
-    """Extract an affine form, raising FrontendError on non-affine input."""
+    """Extract an affine form, raising FrontendError on non-affine input.
+
+    The result is a pure function of the frozen AST node, and region
+    builds re-analyze the same parsed expressions once per host
+    iteration — so both outcomes (the affine form or the extraction
+    error) are cached on the node's ``__dict__``.
+    """
+    cached = expr.__dict__.get("_affine")
+    if cached is not None:
+        if cached.__class__ is FrontendError:
+            raise cached
+        return cached
+    try:
+        result = _extract_affine(expr)
+    except FrontendError as err:
+        expr.__dict__["_affine"] = err
+        raise
+    expr.__dict__["_affine"] = result
+    return result
+
+
+def _extract_affine(expr: Expr) -> AffineExpr:
     if isinstance(expr, Num):
         if isinstance(expr.value, float) and not expr.value.is_integer():
             raise FrontendError(f"non-integer index constant {expr.value}")

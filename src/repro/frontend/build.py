@@ -122,10 +122,17 @@ class RegionInstance:
         commands; symbolic parameter *values* do not participate, so
         iterative kernels (stencils) memoize across host iterations while
         shrinking kernels (Gaussian elimination) do not.
-        """
-        from repro.ir.printer import format_tdfg
 
-        return format_tdfg(self.tdfg)
+        Cached per instance: the tDFG is immutable once the instance is
+        handed to the engine, and the engine re-reads the signature on
+        every execution of the region.
+        """
+        cached = self.__dict__.get("_signature")
+        if cached is None:
+            from repro.ir.printer import format_tdfg
+
+            cached = self.__dict__["_signature"] = format_tdfg(self.tdfg)
+        return cached
 
 
 class _RegionBuilder:
@@ -187,22 +194,27 @@ class _RegionBuilder:
         return out
 
     def _target_offsets(self, stmt: StmtInfo) -> dict[str, int]:
-        offsets: dict[str, int] = {}
-        target = stmt.assign.target
-        if not isinstance(target, Ref):
-            return offsets
-        for sub in target.subscripts:
-            if not is_affine(sub):
-                continue
-            aff = extract_affine(sub)
-            for var in aff.vars:
-                info = next(
-                    (l for l in stmt.loops if l.var == var), None
-                )
-                if info is not None and info.kind is not LoopKind.HOST:
-                    rest = aff.substitute({var: 0})
-                    offsets[var] = rest.evaluate(self.bindings)
-        return offsets
+        # Split structural analysis (per statement, cached on the frozen
+        # StmtInfo) from evaluation (per host iteration's bindings).
+        pairs = stmt.__dict__.get("_offset_affines")
+        if pairs is None:
+            pairs = []
+            target = stmt.assign.target
+            if isinstance(target, Ref):
+                for sub in target.subscripts:
+                    if not is_affine(sub):
+                        continue
+                    aff = extract_affine(sub)
+                    for var in aff.vars:
+                        info = next(
+                            (l for l in stmt.loops if l.var == var), None
+                        )
+                        if info is not None and info.kind is not LoopKind.HOST:
+                            pairs.append((var, aff.substitute({var: 0})))
+            stmt.__dict__["_offset_affines"] = pairs
+        return {
+            var: rest.evaluate(self.bindings) for var, rest in pairs
+        }
 
     # ------------------------------------------------------------------
     # Expression emission
@@ -624,32 +636,38 @@ def build_sdfg(
     for stmt in stmts if stmts is not None else classification.stmts:
         if stmt.mode is StmtMode.HOST_SCALAR:
             continue
-        loops = [l for l in stmt.loops if l.kind is not LoopKind.HOST]
+        loops = stmt.tensor_loops()
         extents = {
             l.var: max(0, l.hi.evaluate(bindings) - l.lo.evaluate(bindings))
             for l in loops
         }
-        refs: list[tuple[Ref, StreamType]] = []
-        target = stmt.assign.target
-        if isinstance(target, Ref):
-            refs.append((target, StreamType.STORE))
-        from repro.frontend.kast import walk_refs
+        # The reference list and per-ref variable sets are structural
+        # (binding-independent), so they are computed once per frozen
+        # StmtInfo and cached on it; only the extents/pattern evaluation
+        # below runs per host iteration.
+        refs = stmt.__dict__.get("_sdfg_refs")
+        if refs is None:
+            refs = []
+            target = stmt.assign.target
+            if isinstance(target, Ref):
+                refs.append(
+                    (target, StreamType.STORE, _ref_free_vars(target))
+                )
+            from repro.frontend.kast import walk_refs
 
-        seen: set[str] = set()
-        for ref in walk_refs(stmt.assign.value):
-            key = str(ref)
-            if key in seen:
-                continue
-            seen.add(key)
-            refs.append((ref, StreamType.LOAD))
-        for ref, stype in refs:
+            seen: set[str] = set()
+            for ref in walk_refs(stmt.assign.value):
+                key = str(ref)
+                if key in seen:
+                    continue
+                seen.add(key)
+                refs.append((ref, StreamType.LOAD, _ref_free_vars(ref)))
+            stmt.__dict__["_sdfg_refs"] = refs
+        for ref, stype, used_vars in refs:
             decl = arrays[ref.array]
             counter += 1
             sname = f"{name}.s{counter}_{ref.array}"
             pattern = _ref_pattern(ref, decl, loops, bindings, extents)
-            used_vars: set[str] = set()
-            for sub in ref.subscripts:
-                used_vars |= free_vars(sub)
             reuse = 1
             for l in loops:
                 if l.var not in used_vars:
@@ -665,6 +683,14 @@ def build_sdfg(
     return sdfg
 
 
+def _ref_free_vars(ref: Ref) -> frozenset[str]:
+    """Free variables across all subscripts of a reference."""
+    out: set[str] = set()
+    for sub in ref.subscripts:
+        out |= free_vars(sub)
+    return frozenset(out)
+
+
 def _ref_pattern(
     ref: Ref,
     decl: ArrayDecl,
@@ -672,14 +698,38 @@ def _ref_pattern(
     bindings: Mapping[str, int],
     extents: Mapping[str, int],
 ):
-    """Affine or indirect pattern for a reference in stream order."""
-    if any(not is_affine(sub) for sub in ref.subscripts):
-        # Distinct accesses iterate only the loops the ref actually uses;
-        # loops missing from the subscripts are reuse, accounted via the
-        # stream's ``reuse`` factor (not the address pattern).
-        used: set[str] = set()
-        for sub in ref.subscripts:
-            used |= free_vars(sub)
+    """Affine or indirect pattern for a reference in stream order.
+
+    The affine decomposition and per-dimension strides depend only on
+    the reference and the array declaration, both fixed across the host
+    loop, so they are cached on the ref (same object-identity invariant
+    as ``_sdfg_refs``); only the binding/extent arithmetic runs per
+    iteration.
+    """
+    plan = ref.__dict__.get("_pattern_plan")
+    if plan is None:
+        if any(not is_affine(sub) for sub in ref.subscripts):
+            # Distinct accesses iterate only the loops the ref actually
+            # uses; loops missing from the subscripts are reuse,
+            # accounted via the stream's ``reuse`` factor (not the
+            # address pattern).
+            used: set[str] = set()
+            for sub in ref.subscripts:
+                used |= free_vars(sub)
+            plan = (None, frozenset(used))
+        else:
+            # Element strides per array dimension (dim 0 contiguous).
+            dim_strides = [1] * decl.ndim
+            for d in range(1, decl.ndim):
+                dim_strides[d] = dim_strides[d - 1] * decl.shape[d - 1]
+            entries = []
+            for pos, sub in enumerate(ref.subscripts):
+                dim = decl.ndim - 1 - pos
+                entries.append((extract_affine(sub), dim_strides[dim]))
+            plan = (tuple(entries), None)
+        ref.__dict__["_pattern_plan"] = plan
+    entries, used = plan
+    if entries is None:
         trip = 1
         for l in loops:
             if l.var in used:
@@ -687,23 +737,16 @@ def _ref_pattern(
         return IndirectPattern(
             index_stream=f"idx_{ref.array}", trip_count=max(1, trip)
         )
-    # Element strides per array dimension (dim 0 contiguous).
-    dim_strides = [1] * decl.ndim
-    for d in range(1, decl.ndim):
-        dim_strides[d] = dim_strides[d - 1] * decl.shape[d - 1]
     start = 0
     per_var: dict[str, int] = {}
-    for pos, sub in enumerate(ref.subscripts):
-        dim = decl.ndim - 1 - pos
-        aff = extract_affine(sub)
-        const = aff.substitute(
-            {v: 0 for v in aff.vars if v not in bindings}
-        ).evaluate(bindings)
-        start += const * dim_strides[dim]
-        for var in aff.vars:
+    for aff, dstride in entries:
+        const = aff.const
+        for var, coeff in aff.coeffs:
             if var in bindings:
-                continue
-            per_var[var] = per_var.get(var, 0) + aff.coeff(var) * dim_strides[dim]
+                const += coeff * int(bindings[var])
+            else:
+                per_var[var] = per_var.get(var, 0) + coeff * dstride
+        start += const * dstride
     dims: list[tuple[int, int]] = []
     for l in reversed(loops):  # innermost loop first
         stride = per_var.get(l.var, 0)

@@ -96,7 +96,14 @@ class StmtInfo:
         raise FrontendError(f"statement has no enclosing loop {var!r}")
 
     def tensor_loops(self) -> tuple[LoopInfo, ...]:
-        return tuple(l for l in self.loops if l.kind is not LoopKind.HOST)
+        # Pure function of a frozen node, re-read once per host
+        # iteration by the region builder: cached in ``__dict__``.
+        cached = self.__dict__.get("_tensor_loops")
+        if cached is None:
+            cached = self.__dict__["_tensor_loops"] = tuple(
+                l for l in self.loops if l.kind is not LoopKind.HOST
+            )
+        return cached
 
 
 @dataclass(frozen=True)

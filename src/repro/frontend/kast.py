@@ -14,12 +14,25 @@ from dataclasses import dataclass
 class Expr:
     """Base class for expressions."""
 
+    def __str__(self) -> str:
+        # Pure function of a frozen node; region builds stringify the
+        # same parsed subexpressions once per host iteration (stream
+        # names, interning keys), so the rendering is cached in
+        # ``__dict__`` (allowed on frozen dataclasses without slots).
+        s = self.__dict__.get("_rendered")
+        if s is None:
+            s = self.__dict__["_rendered"] = self._str()
+        return s
+
+    def _str(self) -> str:
+        return object.__repr__(self)
+
 
 @dataclass(frozen=True)
 class Num(Expr):
     value: float | int
 
-    def __str__(self) -> str:
+    def _str(self) -> str:
         return str(self.value)
 
 
@@ -29,7 +42,7 @@ class Var(Expr):
 
     name: str
 
-    def __str__(self) -> str:
+    def _str(self) -> str:
         return self.name
 
 
@@ -40,7 +53,7 @@ class Ref(Expr):
     array: str
     subscripts: tuple[Expr, ...]
 
-    def __str__(self) -> str:
+    def _str(self) -> str:
         subs = "".join(f"[{s}]" for s in self.subscripts)
         return f"{self.array}{subs}"
 
@@ -51,7 +64,7 @@ class BinOp(Expr):
     left: Expr
     right: Expr
 
-    def __str__(self) -> str:
+    def _str(self) -> str:
         return f"({self.left} {self.op} {self.right})"
 
 
@@ -60,7 +73,7 @@ class UnaryOp(Expr):
     op: str  # "-"
     operand: Expr
 
-    def __str__(self) -> str:
+    def _str(self) -> str:
         return f"({self.op}{self.operand})"
 
 
@@ -71,7 +84,7 @@ class Call(Expr):
     func: str
     args: tuple[Expr, ...]
 
-    def __str__(self) -> str:
+    def _str(self) -> str:
         return f"{self.func}({', '.join(map(str, self.args))})"
 
 

@@ -10,6 +10,7 @@ dimensions.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Sequence
 
 from repro.errors import GeometryError
@@ -63,6 +64,16 @@ def decompose_tensor(
         )
     if tensor.is_empty:
         return []
+    # Memoized: lowering decomposes the same (domain, tile) pairs for
+    # every host iteration of a region, and both arguments are frozen
+    # value types.  A fresh list is returned so callers may mutate it.
+    return list(_decompose_cached(tensor, tuple(tile_sizes)))
+
+
+@lru_cache(maxsize=65536)
+def _decompose_cached(
+    tensor: Hyperrect, tile_sizes: tuple[int, ...]
+) -> tuple[Hyperrect, ...]:
     per_dim: list[list[tuple[int, int]]] = []
     for dim in range(tensor.ndim):
         p, q = tensor.interval(dim)
@@ -78,7 +89,7 @@ def decompose_tensor(
             rec(dim + 1, acc + [interval])
 
     rec(0, [])
-    return result
+    return tuple(result)
 
 
 def tile_index_range(

@@ -16,30 +16,41 @@ talks about "dimension 0 (continuous in address space)").  A C array
 from __future__ import annotations
 
 import math
+import operator
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 from repro.errors import GeometryError
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True)
 class Hyperrect:
     """An N-dimensional half-open hyperrectangle ``[p_i, q_i)``.
 
     The empty hyperrectangle is represented canonically with
     ``starts == ends == (0,) * ndim`` so that equality tests behave.
+
+    Not slotted: ``shape``/``volume`` are derived on demand and cached
+    in ``__dict__`` (lowering and timing read them many times per
+    instance); equality, hashing and digests use the declared fields
+    only.
     """
 
     starts: tuple[int, ...]
     ends: tuple[int, ...]
 
     def __post_init__(self) -> None:
-        if len(self.starts) != len(self.ends):
+        # Plain loops: this validator runs on every construction and is
+        # hot enough that generator frames show up in campaign profiles.
+        starts = self.starts
+        ends = self.ends
+        if len(starts) != len(ends):
             raise GeometryError(
-                f"starts/ends rank mismatch: {self.starts} vs {self.ends}"
+                f"starts/ends rank mismatch: {starts} vs {ends}"
             )
-        if any(q < p for p, q in zip(self.starts, self.ends)):
-            raise GeometryError(f"negative extent in {self.starts}..{self.ends}")
+        for p, q in zip(starts, ends):
+            if q < p:
+                raise GeometryError(f"negative extent in {starts}..{ends}")
 
     # ------------------------------------------------------------------
     # Constructors
@@ -56,10 +67,12 @@ class Hyperrect:
     @staticmethod
     def from_bounds(bounds: Iterable[tuple[int, int]]) -> "Hyperrect":
         """Build from ``[(p0, q0), (p1, q1), ...]`` pairs."""
-        pairs = list(bounds)
-        return Hyperrect(
-            tuple(int(p) for p, _ in pairs), tuple(int(q) for _, q in pairs)
-        )
+        starts = []
+        ends = []
+        for p, q in bounds:
+            starts.append(int(p))
+            ends.append(int(q))
+        return Hyperrect(tuple(starts), tuple(ends))
 
     @staticmethod
     def empty(ndim: int) -> "Hyperrect":
@@ -75,16 +88,27 @@ class Hyperrect:
 
     @property
     def shape(self) -> tuple[int, ...]:
-        return tuple(q - p for p, q in zip(self.starts, self.ends))
+        s = self.__dict__.get("_shape")
+        if s is None:
+            s = self.__dict__["_shape"] = tuple(
+                map(operator.sub, self.ends, self.starts)
+            )
+        return s
 
     @property
     def volume(self) -> int:
         """Number of lattice cells covered."""
-        return math.prod(self.shape)
+        v = self.__dict__.get("_volume")
+        if v is None:
+            v = self.__dict__["_volume"] = math.prod(self.shape)
+        return v
 
     @property
     def is_empty(self) -> bool:
-        return any(q <= p for p, q in zip(self.starts, self.ends))
+        for p, q in zip(self.starts, self.ends):
+            if q <= p:
+                return True
+        return False
 
     def bounds(self) -> list[tuple[int, int]]:
         return list(zip(self.starts, self.ends))
@@ -115,11 +139,20 @@ class Hyperrect:
     def intersect(self, other: "Hyperrect") -> "Hyperrect":
         """Intersection — the domain of a tDFG compute node (Fig 5)."""
         self._check_rank(other)
-        starts = tuple(max(p, op) for p, op in zip(self.starts, other.starts))
-        ends = tuple(min(q, oq) for q, oq in zip(self.ends, other.ends))
-        if any(e <= s for s, e in zip(starts, ends)):
-            return Hyperrect.empty(self.ndim)
-        return Hyperrect(starts, ends)
+        starts = []
+        ends = []
+        empty = False
+        for p, q, op, oq in zip(self.starts, self.ends, other.starts, other.ends):
+            s = p if p >= op else op
+            e = q if q <= oq else oq
+            if e <= s:
+                empty = True
+                break
+            starts.append(s)
+            ends.append(e)
+        if empty:
+            return Hyperrect.empty(len(self.starts))
+        return Hyperrect(tuple(starts), tuple(ends))
 
     def bounding_union(self, other: "Hyperrect") -> "Hyperrect":
         """Minimal hyperrectangle containing both (global bounding box)."""
@@ -227,4 +260,31 @@ class Hyperrect:
             raise GeometryError(f"rank mismatch: {self.ndim} vs {other.ndim}")
 
     def __str__(self) -> str:
-        return "x".join(f"[{p},{q})" for p, q in zip(self.starts, self.ends))
+        s = self.__dict__.get("_rendered")
+        if s is None:
+            s = self.__dict__["_rendered"] = "x".join(
+                f"[{p},{q})" for p, q in zip(self.starts, self.ends)
+            )
+        return s
+
+
+def _install_cached_hash() -> None:
+    """Wrap the dataclass-generated ``__hash__`` with a per-instance cache.
+
+    The hash recomputes two tuple hashes per call and hyperrects key
+    every geometry memo (decomposition, bank coverage) plus node
+    interning; the value is a pure function of the frozen fields.
+    """
+    orig = Hyperrect.__hash__
+    unset = object()
+
+    def __hash__(self, _orig=orig, _unset=unset):
+        h = self.__dict__.get("_hash", _unset)
+        if h is _unset:
+            h = self.__dict__["_hash"] = _orig(self)
+        return h
+
+    Hyperrect.__hash__ = __hash__
+
+
+_install_cached_hash()

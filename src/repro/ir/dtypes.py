@@ -19,7 +19,14 @@ import numpy as np
 
 
 class DType(enum.Enum):
-    """Supported tensor element types."""
+    """Supported tensor element types.
+
+    ``bits``/``bytes``/``is_float``/``numpy`` are plain per-member
+    attributes (assigned right after the class body below): the timing
+    model reads them tens of thousands of times per campaign, and a
+    property plus dict lookup keyed by the member showed up in
+    profiles.
+    """
 
     INT8 = "int8"
     INT16 = "int16"
@@ -27,21 +34,10 @@ class DType(enum.Enum):
     INT64 = "int64"
     FP32 = "fp32"
 
-    @property
-    def bits(self) -> int:
-        return _BITS[self]
-
-    @property
-    def bytes(self) -> int:
-        return self.bits // 8
-
-    @property
-    def is_float(self) -> bool:
-        return self is DType.FP32
-
-    @property
-    def numpy(self) -> np.dtype:
-        return _NUMPY[self]
+    bits: int
+    bytes: int
+    is_float: bool
+    numpy: np.dtype
 
     @property
     def mantissa_bits(self) -> int:
@@ -51,21 +47,18 @@ class DType(enum.Enum):
         raise ValueError(f"{self} has no mantissa")
 
 
-_BITS = {
-    DType.INT8: 8,
-    DType.INT16: 16,
-    DType.INT32: 32,
-    DType.INT64: 64,
-    DType.FP32: 32,
-}
-
-_NUMPY = {
-    DType.INT8: np.dtype(np.int8),
-    DType.INT16: np.dtype(np.int16),
-    DType.INT32: np.dtype(np.int32),
-    DType.INT64: np.dtype(np.int64),
-    DType.FP32: np.dtype(np.float32),
-}
+for _member, _bits, _np in (
+    (DType.INT8, 8, np.int8),
+    (DType.INT16, 16, np.int16),
+    (DType.INT32, 32, np.int32),
+    (DType.INT64, 64, np.int64),
+    (DType.FP32, 32, np.float32),
+):
+    _member.bits = _bits
+    _member.bytes = _bits // 8
+    _member.is_float = _member is DType.FP32
+    _member.numpy = np.dtype(_np)
+del _member, _bits, _np
 
 
 def int_add_cycles(bits: int) -> int:

@@ -24,6 +24,11 @@ from repro.ir.dtypes import DType
 from repro.ir.ops import Op
 
 
+#: Sentinel distinguishing "not computed yet" from a legitimate ``None``
+#: domain in the per-node cache below.
+_UNSET = object()
+
+
 @dataclass(frozen=True)
 class Node:
     """Base class for tDFG nodes.  Subclasses are frozen value types."""
@@ -34,6 +39,19 @@ class Node:
 
     @property
     def domain(self) -> Hyperrect | None:
+        """Lattice region covered by this node's output tensor.
+
+        Node fields are frozen and domains are pure functions of them,
+        so subclasses with recursive domains cache the result in
+        ``__dict__`` (which frozen dataclasses still allow); equality,
+        hashing, and the digest encoder only look at declared fields.
+        """
+        cached = self.__dict__.get("_domain", _UNSET)
+        if cached is _UNSET:
+            cached = self.__dict__["_domain"] = self._compute_domain()
+        return cached
+
+    def _compute_domain(self) -> Hyperrect | None:
         raise NotImplementedError
 
     @property
@@ -124,8 +142,7 @@ class ComputeNode(Node):
     def operands(self) -> tuple[Node, ...]:
         return self.inputs
 
-    @property
-    def domain(self) -> Hyperrect | None:
+    def _compute_domain(self) -> Hyperrect | None:
         out: Hyperrect | None = None
         for node in self.inputs:
             d = node.domain
@@ -157,8 +174,7 @@ class MoveNode(Node):
     def operands(self) -> tuple[Node, ...]:
         return (self.src,)
 
-    @property
-    def domain(self) -> Hyperrect | None:
+    def _compute_domain(self) -> Hyperrect | None:
         d = self.src.domain
         if d is None:
             return None
@@ -193,8 +209,7 @@ class BroadcastNode(Node):
     def operands(self) -> tuple[Node, ...]:
         return (self.src,)
 
-    @property
-    def domain(self) -> Hyperrect | None:
+    def _compute_domain(self) -> Hyperrect | None:
         d = self.src.domain
         if d is None:
             return None
@@ -231,8 +246,7 @@ class ShrinkNode(Node):
         if self.end < self.start:
             raise IRError(f"negative shrink extent [{self.start},{self.end})")
 
-    @property
-    def domain(self) -> Hyperrect | None:
+    def _compute_domain(self) -> Hyperrect | None:
         d = self.src.domain
         assert d is not None
         return d.with_interval(self.dim, self.start, self.end)
@@ -268,8 +282,7 @@ class ReduceNode(Node):
     def operands(self) -> tuple[Node, ...]:
         return (self.src,)
 
-    @property
-    def domain(self) -> Hyperrect | None:
+    def _compute_domain(self) -> Hyperrect | None:
         d = self.src.domain
         if d is None:
             return None
@@ -339,12 +352,58 @@ class StreamNode(Node):
         return f"strm({self.stream},{self.stream_kind.value})"
 
 
+def _cache_hash(cls: type) -> None:
+    """Wrap the dataclass-generated ``__hash__`` with a per-instance cache.
+
+    Node hashes recurse over operand tuples, so an uncached hash costs
+    O(subtree) on every interning or memo lookup.  Instances are frozen
+    and the hash is a pure function of the declared fields, so caching
+    in ``__dict__`` is safe (equality and digests are unaffected).
+    """
+    orig = cls.__hash__
+
+    def __hash__(self, _orig=orig, _unset=_UNSET):
+        h = self.__dict__.get("_hash", _unset)
+        if h is _unset:
+            h = self.__dict__["_hash"] = _orig(self)
+        return h
+
+    cls.__hash__ = __hash__
+
+
+for _cls in (
+    ConstNode,
+    TensorNode,
+    ComputeNode,
+    MoveNode,
+    BroadcastNode,
+    ShrinkNode,
+    ReduceNode,
+    StreamNode,
+):
+    _cache_hash(_cls)
+del _cls
+
+
 def walk(node: Node, _seen: set[int] | None = None):
-    """Yield *node* and its transitive operands, each exactly once."""
+    """Yield *node* and its transitive operands, each exactly once.
+
+    Iterative post-order DFS (operands first, left to right) — the
+    recursive ``yield from`` formulation stacked one generator frame per
+    DAG level and dominated traversal time in campaign profiles.
+    """
     seen = _seen if _seen is not None else set()
     if id(node) in seen:
         return
     seen.add(id(node))
-    for operand in node.operands:
-        yield from walk(operand, seen)
-    yield node
+    stack = [(node, iter(node.operands))]
+    while stack:
+        top, operands = stack[-1]
+        for child in operands:
+            if id(child) not in seen:
+                seen.add(id(child))
+                stack.append((child, iter(child.operands)))
+                break
+        else:
+            stack.pop()
+            yield top

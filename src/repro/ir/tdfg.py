@@ -18,6 +18,7 @@ import dataclasses
 from dataclasses import dataclass, field
 
 from repro.errors import IRError
+from repro.exec.cache import _encode
 from repro.geometry.hyperrect import Hyperrect
 from repro.ir.dtypes import DType
 from repro.ir.nodes import (
@@ -134,12 +135,26 @@ class TensorDFG:
         return out
 
     def nodes(self) -> list[Node]:
-        """All nodes in topological (operands-first) order, deduplicated."""
+        """All nodes in topological (operands-first) order, deduplicated.
+
+        The pipeline traverses each region several times (fingerprint,
+        scheduling, validation, estimates), so the order is cached.  The
+        node DAG itself is immutable; new roots only ever arrive by
+        *appending* to ``results``/``scalar_results`` (``bind()``, the
+        region builders, ``printer.parse_tdfg``), so the root-list
+        lengths are a sufficient invalidation key.  Callers must not
+        mutate the returned list.
+        """
+        key = (len(self.results), len(self.scalar_results))
+        cached = self.__dict__.get("_nodes")
+        if cached is not None and cached[0] == key:
+            return cached[1]
         seen: set[int] = set()
         order: list[Node] = []
         for root in self.roots:
             for node in walk(root, seen):
                 order.append(node)
+        self.__dict__["_nodes"] = (key, order)
         return order
 
     @property
@@ -203,30 +218,33 @@ class TensorDFG:
         cached = self.__dict__.get("_fingerprint")
         if cached is not None:
             return cached
-        from repro.exec.cache import canonical, stable_digest
+        import hashlib
 
+        # Stream byte tokens straight into one buffer: every section
+        # below is self-delimiting, so the concatenation stays injective
+        # without intermediate list structure.
+        out: list[bytes] = [b"tdfg("]
+        _encode(out, self.name)
         index: dict[int, int] = {}
-        encoded: list = []
         for i, node in enumerate(self.nodes()):
             index[id(node)] = i
-            encoded.append(_encode_node(node, index))
-        payload = [
-            "tdfg",
-            self.name,
-            encoded,
-            sorted(
-                (name, canonical(decl)) for name, decl in self.arrays.items()
-            ),
-            [
-                [b.array, canonical(b.region), index[id(b.node)]]
-                for b in self.results
-            ],
-            [index[id(n)] for n in self.scalar_results],
-            canonical(self.hints),
-            canonical(self.params),
-            canonical(self.sdfg) if self.sdfg is not None else None,
-        ]
-        digest = stable_digest(payload)
+            _encode_node(out, node, index)
+        out.append(b"|arrays|")
+        _encode(out, sorted(self.arrays.items(), key=lambda kv: kv[0]))
+        out.append(b"|results|")
+        for b in self.results:
+            _encode(out, b.array)
+            _encode(out, b.region)
+            out.append(b"i%d;" % index[id(b.node)])
+        out.append(b"|scalars|")
+        for n in self.scalar_results:
+            out.append(b"i%d;" % index[id(n)])
+        out.append(b"|meta|")
+        _encode(out, self.hints)
+        _encode(out, self.params)
+        _encode(out, self.sdfg)
+        out.append(b")")
+        digest = hashlib.sha256(b"".join(out)).hexdigest()
         self.__dict__["_fingerprint"] = digest
         return digest
 
@@ -280,19 +298,39 @@ class TensorDFG:
         return f"tDFG {self.name}: {body}"
 
 
-def _encode_node(node: Node, index: dict[int, int]) -> list:
-    """Encode one node with operand fields as topological back-refs."""
-    from repro.exec.cache import canonical
+# Field names per node type, computed once: dataclasses.fields() walks
+# the class dict and dominates fingerprint time when called per node.
+_NODE_FIELDS: dict[type, tuple[str, ...]] = {}
 
-    out: list = [node.kind]
-    for f in dataclasses.fields(node):
-        value = getattr(node, f.name)
+
+def _encode_node(out: list, node: Node, index: dict[int, int]) -> None:
+    """Append one node's byte encoding, operands as topological back-refs.
+
+    The kind tag pins the node class and hence the field order, so field
+    names are omitted; ``@`` reference tokens cannot collide with the
+    value encodings of :func:`repro.exec.cache._encode`.
+    """
+    t = node.__class__
+    names = _NODE_FIELDS.get(t)
+    if names is None:
+        names = _NODE_FIELDS[t] = tuple(
+            f.name for f in dataclasses.fields(node)
+        )
+    out.append(b"n" + node.kind.encode() + b"(")
+    for name in names:
+        value = getattr(node, name)
         if isinstance(value, Node):
-            out.append([f.name, ["@", index[id(value)]]])
-        elif isinstance(value, tuple) and any(
-            isinstance(v, Node) for v in value
+            out.append(b"@%d;" % index[id(value)])
+        elif (
+            value.__class__ is tuple
+            and value
+            and isinstance(value[0], Node)
         ):
-            out.append([f.name, [["@", index[id(v)]] for v in value]])
+            # Node fields are homogeneously typed: a tuple either holds
+            # only nodes (operand lists) or no nodes at all.
+            out.append(
+                b"@(" + b",".join(b"%d" % index[id(v)] for v in value) + b");"
+            )
         else:
-            out.append([f.name, canonical(value)])
-    return out
+            _encode(out, value)
+    out.append(b")")

@@ -54,7 +54,7 @@ class JITStats:
         return self.memo_hits / self.regions if self.regions else 0.0
 
     def copy(self) -> "JITStats":
-        return dataclasses.replace(self)
+        return JITStats(self.lowered, self.memo_hits, self.cache_hits)
 
     def delta(self, before: "JITStats") -> "JITStats":
         return JITStats(

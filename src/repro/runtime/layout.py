@@ -53,10 +53,17 @@ class TiledLayout:
 
     @property
     def tile_grid(self) -> tuple[int, ...]:
-        """Number of tiles along each dimension (boundary tiles included)."""
-        return tuple(
-            (s + t - 1) // t for s, t in zip(self.shape, self.tile)
-        )
+        """Number of tiles along each dimension (boundary tiles included).
+
+        Derived from frozen fields and read on every bank query, so the
+        tuple is cached in ``__dict__`` (equality/hash ignore it).
+        """
+        g = self.__dict__.get("_tile_grid")
+        if g is None:
+            g = self.__dict__["_tile_grid"] = tuple(
+                (s + t - 1) // t for s, t in zip(self.shape, self.tile)
+            )
+        return g
 
     @property
     def num_tiles(self) -> int:
@@ -100,17 +107,15 @@ class TiledLayout:
             layer,
         )
 
-    def banks_covering(self, region: Hyperrect) -> set[int]:
+    def banks_covering(self, region: Hyperrect) -> frozenset[int]:
         """All banks holding tiles that intersect *region* (lowering step 3)."""
         tiles = tile_index_range(region, self.tile)
-        return set(
-            _banks_covering_cached(
-                tiles.starts,
-                tiles.ends,
-                self.tile_grid,
-                self.arrays_per_bank,
-                self.num_banks,
-            )
+        return _banks_covering_cached(
+            tiles.starts,
+            tiles.ends,
+            self.tile_grid,
+            self.arrays_per_bank,
+            self.num_banks,
         )
 
     @property
@@ -239,7 +244,22 @@ def choose_tile(
     config: SystemConfig,
     elem_type: DType = DType.FP32,
 ) -> tuple[int, ...] | None:
-    """Pick one valid tile size using the configuration hints."""
+    """Pick one valid tile size using the configuration hints.
+
+    Memoized: every argument is an immutable value type and campaigns
+    re-tile the same few (shape, hints, system) combinations for every
+    region, so the factorization enumeration runs once per combination.
+    """
+    return _choose_tile_cached(tuple(shape), hints, config, elem_type)
+
+
+@lru_cache(maxsize=4096)
+def _choose_tile_cached(
+    shape: tuple[int, ...],
+    hints: LayoutHints,
+    config: SystemConfig,
+    elem_type: DType,
+) -> tuple[int, ...] | None:
     candidates = valid_tilings(shape, config, elem_type)
     if not candidates:
         return None

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.backend.schedule import ScheduledOp, ScheduledTDFG
 from repro.errors import LoweringError
 from repro.geometry.decompose import decompose_tensor
@@ -81,6 +83,168 @@ class ReduceTail:
         return total
 
 
+def group_waves(commands) -> list[list]:
+    """Group consecutive commands sharing a wave id.
+
+    Sync commands and wave-less commands form singleton groups.
+    """
+    out: list[list] = []
+    current: list = []
+    current_wave: int | None = None
+    for cmd in commands:
+        wave = getattr(cmd, "wave", -1)
+        if wave >= 0 and wave == current_wave and current:
+            current.append(cmd)
+            continue
+        if current:
+            out.append(current)
+        current = [cmd]
+        current_wave = wave if wave >= 0 else None
+    if current:
+        out.append(current)
+    return out
+
+
+# Wave kinds, matching the strings the timing engine reports.
+WAVE_COMPUTE, WAVE_INTRA, WAVE_INTER, WAVE_BROADCAST, WAVE_SYNC, WAVE_OTHER = (
+    range(6)
+)
+WAVE_KIND_NAMES = (
+    "compute",
+    "shift-intra",
+    "shift-inter",
+    "broadcast",
+    "sync",
+    "other",
+)
+
+
+class WaveArrays:
+    """Layout-independent numpy views of a lowered command list.
+
+    Built once per :class:`LoweredRegion` (cached) so the timing engine
+    charges whole regions with array reductions instead of per-command
+    Python.  The per-command arrays are indexed in command order; the
+    per-wave arrays are indexed in wave order, and because waves
+    partition the command list *contiguously*, the per-wave aggregates
+    are plain ``reduceat`` segments over the wave start offsets.
+
+    Exactness: ``lat_max`` uses ``np.maximum.reduceat`` (order-free) and
+    the summed aggregates are int64 ``np.add.reduceat`` (integer sums are
+    exact in any order below 2^53), so they bit-match the scalar loops
+    they replace.  Float accumulation order is preserved by the caller
+    (see ``TensorControllers.execute``).
+    """
+
+    __slots__ = (
+        "n_commands",
+        "n_waves",
+        "kind",
+        "start",
+        "count",
+        "is_inter",
+        "pair_idx",
+        "pairs",
+        "bytes_f",
+        "bytes_read_f",
+        "lat_max",
+        "elem_sum",
+        "intra_sum",
+        "has_inter",
+        "has_broadcast",
+    )
+
+    def __init__(self, commands: list[Command], waves: list[list]) -> None:
+        n = len(commands)
+        self.n_commands = n
+        self.n_waves = len(waves)
+        latency = [0] * n
+        elements = [0] * n
+        bytes_moved = [0] * n
+        bytes_read = [0] * n
+        is_inter = [False] * n
+        pair_idx = [0] * n
+        pairs: list[tuple[int, int]] = []
+        pair_map: dict[tuple[int, int], int] = {}
+        has_broadcast = False
+        for i, cmd in enumerate(commands):
+            if isinstance(cmd, ComputeCmd):
+                latency[i] = cmd.latency_cycles
+                elements[i] = cmd.elements
+            elif isinstance(cmd, ShiftCmd):
+                bytes_moved[i] = cmd.bytes_moved
+                dist = cmd.inter_tile_dist
+                if dist != 0:
+                    is_inter[i] = True
+                    key = (cmd.dim, dist)
+                    idx = pair_map.get(key)
+                    if idx is None:
+                        idx = pair_map[key] = len(pairs)
+                        pairs.append(key)
+                    pair_idx[i] = idx
+            elif isinstance(cmd, BroadcastCmd):
+                bytes_read[i] = cmd.bytes_read
+                has_broadcast = True
+        self.pairs = pairs
+        self.has_inter = bool(pairs)
+        self.has_broadcast = has_broadcast
+        if pairs or has_broadcast:
+            self.is_inter = np.array(is_inter, dtype=bool)
+            self.pair_idx = np.array(pair_idx, dtype=np.int64)
+            self.bytes_f = np.array(bytes_moved, dtype=np.float64)
+            self.bytes_read_f = np.array(bytes_read, dtype=np.float64)
+        else:
+            # No NoC-touching commands: the float arrays are never read.
+            self.is_inter = None
+            self.pair_idx = None
+            self.bytes_f = None
+            self.bytes_read_f = None
+
+        kind = [WAVE_OTHER] * self.n_waves
+        start = [0] * self.n_waves
+        count = [0] * self.n_waves
+        pos = 0
+        for g, wave in enumerate(waves):
+            start[g] = pos
+            count[g] = len(wave)
+            end = pos + len(wave)
+            first = wave[0]
+            if isinstance(first, ComputeCmd):
+                kind[g] = WAVE_COMPUTE
+            elif isinstance(first, ShiftCmd):
+                kind[g] = (
+                    WAVE_INTER
+                    if any(is_inter[pos:end])
+                    else WAVE_INTRA
+                )
+            elif isinstance(first, BroadcastCmd):
+                kind[g] = WAVE_BROADCAST
+            elif isinstance(first, SyncCmd):
+                kind[g] = WAVE_SYNC
+            pos = end
+        self.kind = kind
+        self.start = start
+        self.count = count
+        if n and self.n_waves:
+            # Segment reductions over the wave partition: waves are
+            # contiguous runs, so the wave starts are the reduceat
+            # offsets.  max is order-free; the sums are int64 (exact).
+            starts_arr = np.array(start, dtype=np.int64)
+            lat_arr = np.array(latency, dtype=np.int64)
+            elem_arr = np.array(elements, dtype=np.int64)
+            intra_arr = np.array(
+                [0 if inter else b for b, inter in zip(bytes_moved, is_inter)],
+                dtype=np.int64,
+            )
+            self.lat_max = np.maximum.reduceat(lat_arr, starts_arr).tolist()
+            self.elem_sum = np.add.reduceat(elem_arr, starts_arr).tolist()
+            self.intra_sum = np.add.reduceat(intra_arr, starts_arr).tolist()
+        else:
+            self.lat_max = [0] * self.n_waves
+            self.elem_sum = [0] * self.n_waves
+            self.intra_sum = [0] * self.n_waves
+
+
 @dataclass
 class LoweredRegion:
     """The lowering result for one region: commands + metadata."""
@@ -93,6 +257,16 @@ class LoweredRegion:
     banks_touched: int = 0
     stream_registers: dict[str, int] = field(default_factory=dict)
     spill_bytes: int = 0  # DRAM spill/fill stream traffic (§6 relaxed)
+    # Wave grouping / numpy views, built lazily and cached: the command
+    # list is immutable once execution begins, and cached/replayed
+    # regions execute many times.  Excluded from pickles (__getstate__)
+    # so disk-cache entries stay lean.
+    _waves_cache: list | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _wave_arrays_cache: WaveArrays | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def finalize(self) -> "LoweredRegion":
         self.stats = CommandStats.collect(self.commands)
@@ -102,16 +276,56 @@ class LoweredRegion:
     def num_commands(self) -> int:
         return len(self.commands)
 
+    def waves(self) -> list[list]:
+        """The cached wave grouping of ``commands`` (built on first use)."""
+        if self._waves_cache is None:
+            self._waves_cache = group_waves(self.commands)
+        return self._waves_cache
+
+    def wave_arrays(self) -> WaveArrays:
+        """The cached numpy views of ``commands`` (built on first use)."""
+        if self._wave_arrays_cache is None:
+            self._wave_arrays_cache = WaveArrays(self.commands, self.waves())
+        return self._wave_arrays_cache
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["_waves_cache"] = None
+        state["_wave_arrays_cache"] = None
+        return state
+
 
 def _masked_elements(
     tensor: Hyperrect, dim: int, tile: int, mask_lo: int, mask_hi: int
 ) -> int:
-    """Elements of *tensor* whose tile-local position on *dim* is in mask."""
+    """Elements of *tensor* whose tile-local position on *dim* is in mask.
+
+    Closed form: the mask selects ``width`` positions out of every
+    ``tile``-length period, so the count over ``[p, q)`` is ``width``
+    per full period plus the clamped remainder at each end — identical
+    to counting ``mask_lo <= pos % tile < mask_hi`` position by
+    position, in O(1).
+    """
     p, q = tensor.interval(dim)
-    count = 0
-    for pos in range(p, q):
-        if mask_lo <= pos % tile < mask_hi:
-            count += 1
+    lo = max(0, mask_lo)
+    hi = min(tile, mask_hi)
+    width = hi - lo
+    if width <= 0 or q <= p:
+        count = 0
+    else:
+        if p < 0:
+            # Shift by whole periods so the prefix count below starts
+            # at a non-negative coordinate; pos % tile is unchanged.
+            shift = (-p + tile - 1) // tile * tile
+            p += shift
+            q += shift
+
+        def prefix(x: int) -> int:
+            """Matching positions in [0, x)."""
+            full, rem = divmod(x, tile)
+            return full * width + min(max(rem - lo, 0), width)
+
+        count = prefix(q) - prefix(p)
     other = tensor.volume // max(1, q - p)
     return count * other
 

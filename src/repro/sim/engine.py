@@ -40,6 +40,9 @@ from repro.sim.stats import CycleBreakdown, OpAccounting, RunResult
 from repro.trace import events as trace_events
 from repro.trace.events import Category as TraceCat
 from repro.uarch.chip import Chip
+from repro.uarch.noc import MeshNoC
+from repro.uarch.stream_engine import StreamEngineL3
+from repro.uarch.tensor_ctrl import TensorControllers
 from repro.workloads.base import NearMemPhase, Workload
 from repro.workloads.base import _count_ops
 
@@ -209,14 +212,18 @@ class InfinityStreamRunner:
                 # No valid tiling: fall back to near-memory / core.
                 self._region_near_memory(wl, region, chip, result)
                 return
-            # Execute the command timing on a probe chip first so the
+            # Execute the command timing on a probe first so the
             # runtime selection (§4.3) can compare paths without charging
             # the real ledgers twice.  Eq. 2 is the deployable
             # closed-form version of this comparison (exercised
-            # separately in the tests and the public API).
-            probe = Chip(system=self.system)
+            # separately in the tests and the public API).  The probe
+            # only needs a TC + fresh NoC ledger — constructing a whole
+            # Chip (64 L3 banks, DRAM, TTUs) per region dominated the
+            # campaign profile.
+            probe_noc = MeshNoC(config=self.system.noc)
+            probe_tc = TensorControllers(system=self.system, noc=probe_noc)
             layout = next(iter(jres.layouts.values()))
-            timing = probe.tc.execute(jres.lowered, layout)
+            timing = probe_tc.execute(jres.lowered, layout)
             if self.use_decision and self.hybrid:
                 in_est = timing.total_cycles + (
                     0.0 if self.paradigm == "inf-s-nojit" else jres.jit_cycles
@@ -225,7 +232,7 @@ class InfinityStreamRunner:
                 if near_est is not None and near_est < in_est:
                     self._region_near_memory(wl, region, chip, result)
                     return
-            chip.noc.ledger = chip.noc.ledger.merge(probe.noc.ledger)
+            chip.noc.ledger = chip.noc.ledger.merge(probe_noc.ledger)
             if jres.lowered.spill_bytes:
                 # DRAM spill/fill streams (§6 relaxed): bandwidth-bound.
                 cy.dram += chip.dram.stream_cycles(jres.lowered.spill_bytes)
@@ -341,8 +348,16 @@ class InfinityStreamRunner:
         sdfg = region.tdfg.sdfg
         if sdfg is None or not sdfg.streams:
             return None
-        probe = Chip(system=self.system)
-        return probe.se_l3.execute_sdfg(sdfg).cycles
+        # A probe stream engine with its own throwaway ledger (no full
+        # Chip construction on this per-region path).  Reused across
+        # regions: execute_sdfg reads only configuration and its report
+        # never depends on previously accumulated ledger state.
+        probe_se = self.__dict__.get("_probe_se")
+        if probe_se is None:
+            probe_se = self._probe_se = StreamEngineL3(
+                system=self.system, noc=MeshNoC(config=self.system.noc)
+            )
+        return probe_se.execute_sdfg(sdfg).cycles
 
     def _region_near_memory(
         self, wl: Workload, region: RegionInstance, chip: Chip, result: RunResult

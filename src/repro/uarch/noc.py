@@ -117,16 +117,11 @@ class MeshNoC:
         return bh
 
     def multicast(self, category: str, bytes_: float, destinations: int) -> float:
-        bh = bytes_ * self.multicast_hops(destinations)
+        h = self.multicast_hops(destinations)
+        bh = bytes_ * h
         self.add_traffic(category, bh)
         if _metrics.REGISTRY is not None or _trace.TRACER is not None:
-            self._observe(
-                category,
-                bytes_,
-                self.multicast_hops(destinations),
-                bh,
-                destinations=destinations,
-            )
+            self._observe(category, bytes_, h, bh, destinations=destinations)
         return bh
 
     # ------------------------------------------------------------------

@@ -16,6 +16,8 @@ import math
 from dataclasses import dataclass, field
 from functools import lru_cache
 
+import numpy as np
+
 from repro.config.system import SystemConfig
 from repro.runtime.commands import (
     BroadcastCmd,
@@ -25,7 +27,14 @@ from repro.runtime.commands import (
     SyncCmd,
 )
 from repro.runtime.layout import TiledLayout
-from repro.runtime.lower import LoweredRegion
+from repro.runtime.lower import (
+    WAVE_BROADCAST,
+    WAVE_COMPUTE,
+    WAVE_INTER,
+    WAVE_INTRA,
+    WAVE_KIND_NAMES,
+    LoweredRegion,
+)
 from repro.trace import events as _trace
 from repro.trace import metrics as _metrics
 from repro.trace.events import Category as _Cat
@@ -62,13 +71,18 @@ class TensorControllers:
     # ------------------------------------------------------------------
     def cross_bank_fraction(self, cmd: ShiftCmd, layout: TiledLayout) -> float:
         """Share of moved tiles whose destination is another L3 bank."""
-        if cmd.inter_tile_dist == 0:
+        return self._pair_cross_fraction(cmd.dim, cmd.inter_tile_dist, layout)
+
+    def _pair_cross_fraction(
+        self, dim: int, dist: int, layout: TiledLayout
+    ) -> float:
+        if dist == 0:
             return 0.0
         grid = layout.tile_grid
         stride = 1
-        for d in range(cmd.dim):
+        for d in range(dim):
             stride *= grid[d]
-        delta = cmd.inter_tile_dist * stride
+        delta = dist * stride
         return _cross_bank_fraction_cached(
             delta,
             layout.arrays_per_bank,
@@ -81,19 +95,181 @@ class TensorControllers:
         self,
         lowered: LoweredRegion,
         layout: TiledLayout,
+        mode: str = "auto",
     ) -> CommandTiming:
-        """Charge cycles and traffic for a lowered region's commands."""
+        """Charge cycles and traffic for a lowered region's commands.
+
+        ``mode`` selects the implementation: ``"auto"`` (the vectorized
+        path) or ``"scalar"`` (the per-command reference loop, retained
+        for differential testing).  Both produce bit-identical
+        :class:`CommandTiming` values; NoC ledger totals are identical
+        too for the engine's usage (a fresh probe ledger per region —
+        the vectorized path posts inter-tile traffic as one exact
+        sequential-sum batch rather than per command).
+        """
+        observing = _metrics.REGISTRY is not None or _trace.TRACER is not None
+        if mode == "scalar":
+            return self._execute_scalar(lowered, layout, observing)
+        return self._execute_vectorized(lowered, layout, observing)
+
+    def _execute_scalar(
+        self,
+        lowered: LoweredRegion,
+        layout: TiledLayout,
+        observing: bool,
+    ) -> CommandTiming:
+        """Reference implementation: one Python loop per command."""
         t = CommandTiming()
         layers = layout.layers
         bits = layout.elem_type.bits
         banks_touched = max(1, lowered.banks_touched)
-        # Command distribution: TC_core multicasts each command to its
-        # mapped banks (offload traffic).
+        self._dispatch(t, lowered, banks_touched, observing)
+        for wave in lowered.waves():
+            before = t.total_cycles
+            kind = self._execute_wave(wave, t, layout, layers, bits, banks_touched)
+            if observing:
+                self._observe_wave(kind, len(wave), before, t.total_cycles)
+        return t
+
+    def _execute_vectorized(
+        self,
+        lowered: LoweredRegion,
+        layout: TiledLayout,
+        observing: bool,
+    ) -> CommandTiming:
+        """Array-reduction implementation of the timing model.
+
+        Per-wave aggregates come from the cached
+        :class:`~repro.runtime.lower.WaveArrays`; the remaining Python
+        loop is one iteration per *wave* (not per command), preserving
+        the scalar path's float accumulation order exactly — every wave
+        contributes a single, bit-identical addend per timing field in
+        both paths (see DESIGN.md "Timing-engine vectorization").
+
+        With observability enabled, waves that touch the NoC (inter-tile
+        shifts, broadcasts, syncs) run through the per-command scalar
+        helper so the emitted metric/trace events — including the
+        stateful round-robin heatmap attribution — are the exact call
+        sequence the scalar path produces.
+        """
+        t = CommandTiming()
+        layers = layout.layers
+        bits = layout.elem_type.bits
+        banks_touched = max(1, lowered.banks_touched)
+        self._dispatch(t, lowered, banks_touched, observing)
+        wa = lowered.wave_arrays()
+        if wa.n_waves == 0:
+            return t
+
+        # Layout-dependent per-command arrays.  Cross/local/byte-hop
+        # values are computed with the same elementwise IEEE-754
+        # operations the scalar path applies per command, broadcast over
+        # the unique (dim, inter_tile_dist) pairs.
+        batch_noc = not observing
+        bh = local = None
+        if batch_noc and (wa.has_inter or wa.has_broadcast):
+            bh = np.zeros(wa.n_commands, dtype=np.float64)
+            if wa.has_inter:
+                frac = np.empty(len(wa.pairs), dtype=np.float64)
+                hop = np.empty(len(wa.pairs), dtype=np.float64)
+                for j, (dim, dist) in enumerate(wa.pairs):
+                    frac[j] = self._pair_cross_fraction(dim, dist, layout)
+                    hop[j] = self._pair_neighbor_hops(dim, dist, layout)
+                cross = np.where(
+                    wa.is_inter, wa.bytes_f * frac[wa.pair_idx], 0.0
+                )
+                local = np.where(wa.is_inter, wa.bytes_f - cross, 0.0)
+                bh += cross * hop[wa.pair_idx]
+            if wa.has_broadcast:
+                mh = self.noc.multicast_hops(banks_touched)
+                bh += wa.bytes_read_f * mh
+
+        commands = lowered.commands
+        waves = None
+        kinds = wa.kind
+        starts = wa.start
+        counts = wa.count
+        lat_max = wa.lat_max
+        elem_sum = wa.elem_sum
+        intra_sum = wa.intra_sum
+        disp = self.dispatch_overhead
+        for g in range(wa.n_waves):
+            k = kinds[g]
+            n = counts[g]
+            if observing:
+                before = t.total_cycles
+            if k == WAVE_COMPUTE:
+                t.compute_cycles += lat_max[g] * layers + disp * n
+                t.ops_in_memory += elem_sum[g]
+            elif k == WAVE_INTRA:
+                t.move_cycles += 2 * bits * layers + disp * n
+                t.intra_tile_bytes += intra_sum[g]
+            elif k == WAVE_INTER and batch_noc:
+                s = starts[g]
+                e = s + n
+                # np.add.accumulate is strictly sequential, and the
+                # zeros at intra-tile positions are exact no-ops, so
+                # these equal the scalar loop's running float sums.
+                local_total = float(np.add.accumulate(local[s:e])[-1])
+                byte_hops = float(np.add.accumulate(bh[s:e])[-1])
+                t.intra_tile_bytes += intra_sum[g]
+                t.htree_bytes += local_total
+                t.inter_tile_byte_hops += byte_hops
+                local_cycles = local_total / (
+                    banks_touched * self.htree_bytes_per_cycle
+                )
+                noc_cycles = self.noc.serialization_cycles(byte_hops)
+                t.move_cycles += (
+                    max(local_cycles, noc_cycles) + 2 * bits + disp * n
+                )
+            elif k == WAVE_BROADCAST and batch_noc:
+                cmd = commands[starts[g]]
+                src_banks = max(1, len(layout.banks_covering(cmd.tensor)))
+                read_cycles = cmd.bytes_read / (
+                    src_banks * self.htree_bytes_per_cycle
+                )
+                byte_hops = float(bh[starts[g]])
+                t.inter_tile_byte_hops += byte_hops
+                t.htree_bytes += cmd.bytes_delivered
+                t.move_cycles += (
+                    max(read_cycles, self.noc.serialization_cycles(byte_hops))
+                    + 2 * bits
+                    + disp
+                )
+            else:
+                # Sync/other waves, and NoC-touching waves when
+                # observing: identical call sequence to the scalar path.
+                if waves is None:
+                    waves = lowered.waves()
+                self._execute_wave(
+                    waves[g], t, layout, layers, bits, banks_touched
+                )
+            if observing:
+                self._observe_wave(
+                    WAVE_KIND_NAMES[k], n, before, t.total_cycles
+                )
+        if bh is not None:
+            # One batched ledger post: equals the scalar path's
+            # per-command adds exactly when the ledger starts at zero
+            # (the engine always executes on a fresh probe chip).
+            self.noc.add_traffic(
+                "inter_tile", float(np.add.accumulate(bh)[-1])
+            )
+        return t
+
+    def _dispatch(
+        self,
+        t: CommandTiming,
+        lowered: LoweredRegion,
+        banks_touched: int,
+        observing: bool,
+    ) -> None:
+        """Command distribution: TC_core multicasts each command to its
+        mapped banks (offload traffic)."""
         cmd_bytes = self.system.tc.command_bytes * lowered.num_commands
         t.command_dispatch_byte_hops = self.noc.multicast(
             "offload", float(cmd_bytes), banks_touched
         )
-        observing = _metrics.REGISTRY is not None or _trace.TRACER is not None
         if observing:
             tr = _trace.TRACER
             if tr is not None:
@@ -108,12 +284,6 @@ class TensorControllers:
             reg = _metrics.REGISTRY
             if reg is not None:
                 reg.add("tc.commands.dispatched", float(lowered.num_commands))
-        for wave in _waves(lowered.commands):
-            before = t.total_cycles
-            kind = self._execute_wave(wave, t, layout, layers, bits, banks_touched)
-            if observing:
-                self._observe_wave(kind, len(wave), before, t.total_cycles)
-        return t
 
     # ------------------------------------------------------------------
     def _execute_wave(
@@ -235,17 +405,18 @@ class TensorControllers:
                 commands=commands,
             )
 
-    @staticmethod
-    def _group_waves(commands):
-        return _waves(commands)
-
     def _neighbor_hops(self, cmd: ShiftCmd, layout: TiledLayout) -> float:
         """Inter-tile shifts usually target an adjacent bank."""
+        return self._pair_neighbor_hops(cmd.dim, cmd.inter_tile_dist, layout)
+
+    def _pair_neighbor_hops(
+        self, dim: int, dist: int, layout: TiledLayout
+    ) -> float:
         grid = layout.tile_grid
         stride = 1
-        for d in range(cmd.dim):
+        for d in range(dim):
             stride *= grid[d]
-        delta_tiles = abs(cmd.inter_tile_dist) * stride
+        delta_tiles = abs(dist) * stride
         delta_banks = max(1, delta_tiles // layout.arrays_per_bank)
         return float(min(self.noc.diameter, delta_banks))
 
@@ -254,37 +425,18 @@ class TensorControllers:
 def _cross_bank_fraction_cached(
     delta: int, w: int, num_banks: int, total: int
 ) -> float:
+    """Fraction of linear tile ids in [0, total) whose bank changes when
+    shifted by ``delta`` — vectorized exact integer count (numpy floor
+    division and modulo match Python's semantics for negative values)."""
     if total <= 0:
         return 1.0
-    crossing = 0
-    for lin in range(total):
-        src_bank = (lin // w) % num_banks
-        dst_bank = ((lin + delta) // w) % num_banks
-        if src_bank != dst_bank:
-            crossing += 1
+    lin = np.arange(total, dtype=np.int64)
+    crossing = int(
+        np.count_nonzero(
+            (lin // w) % num_banks != ((lin + delta) // w) % num_banks
+        )
+    )
     return crossing / total
-
-
-def _waves(commands) -> list[list]:
-    """Group consecutive commands sharing a wave id.
-
-    Sync commands and wave-less commands form singleton groups.
-    """
-    out: list[list] = []
-    current: list = []
-    current_wave: int | None = None
-    for cmd in commands:
-        wave = getattr(cmd, "wave", -1)
-        if wave >= 0 and wave == current_wave and current:
-            current.append(cmd)
-            continue
-        if current:
-            out.append(current)
-        current = [cmd]
-        current_wave = wave if wave >= 0 else None
-    if current:
-        out.append(current)
-    return out
 
 
 @dataclass

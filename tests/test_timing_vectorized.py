@@ -1,0 +1,284 @@
+"""Differential fuzz: vectorized vs scalar timing-engine hot path.
+
+``TensorControllers.execute`` has two implementations: the per-command
+scalar reference loop and the array-reduction path the simulator uses
+(see DESIGN.md "Timing-engine vectorization").  Both must produce
+*bit-identical* :class:`CommandTiming` values and NoC ledgers on any
+command list the JIT can emit — the vectorized path preserves the
+scalar path's float accumulation order wave by wave, so equality here
+is exact ``==`` on every float field, not ``approx``.
+
+The command-list strategy mirrors the lowering invariants (the shapes
+:mod:`repro.runtime.lower` actually produces):
+
+* a wave is a *contiguous* run of commands sharing a wave id;
+* waves are homogeneous in command type (compute / shift / broadcast);
+* shift waves may mix intra- and inter-tile commands (Algorithm 2
+  emits both for one move);
+* broadcast and sync commands are singleton waves.
+
+A metrics-parity test additionally checks that observability output
+(``tc.waves`` / ``tc.wave_cycles`` / ``noc.*``) is identical between
+the two paths, and a brute-force property test pins the closed-form
+``_masked_elements`` used by Algorithm 2.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.system import default_system
+from repro.geometry.hyperrect import Hyperrect
+from repro.ir.dtypes import DType
+from repro.ir.ops import Op
+from repro.runtime.commands import (
+    BroadcastCmd,
+    ComputeCmd,
+    ShiftCmd,
+    SyncCmd,
+)
+from repro.runtime.layout import TiledLayout
+from repro.runtime.lower import LoweredRegion, _masked_elements
+from repro.trace import metrics
+from repro.uarch.noc import MeshNoC
+from repro.uarch.tensor_ctrl import TensorControllers
+
+SYSTEM = default_system()
+
+DTYPES = (DType.INT8, DType.INT16, DType.INT32, DType.FP32)
+OPS = (Op.ADD, Op.SUB, Op.MUL, Op.MIN, Op.MAX, Op.XOR, Op.COPY)
+
+
+@st.composite
+def hyperrects(draw, ndim: int = 2, lo: int = -8, hi: int = 48):
+    starts, ends = [], []
+    for _ in range(ndim):
+        p = draw(st.integers(lo, hi - 1))
+        q = draw(st.integers(p + 1, hi))
+        starts.append(p)
+        ends.append(q)
+    return Hyperrect(tuple(starts), tuple(ends))
+
+
+@st.composite
+def layouts(draw):
+    tile = draw(st.sampled_from([(8, 16), (16, 8), (4, 32), (32, 4)]))
+    return TiledLayout(
+        array="A",
+        shape=(64, 64),
+        tile=tile,
+        elem_type=draw(st.sampled_from(DTYPES)),
+        register=0,
+        arrays_per_bank=draw(st.sampled_from([2, 4])),
+        num_banks=draw(st.sampled_from([4, 8])),
+    )
+
+
+@st.composite
+def compute_wave(draw, wave: int):
+    op = draw(st.sampled_from(OPS))
+    dtype = draw(st.sampled_from(DTYPES))
+    n = draw(st.integers(1, 5))
+    operands = tuple(("reg", r) for r in range(op.arity))
+    return [
+        ComputeCmd(
+            op=op,
+            domain=draw(hyperrects(lo=0)),
+            dst_reg=draw(st.integers(0, 3)),
+            operands=operands,
+            elem_type=dtype,
+            wave=wave,
+        )
+        for _ in range(n)
+    ]
+
+
+@st.composite
+def shift_wave(draw, wave: int, allow_inter: bool):
+    dtype = draw(st.sampled_from(DTYPES))
+    n = draw(st.integers(1, 5))
+    cmds = []
+    for _ in range(n):
+        inter = allow_inter and draw(st.booleans())
+        cmds.append(
+            ShiftCmd(
+                tensor=draw(hyperrects()),
+                dim=draw(st.integers(0, 1)),
+                mask_lo=draw(st.integers(0, 4)),
+                mask_hi=draw(st.integers(4, 16)),
+                inter_tile_dist=(
+                    draw(st.sampled_from([-3, -2, -1, 1, 2, 3]))
+                    if inter
+                    else 0
+                ),
+                intra_tile_dist=draw(st.integers(0, 4)),
+                src_reg=0,
+                dst_reg=1,
+                elements=draw(st.integers(1, 4096)),
+                elem_type=dtype,
+                wave=wave,
+            )
+        )
+    return cmds
+
+
+@st.composite
+def broadcast_wave(draw, wave: int):
+    # Broadcasts are singleton waves (each gets its own id in lowering).
+    src = draw(hyperrects(lo=0))
+    return [
+        BroadcastCmd(
+            tensor=src,
+            dim=draw(st.integers(0, 1)),
+            dest_lo=draw(st.integers(0, 8)),
+            copies=draw(st.integers(1, 16)),
+            src_reg=0,
+            dst_reg=1,
+            elements=src.volume,
+            elem_type=draw(st.sampled_from(DTYPES)),
+            wave=wave,
+        )
+    ]
+
+
+@st.composite
+def lowered_regions(draw):
+    n_waves = draw(st.integers(1, 8))
+    commands = []
+    for w in range(n_waves):
+        kind = draw(
+            st.sampled_from(
+                ["compute", "intra", "inter", "broadcast", "sync"]
+            )
+        )
+        if kind == "compute":
+            commands += draw(compute_wave(w))
+        elif kind == "intra":
+            commands += draw(shift_wave(w, allow_inter=False))
+        elif kind == "inter":
+            commands += draw(shift_wave(w, allow_inter=True))
+        elif kind == "broadcast":
+            commands += draw(broadcast_wave(w))
+        else:
+            commands.append(SyncCmd())
+    region = LoweredRegion(
+        name="fuzz",
+        commands=commands,
+        banks_touched=draw(st.integers(0, 8)),
+    )
+    return region.finalize()
+
+
+def _run(lowered: LoweredRegion, layout: TiledLayout, mode: str):
+    noc = MeshNoC(config=SYSTEM.noc)
+    tc = TensorControllers(system=SYSTEM, noc=noc)
+    timing = tc.execute(lowered, layout, mode=mode)
+    return timing, noc.ledger
+
+
+@given(data=st.data())
+@settings(max_examples=120, deadline=None)
+def test_vectorized_matches_scalar_exactly(data):
+    """CommandTiming and the NoC ledger are float-exact equal."""
+    lowered = data.draw(lowered_regions())
+    layout = data.draw(layouts())
+    scalar_t, scalar_ledger = _run(lowered, layout, "scalar")
+    vector_t, vector_ledger = _run(lowered, layout, "auto")
+    # Field-by-field for a readable failure message.
+    for f in dataclasses.fields(scalar_t):
+        assert getattr(scalar_t, f.name) == getattr(vector_t, f.name), f.name
+    assert scalar_ledger == vector_ledger
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_metrics_parity(data):
+    """Observability output is identical between the two paths.
+
+    With a registry installed the vectorized path routes NoC-touching
+    waves through the scalar helper so stateful trace attribution is
+    preserved; the counters and distributions must match exactly.
+    """
+    lowered = data.draw(lowered_regions())
+    layout = data.draw(layouts())
+    with metrics.collecting() as reg_scalar:
+        scalar_t, scalar_ledger = _run(lowered, layout, "scalar")
+    with metrics.collecting() as reg_vector:
+        vector_t, vector_ledger = _run(lowered, layout, "auto")
+    assert scalar_t == vector_t
+    assert scalar_ledger == vector_ledger
+    assert reg_scalar.counters == reg_vector.counters
+    assert set(reg_scalar.dists) == set(reg_vector.dists)
+    for key, dist in reg_scalar.dists.items():
+        assert dist == reg_vector.dists[key], key
+
+
+@given(data=st.data())
+@settings(max_examples=60, deadline=None)
+def test_wave_trace_totals(data):
+    """tc.waves / tc.wave_commands totals equal the wave structure."""
+    lowered = data.draw(lowered_regions())
+    layout = data.draw(layouts())
+    with metrics.collecting() as reg:
+        _run(lowered, layout, "auto")
+    waves = lowered.waves()
+    assert reg.rollup("tc.waves") == len(waves)
+    assert reg.rollup("tc.wave_commands") == sum(len(w) for w in waves)
+    assert reg.value("tc.commands.dispatched") == len(lowered.commands)
+
+
+@given(
+    rect=hyperrects(ndim=2, lo=-6, hi=14),
+    dim=st.integers(0, 1),
+    tile=st.integers(1, 8),
+    mask_lo=st.integers(-2, 10),
+    mask_hi=st.integers(-2, 12),
+)
+@settings(max_examples=200, deadline=None)
+def test_masked_elements_matches_bruteforce(rect, dim, tile, mask_lo, mask_hi):
+    """Closed-form mask count == counting positions one by one."""
+    expected = sum(
+        1 for pt in rect.points() if mask_lo <= pt[dim] % tile < mask_hi
+    )
+    assert _masked_elements(rect, dim, tile, mask_lo, mask_hi) == expected
+
+
+def test_unknown_mode_falls_back_to_vectorized():
+    """Only 'scalar' selects the reference loop; anything else is auto."""
+    region = LoweredRegion(name="m", commands=[SyncCmd()], banks_touched=1)
+    region.finalize()
+    layout = TiledLayout(
+        array="A",
+        shape=(64, 64),
+        tile=(8, 16),
+        elem_type=DType.FP32,
+        register=0,
+        arrays_per_bank=4,
+        num_banks=8,
+    )
+    a, _ = _run(region, layout, "auto")
+    b, _ = _run(region, layout, "scalar")
+    assert a == b
+
+
+def test_empty_region():
+    region = LoweredRegion(name="empty", commands=[], banks_touched=0)
+    region.finalize()
+    layout = TiledLayout(
+        array="A",
+        shape=(64, 64),
+        tile=(8, 16),
+        elem_type=DType.FP32,
+        register=0,
+        arrays_per_bank=4,
+        num_banks=8,
+    )
+    scalar_t, scalar_ledger = _run(region, layout, "scalar")
+    vector_t, vector_ledger = _run(region, layout, "auto")
+    assert scalar_t == vector_t
+    assert scalar_ledger == vector_ledger
+    assert vector_t.total_cycles == 0.0
