@@ -1,0 +1,28 @@
+"""Example out-of-tree workload plugin.
+
+Installing this package (``pip install examples/plugin_workload``) makes
+``rowsum`` resolvable everywhere a registered workload name works::
+
+    python -m repro list workloads          # shows rowsum (plugin:...)
+    python -m repro submit --workload rowsum --scale 0.05 --wait
+
+The factory contract is the same as the in-tree suite: a callable
+taking ``scale`` (1.0 = full size) and returning a
+:class:`repro.workloads.base.Workload`.
+"""
+
+from repro.frontend.kernel import parse_kernel
+from repro.workloads.base import Workload
+
+ROWSUM = """
+for i in [0, M):
+    for j in [0, N):
+        S[i] += A[i][j]
+"""
+
+
+def rowsum(scale: float = 1.0) -> Workload:
+    """Row-wise reduction of an MxN matrix (example plugin workload)."""
+    n = max(16, (int(1024 * scale) // 16) * 16)
+    prog = parse_kernel("rowsum", ROWSUM, arrays={"A": ("M", "N"), "S": ("M",)})
+    return Workload(name="rowsum", program=prog, params={"M": n, "N": n})

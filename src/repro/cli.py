@@ -9,13 +9,15 @@ Commands
 ``offload``   evaluate the Eq. 2 in-/near-memory decision;
 ``replay``    re-run pipeline stages from a ``--dump-dir`` artifact dump;
 ``figures``   regenerate the paper's evaluation tables (run_all);
+``list``      list registered workloads/paradigms/systems/figures
+              (decorated built-ins plus entry-point plugins);
 ``trace``     simulate one kernel with full observability: write a
               Perfetto/chrome://tracing ``trace.json`` and print the
               Fig 14-style cycle stack, the per-tile NoC heatmap and
               the metrics report.
 
 ``serve``     run the durable job-queue service (HTTP API + worker);
-``submit``    submit a kernel or campaign job to a running server;
+``submit``    submit a kernel, workload, or campaign job to a server;
 ``status``    list jobs (or show one job, ``--result`` fetches output);
 ``cancel``    cancel a queued or running job.
 
@@ -56,6 +58,7 @@ from repro.pipeline import (
     load_stage_input,
     simulate_pipeline,
 )
+from repro.registry import ENGINE_PARADIGMS, INF_S, REGISTRIES
 
 # Uniform exit codes (see module docstring).
 EXIT_OK = 0
@@ -235,6 +238,16 @@ def cmd_compile(args) -> int:
     return 0
 
 
+def _system_config(args):
+    """The --system flag resolved through the registry (None = default)."""
+    name = getattr(args, "system", None)
+    if name is None:
+        return None
+    from repro.registry import SYSTEMS
+
+    return SYSTEMS.create(name)
+
+
 def cmd_simulate(args) -> int:
     max_iterations, node_budget, strategy = _optimizer_knobs(args)
     timing, hooks = _instrumentation(args)
@@ -242,6 +255,7 @@ def cmd_simulate(args) -> int:
         pipeline = simulate_pipeline(
             paradigm=args.paradigm,
             iterations=args.iterations,
+            system=_system_config(args),
             optimize=args.optimize,
             opt_max_iterations=max_iterations,
             opt_node_budget=node_budget,
@@ -387,16 +401,37 @@ def _client(args):
 
 
 def _submit_spec(args) -> dict:
+    exclusive = [
+        opt
+        for opt, given in (
+            ("--figure", args.figure is not None),
+            ("--workload", args.workload is not None),
+            ("a kernel file", args.kernel is not None),
+        )
+        if given
+    ]
+    if len(exclusive) > 1:
+        raise UsageError(f"give only one of {', '.join(exclusive)}")
     if args.figure is not None:
-        if args.kernel is not None:
-            raise UsageError("give either --figure or a kernel file, not both")
         return {
             "kind": "campaign",
             "figure": args.figure,
             "scale": args.scale,
         }
+    if args.workload is not None:
+        spec = {
+            "kind": "workload",
+            "workload": args.workload,
+            "paradigm": args.paradigm,
+            "scale": args.scale,
+        }
+        if args.system is not None:
+            spec["system"] = args.system
+        return spec
     if args.kernel is None:
-        raise UsageError("submit needs --figure NAME or a kernel file")
+        raise UsageError(
+            "submit needs --figure NAME, --workload NAME or a kernel file"
+        )
     spec = {
         "kind": "kernel",
         "name": args.name or "kernel",
@@ -410,6 +445,8 @@ def _submit_spec(args) -> dict:
         "paradigm": args.paradigm,
         "iterations": args.iterations,
     }
+    if args.system is not None:
+        spec["system"] = args.system
     if args.optimize:
         spec["optimize"] = True
         spec["max_iterations"] = args.max_iterations
@@ -490,6 +527,39 @@ def cmd_status(args) -> int:
 def cmd_cancel(args) -> int:
     out = _client(args).cancel(args.job_id)
     print(f"{out['job_id']}: {out['state']}")
+    return EXIT_OK
+
+
+def cmd_list(args) -> int:
+    from repro.sim.campaign import format_table
+
+    categories = (
+        [args.category] if args.category else list(REGISTRIES)
+    )
+    first = True
+    for category in categories:
+        registry = REGISTRIES[category]
+        if not first:
+            print()
+        if len(categories) > 1:
+            print(f"== {category} ==")
+        rows = []
+        for entry in registry.entries():
+            rows.append(
+                [
+                    entry.name,
+                    ",".join(entry.aliases) or "-",
+                    ",".join(sorted(entry.tags)) or "-",
+                    entry.source,
+                    entry.description,
+                ]
+            )
+        print(
+            format_table(
+                ["name", "aliases", "tags", "source", "description"], rows
+            )
+        )
+        first = False
     return EXIT_OK
 
 
@@ -588,8 +658,13 @@ def main(argv: list[str] | None = None) -> int:
     _add_kernel_args(p)
     p.add_argument(
         "--paradigm",
-        choices=("base", "base-1", "near-l3", "in-l3", "inf-s", "inf-s-nojit"),
-        default="inf-s",
+        default=INF_S,
+        help="execution paradigm (see 'repro list paradigms')",
+    )
+    p.add_argument(
+        "--system",
+        default=None,
+        help="registered system config (see 'repro list systems')",
     )
     p.add_argument("--iterations", type=int, default=1)
     p.add_argument(
@@ -627,14 +702,27 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_figures)
 
     p = sub.add_parser(
+        "list",
+        help="list registered workloads/paradigms/systems/figures",
+    )
+    p.add_argument(
+        "category",
+        nargs="?",
+        choices=tuple(REGISTRIES),
+        default=None,
+        help="registry to list (default: all)",
+    )
+    p.set_defaults(fn=cmd_list)
+
+    p = sub.add_parser(
         "trace",
         help="simulate with full observability and write trace.json",
     )
     _add_kernel_args(p)
     p.add_argument(
         "--paradigm",
-        choices=("in-l3", "inf-s", "inf-s-nojit"),
-        default="inf-s",
+        choices=ENGINE_PARADIGMS,
+        default=INF_S,
     )
     p.add_argument("--iterations", type=int, default=1)
     p.add_argument(
@@ -679,9 +767,12 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("kernel", nargs="?", default=None,
                    help="kernel source file ('-' for stdin); omit with --figure")
     p.add_argument("--figure", default=None,
-                   help="campaign job: figure name (fig02/fig11/.../jit)")
+                   help="campaign job: figure name (see 'repro list figures')")
+    p.add_argument("--workload", default=None,
+                   help="workload job: registered workload name "
+                        "(see 'repro list workloads')")
     p.add_argument("--scale", type=float, default=1.0,
-                   help="campaign input-size scale")
+                   help="campaign/workload input-size scale")
     p.add_argument("--array", action="append", default=[],
                    help="array declaration NAME:D0,D1,... (C order)")
     p.add_argument("-p", "--param", action="append", default=[],
@@ -690,8 +781,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--dataflow", choices=("inner", "outer"), default="inner")
     p.add_argument(
         "--paradigm",
-        choices=("base", "base-1", "near-l3", "in-l3", "inf-s", "inf-s-nojit"),
-        default="inf-s",
+        default=INF_S,
+        help="execution paradigm (see 'repro list paradigms')",
+    )
+    p.add_argument(
+        "--system",
+        default=None,
+        help="registered system config (see 'repro list systems')",
     )
     p.add_argument("--iterations", type=int, default=1)
     p.add_argument(
@@ -740,6 +836,7 @@ def _dispatch(args) -> int:
         GeometryError,
         JobSpecError,
         LayoutError,
+        RegistryError,
         UnknownJobError,
     )
     from repro.serve.client import ServeClientError
@@ -750,6 +847,7 @@ def _dispatch(args) -> int:
         ConfigError,
         GeometryError,
         LayoutError,
+        RegistryError,
         JobSpecError,
         AdmissionError,
         UnknownJobError,

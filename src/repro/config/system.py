@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigError
+from repro.registry import SYSTEMS as SYSTEM_REGISTRY
 
 
 @dataclass(frozen=True)
@@ -248,11 +249,13 @@ class SystemConfig:
         return replace(self, cache=cache)
 
 
+@SYSTEM_REGISTRY.register("default", order=0)
 def default_system() -> SystemConfig:
     """The Table 2 configuration used throughout the evaluation."""
     return SystemConfig()
 
 
+@SYSTEM_REGISTRY.register("small-test", aliases=("small_test",), order=1)
 def small_test_system(bitlines: int = 16) -> SystemConfig:
     """A scaled-down system for functional tests.
 
@@ -263,3 +266,18 @@ def small_test_system(bitlines: int = 16) -> SystemConfig:
     sram = SRAMArrayConfig(wordlines=256, bitlines=bitlines)
     cache = CacheConfig(sram=sram)
     return SystemConfig(cache=cache)
+
+
+@SYSTEM_REGISTRY.register(
+    "sram-512",
+    aliases=("sram_512",),
+    order=2,
+    description="Table 2 system with 512x512 SRAM arrays (Fig 16/17 sweep)",
+)
+def sram_512_system() -> SystemConfig:
+    return default_system().with_sram_size(512)
+
+
+def system_config(name: str) -> SystemConfig:
+    """Instantiate one registered system configuration by name."""
+    return SYSTEM_REGISTRY.create(name)

@@ -66,6 +66,30 @@ class PipelineError(ReproError):
         self.node = node
 
 
+class RegistryError(ReproError):
+    """A discovery-registry contract was violated (repro.registry)."""
+
+
+class DuplicateRegistrationError(RegistryError):
+    """Two factories claimed the same registered name (or alias)."""
+
+
+class UnknownNameError(RegistryError, KeyError, ValueError):
+    """A name was not found in a discovery registry.
+
+    Subclasses :class:`KeyError` and :class:`ValueError` as well as
+    :class:`RegistryError` so the registry can replace the per-table
+    lookup errors the seed code raised (``WORKLOADS[name]`` KeyErrors,
+    the engine's ``ValueError`` on a bad paradigm) without breaking any
+    caller's ``except`` clause.  Every layer resolving names through the
+    registry fails with this one type — the CLI maps it to exit code 1,
+    the service layer to ``JobSpecError`` (HTTP 400).
+    """
+
+    def __str__(self) -> str:  # KeyError.__str__ would repr() the message
+        return self.args[0] if self.args else ""
+
+
 class SimulationError(ReproError):
     """The microarchitecture model was driven into an inconsistent state."""
 

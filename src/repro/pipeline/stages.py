@@ -179,11 +179,8 @@ def simulate_stage(
     """
 
     def run(art: ProgramArtifact) -> RunArtifact:
-        from repro.baselines.core import BaseCoreModel
-        from repro.baselines.nsc import NearStreamModel
         from repro.config.system import default_system
-        from repro.energy.model import EnergyModel
-        from repro.sim.engine import InfinityStreamRunner
+        from repro.registry import PARADIGMS
         from repro.workloads.base import Workload
 
         sys_cfg = system or default_system()
@@ -198,19 +195,12 @@ def simulate_stage(
             opt_node_budget=opt_node_budget,
             opt_strategy=opt_strategy,
         )
-        energy = EnergyModel()
-        if paradigm in ("base", "base-1"):
-            threads = 1 if paradigm == "base-1" else sys_cfg.num_cores
-            result = energy.annotate(
-                BaseCoreModel(system=sys_cfg, threads=threads).run(wl)
-            )
-        elif paradigm == "near-l3":
-            result = energy.annotate(NearStreamModel(system=sys_cfg).run(wl))
-        else:
-            result = InfinityStreamRunner(
-                system=sys_cfg, paradigm=paradigm
-            ).run(wl)
-        return RunArtifact(result=result)
+        # One lookup path for every paradigm: the registered factory
+        # already wraps Base/Near-L3 with energy annotation and
+        # defaults Base to all cores (sys_cfg.num_cores), Base-1 to a
+        # single thread — identical to the old if/elif dispatch.
+        runner = PARADIGMS.create(paradigm, system=sys_cfg)
+        return RunArtifact(result=runner.run(wl))
 
     return Stage(
         name="simulate",

@@ -1,0 +1,99 @@
+"""Discovery registries for workloads, paradigms, systems, and figures.
+
+One lookup path for every layer that names things:
+
+* :data:`WORKLOADS` — benchmark factories (``factory(scale=..., **kw) ->
+  Workload``): Table 3's suite, the LLM/sparse zoo, and any out-of-tree
+  plugin declaring the ``repro.workloads`` entry point;
+* :data:`PARADIGMS` — execution-paradigm runner factories
+  (``factory(system, **kw)`` returning an object with ``.run(wl) ->
+  RunResult``): Base / Near-L3 / In-L3 / Inf-S / Inf-S-noJIT;
+* :data:`SYSTEMS` — named :class:`~repro.config.system.SystemConfig`
+  factories (``default``, ``small-test``, ``sram-512``);
+* :data:`FIGURES` — campaign drivers (``fn(scale, executor) ->
+  (headers, rows)``) behind ``repro submit --figure`` and the service
+  layer.
+
+The registries are module-level singletons so decorator registration in
+``repro.workloads.suite`` / ``repro.sim.engine`` / … and entry-point
+plugins all land in the same tables the CLI (``python -m repro list``),
+the campaign drivers, and ``repro.serve`` job validation read.
+
+The paradigm *name constants* live here too: campaign code that used to
+hard-wire ``"inf-s"`` string literals uses :data:`INF_S` etc., so a
+paradigm rename is a one-line change that cannot silently skip points.
+"""
+
+from __future__ import annotations
+
+from repro.registry.core import Registry, RegistryEntry
+
+# ----------------------------------------------------------------------
+# Canonical paradigm names (Fig 11 column order via `order=`).
+# ----------------------------------------------------------------------
+BASE = "base"
+BASE_1 = "base-1"
+NEAR_L3 = "near-l3"
+IN_L3 = "in-l3"
+INF_S = "inf-s"
+INF_S_NOJIT = "inf-s-nojit"
+
+#: The paradigms handled by :class:`repro.sim.engine.InfinityStreamRunner`.
+ENGINE_PARADIGMS = (IN_L3, INF_S, INF_S_NOJIT)
+#: The five Fig 11 configurations, in the paper's column order.
+FIG11_PARADIGMS = (BASE, NEAR_L3, IN_L3, INF_S, INF_S_NOJIT)
+
+# ----------------------------------------------------------------------
+# The singleton registries.  `builtin_modules` are imported on first
+# lookup/listing (their decorators self-register), so importing this
+# package costs nothing.
+# ----------------------------------------------------------------------
+WORKLOADS = Registry(
+    "workload",
+    entry_point_group="repro.workloads",
+    builtin_modules=("repro.workloads.suite", "repro.workloads.zoo"),
+)
+
+PARADIGMS = Registry(
+    "paradigm",
+    entry_point_group="repro.paradigms",
+    builtin_modules=("repro.sim.engine",),
+)
+
+SYSTEMS = Registry(
+    "system",
+    entry_point_group="repro.systems",
+    builtin_modules=("repro.config.system",),
+)
+
+FIGURES = Registry(
+    "figure",
+    entry_point_group="repro.figures",
+    builtin_modules=("repro.sim.campaign",),
+)
+
+#: CLI category name -> registry (``python -m repro list <category>``).
+REGISTRIES: dict[str, Registry] = {
+    "workloads": WORKLOADS,
+    "paradigms": PARADIGMS,
+    "systems": SYSTEMS,
+    "figures": FIGURES,
+}
+
+__all__ = [
+    "Registry",
+    "RegistryEntry",
+    "WORKLOADS",
+    "PARADIGMS",
+    "SYSTEMS",
+    "FIGURES",
+    "REGISTRIES",
+    "BASE",
+    "BASE_1",
+    "NEAR_L3",
+    "IN_L3",
+    "INF_S",
+    "INF_S_NOJIT",
+    "ENGINE_PARADIGMS",
+    "FIG11_PARADIGMS",
+]

@@ -28,7 +28,14 @@ import pickle
 from dataclasses import asdict, dataclass, field
 from typing import Callable
 
-from repro.errors import JobSpecError, JobStateError
+from repro.errors import JobSpecError, JobStateError, UnknownNameError
+from repro.registry import (
+    FIGURES,
+    INF_S,
+    PARADIGMS,
+    SYSTEMS,
+    WORKLOADS,
+)
 
 
 class JobState(str, enum.Enum):
@@ -129,41 +136,35 @@ def decode_point(payload: str):
 # ----------------------------------------------------------------------
 # Spec validation + execution
 # ----------------------------------------------------------------------
-def _campaign_table(fn: Callable) -> Callable:
-    """Adapt a campaign function returning (headers, rows[, extra])."""
-
-    def run(scale: float, executor) -> tuple[list, list]:
-        out = fn(scale=scale, executor=executor)
-        headers, rows = out[0], out[1]  # fig11 also returns raw results
-        return headers, rows
-
-    return run
-
-
-def _fig02(scale: float, executor) -> tuple[list, list]:
-    # fig02 sweeps fixed input sizes rather than Table 3 scales.
-    from repro.sim import campaign
-
-    return campaign.fig02_microbench(executor=executor)
-
-
 def campaign_registry() -> dict[str, Callable]:
-    """figure name -> ``fn(scale, executor) -> (headers, rows)``."""
-    from repro.sim import campaign
+    """figure name -> ``fn(scale, executor) -> (headers, rows)``.
 
-    return {
-        "fig02": _fig02,
-        "fig11": _campaign_table(campaign.fig11_speedup),
-        "fig13": _campaign_table(campaign.fig13_infs_traffic),
-        "fig14": _campaign_table(campaign.fig14_cycles),
-        "fig15": _campaign_table(campaign.fig15_dataflow),
-        "fig17": _campaign_table(campaign.fig17_tile_sweep_3d),
-        "fig18": _campaign_table(campaign.fig18_energy),
-        "jit": _campaign_table(campaign.jit_overheads),
-    }
+    A view over :data:`repro.registry.FIGURES` — campaign drivers
+    register themselves in ``repro.sim.campaign`` (or via the
+    ``repro.figures`` entry point) with that uniform call contract.
+    """
+    return {name: FIGURES.resolve(name) for name in FIGURES.names()}
 
 
-KERNEL_PARADIGMS = ("base", "base-1", "near-l3", "in-l3", "inf-s", "inf-s-nojit")
+def _validate_system(spec: dict) -> str | None:
+    """The optional ``"system"`` key, checked against the registry."""
+    system = spec.get("system")
+    if system is None:
+        return None
+    try:
+        SYSTEMS.get(str(system))
+    except UnknownNameError as exc:
+        raise JobSpecError(str(exc)) from exc
+    return str(system)
+
+
+def _validate_paradigm(spec: dict, default: str = INF_S) -> str:
+    paradigm = spec.get("paradigm", default)
+    try:
+        PARADIGMS.get(str(paradigm))
+    except UnknownNameError as exc:
+        raise JobSpecError(str(exc)) from exc
+    return str(paradigm)
 
 
 def validate_spec(spec) -> dict:
@@ -174,16 +175,36 @@ def validate_spec(spec) -> dict:
     kind = spec.get("kind")
     if kind == "campaign":
         figure = spec.get("figure")
-        known = sorted(campaign_registry())
-        if figure not in known:
+        if not isinstance(figure, str) or figure not in FIGURES:
             raise JobSpecError(
                 f"unknown campaign figure {figure!r}; expected one of "
-                f"{', '.join(known)}"
+                f"{', '.join(FIGURES.names())}"
             )
         scale = spec.get("scale", 1.0)
         if not isinstance(scale, (int, float)) or scale <= 0:
             raise JobSpecError(f"campaign scale must be > 0, got {scale!r}")
         return {"kind": "campaign", "figure": figure, "scale": float(scale)}
+    if kind == "workload":
+        name = spec.get("workload")
+        try:
+            entry = WORKLOADS.get(str(name))
+        except UnknownNameError as exc:
+            raise JobSpecError(str(exc)) from exc
+        scale = spec.get("scale", 1.0)
+        if not isinstance(scale, (int, float)) or scale <= 0:
+            raise JobSpecError(f"workload scale must be > 0, got {scale!r}")
+        out = {
+            "kind": "workload",
+            "workload": entry.name,  # canonical (aliases resolved)
+            "paradigm": _validate_paradigm(spec),
+            "scale": float(scale),
+        }
+        system = _validate_system(spec)
+        if system is not None:
+            out["system"] = system
+        if "dataflow" in spec:
+            out["dataflow"] = str(spec["dataflow"])
+        return out
     if kind == "kernel":
         source = spec.get("source")
         if not isinstance(source, str) or not source.strip():
@@ -196,12 +217,7 @@ def validate_spec(spec) -> dict:
         params = spec.get("params", {})
         if not isinstance(params, dict):
             raise JobSpecError("'params' must be an object of NAME -> int")
-        paradigm = spec.get("paradigm", "inf-s")
-        if paradigm not in KERNEL_PARADIGMS:
-            raise JobSpecError(
-                f"unknown paradigm {paradigm!r}; expected one of "
-                f"{', '.join(KERNEL_PARADIGMS)}"
-            )
+        paradigm = _validate_paradigm(spec)
         out = {
             "kind": "kernel",
             "name": str(spec.get("name", "kernel")),
@@ -214,6 +230,9 @@ def validate_spec(spec) -> dict:
             "paradigm": paradigm,
             "iterations": int(spec.get("iterations", 1)),
         }
+        system = _validate_system(spec)
+        if system is not None:
+            out["system"] = system
         if spec.get("optimize"):
             from repro.egraph.saturate import validate_optimizer_knobs
 
@@ -232,7 +251,7 @@ def validate_spec(spec) -> dict:
             out.update(knobs)
         return out
     raise JobSpecError(
-        f"job kind must be 'kernel' or 'campaign', got {kind!r}"
+        f"job kind must be 'kernel', 'workload' or 'campaign', got {kind!r}"
     )
 
 
@@ -257,9 +276,34 @@ def run_job_spec(spec: dict, executor) -> dict:
             "rows": [list(r) for r in rows],
             "table": format_table(list(headers), [list(r) for r in rows]),
         }
+    if kind == "workload":
+        return _run_workload_spec(spec)
     if kind == "kernel":
         return _run_kernel_spec(spec)
     raise JobSpecError(f"unrunnable job kind {kind!r}")
+
+
+def _run_workload_spec(spec: dict) -> dict:
+    """Run one registered workload under one registered paradigm."""
+    kwargs = {}
+    if "dataflow" in spec:
+        kwargs["dataflow"] = spec["dataflow"]
+    wl = WORKLOADS.create(spec["workload"], scale=spec["scale"], **kwargs)
+    system = SYSTEMS.create(spec["system"]) if spec.get("system") else None
+    runner = PARADIGMS.create(spec["paradigm"], system=system)
+    result = runner.run(wl)
+    return {
+        "kind": "workload",
+        "workload": spec["workload"],
+        "name": wl.name,
+        "scale": spec["scale"],
+        "paradigm": result.paradigm,
+        "total_cycles": result.total_cycles,
+        "cycles": result.cycles.as_dict(),
+        "traffic_byte_hops": result.traffic.total,
+        "energy_nj": result.energy_nj,
+        "in_memory_fraction": result.ops.in_memory_fraction,
+    }
 
 
 def _run_kernel_spec(spec: dict) -> dict:
@@ -283,6 +327,7 @@ def _run_kernel_spec(spec: dict) -> dict:
     pipeline = simulate_pipeline(
         paradigm=spec["paradigm"],
         iterations=spec["iterations"],
+        system=SYSTEMS.create(spec["system"]) if spec.get("system") else None,
         optimize=bool(spec.get("optimize", False)),
         opt_max_iterations=int(spec.get("max_iterations", 4)),
         opt_node_budget=int(spec.get("node_budget", 20_000)),
@@ -307,4 +352,6 @@ def describe_spec_dict(spec: dict) -> str:
         return f"{spec.get('figure')}@{spec.get('scale')}"
     if spec.get("kind") == "kernel":
         return f"{spec.get('name')}/{spec.get('paradigm')}"
+    if spec.get("kind") == "workload":
+        return f"{spec.get('workload')}/{spec.get('paradigm')}"
     return str(spec.get("kind"))

@@ -27,6 +27,7 @@ from repro.energy.model import EnergyModel
 from repro.errors import LayoutError
 from repro.exec.pool import PointExecutor, run_points
 from repro.ir.tdfg import LayoutHints
+from repro.registry import FIG11_PARADIGMS, FIGURES, INF_S, INF_S_NOJIT
 from repro.runtime.layout import valid_tilings
 from repro.sim.engine import InfinityStreamRunner, run_all_paradigms
 from repro.sim.stats import RunResult
@@ -42,7 +43,9 @@ from repro.workloads.suite import (
     workload,
 )
 
-PARADIGMS = ("base", "near-l3", "in-l3", "inf-s", "inf-s-nojit")
+#: The Fig 11 configurations, in column order (from repro.registry — a
+#: paradigm rename updates every driver here at once).
+PARADIGMS = FIG11_PARADIGMS
 
 
 def geomean(values: Iterable[float], strict: bool = False) -> float:
@@ -111,7 +114,7 @@ def _point_infs(spec) -> RunResult:
     """(workload, system) -> the Inf-S RunResult."""
     wl, system = spec
     runner = InfinityStreamRunner(
-        system=system or default_system(), paradigm="inf-s"
+        system=system or default_system(), paradigm=INF_S
     )
     return runner.run(wl)
 
@@ -122,7 +125,7 @@ def _point_tile(spec) -> float | None:
     wl, tile, system = spec
     runner = InfinityStreamRunner(
         system=system,
-        paradigm="inf-s",
+        paradigm=INF_S,
         tile_override=tile,
         use_decision=False,
     )
@@ -142,8 +145,8 @@ def _point_jit_overhead(spec):
     """(workload, system) -> (Inf-S result, Inf-S-noJIT result)."""
     wl, system = spec
     sys_ = system or default_system()
-    res = InfinityStreamRunner(system=sys_, paradigm="inf-s").run(wl)
-    nojit = InfinityStreamRunner(system=sys_, paradigm="inf-s-nojit").run(wl)
+    res = InfinityStreamRunner(system=sys_, paradigm=INF_S).run(wl)
+    nojit = InfinityStreamRunner(system=sys_, paradigm=INF_S_NOJIT).run(wl)
     return res, nojit
 
 
@@ -585,3 +588,109 @@ def jit_overheads(scale: float = 1.0, system=None, executor=None):
         "jit-us@2GHz",
     ]
     return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Workload zoo: speedup table for the LLM / sparse scenario families
+# ----------------------------------------------------------------------
+def _zoo_variants(scale: float) -> list[Workload]:
+    out = []
+    for df in ("inner", "outer"):
+        out.append(workload("attention", scale, dataflow=df))
+        out.append(workload("mlp", scale, dataflow=df))
+    out.append(workload("spmv", scale))
+    out.append(workload("sddmm", scale))
+    return out
+
+
+def zoo_speedup(scale: float = 0.25, system=None, executor=None):
+    """Speedup over Base for the zoo workloads (attention/mlp/spmv/sddmm).
+
+    Runs at a reduced default scale: the zoo exists to exercise the
+    registry seam and the streaming/indirect cost models, not to extend
+    the paper's figures, so smoke-sized inputs are the common case.
+    """
+    variants = _zoo_variants(scale)
+    results = run_points(
+        _point_paradigms,
+        [(wl, system) for wl in variants],
+        executor,
+        section="zoo",
+    )
+    rows = []
+    per_cfg: dict[str, list[float]] = {p: [] for p in PARADIGMS[1:]}
+    for wl, res in zip(variants, results):
+        base = res["base"].total_cycles
+        row = [wl.name]
+        for p in PARADIGMS[1:]:
+            sp = base / res[p].total_cycles
+            row.append(sp)
+            per_cfg[p].append(sp)
+        rows.append(row)
+    rows.append(["geomean"] + [geomean(per_cfg[p]) for p in PARADIGMS[1:]])
+    headers = ["workload", "Near-L3", "In-L3", "Inf-S", "Inf-S-noJIT"]
+    return headers, rows
+
+
+# ----------------------------------------------------------------------
+# Figure registration: every serve-runnable campaign driver, adapted to
+# the uniform ``fn(scale, executor) -> (headers, rows)`` contract that
+# ``repro.serve.jobs`` and ``repro submit --figure`` execute.  Drivers
+# with a different shape (fig16/fig19 return nested tables) stay
+# script-only and are intentionally not registered.
+# ----------------------------------------------------------------------
+def _table_figure(fn):
+    """Adapt a campaign fn returning (headers, rows[, extra])."""
+
+    def run(scale: float = 1.0, executor=None):
+        out = fn(scale=scale, executor=executor)
+        return out[0], out[1]  # fig11 also returns raw results
+
+    run.__name__ = fn.__name__
+    run.__doc__ = fn.__doc__
+    return run
+
+
+def _fig02_figure(scale: float = 1.0, executor=None):
+    """Speedup over Base-Thread-1 for vec_add and array_sum (fp32)."""
+    # fig02 sweeps fixed input sizes rather than Table 3 scales.
+    return fig02_microbench(executor=executor)
+
+
+def _first_doc(fn) -> str:
+    return (fn.__doc__ or "").strip().splitlines()[0]
+
+
+FIGURES.register("fig02", _fig02_figure, order=2)
+FIGURES.register(
+    "fig11", _table_figure(fig11_speedup), order=11,
+    description=_first_doc(fig11_speedup),
+)
+FIGURES.register(
+    "fig13", _table_figure(fig13_infs_traffic), order=13,
+    description=_first_doc(fig13_infs_traffic),
+)
+FIGURES.register(
+    "fig14", _table_figure(fig14_cycles), order=14,
+    description=_first_doc(fig14_cycles),
+)
+FIGURES.register(
+    "fig15", _table_figure(fig15_dataflow), order=15,
+    description=_first_doc(fig15_dataflow),
+)
+FIGURES.register(
+    "fig17", _table_figure(fig17_tile_sweep_3d), order=17,
+    description=_first_doc(fig17_tile_sweep_3d),
+)
+FIGURES.register(
+    "fig18", _table_figure(fig18_energy), order=18,
+    description=_first_doc(fig18_energy),
+)
+FIGURES.register(
+    "jit", _table_figure(jit_overheads), order=50,
+    description=_first_doc(jit_overheads),
+)
+FIGURES.register(
+    "zoo", _table_figure(zoo_speedup), order=60,
+    description=_first_doc(zoo_speedup),
+)

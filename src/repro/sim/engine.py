@@ -25,11 +25,22 @@ from repro.baselines.core import BaseCoreModel
 from repro.baselines.nsc import NearStreamModel
 from repro.config.system import SystemConfig, default_system
 from repro.energy.model import EnergyModel
-from repro.errors import LayoutError
+from repro.errors import LayoutError, UnknownNameError
 from repro.frontend.build import RegionInstance
 from repro.frontend.classify import LoopKind, StmtInfo
 from repro.frontend.kast import Ref, walk_refs
 from repro.pipeline import PassManager, TDFGArtifact, region_pipeline
+from repro.registry import (
+    BASE,
+    BASE_1,
+    ENGINE_PARADIGMS,
+    FIG11_PARADIGMS,
+    IN_L3,
+    INF_S,
+    INF_S_NOJIT,
+    NEAR_L3,
+    PARADIGMS,
+)
 from repro.runtime.decision import (
     DecisionInputs,
     OffloadChoice,
@@ -66,8 +77,11 @@ class InfinityStreamRunner:
     verify_pipeline: bool = False
 
     def __post_init__(self) -> None:
-        if self.paradigm not in ("in-l3", "inf-s", "inf-s-nojit"):
-            raise ValueError(f"unknown paradigm {self.paradigm!r}")
+        if self.paradigm not in ENGINE_PARADIGMS:
+            raise UnknownNameError(
+                f"unknown paradigm {self.paradigm!r}; known: "
+                f"{', '.join(ENGINE_PARADIGMS)}"
+            )
 
     @property
     def hybrid(self) -> bool:
@@ -430,6 +444,111 @@ def _gather_key(spec) -> str:
 
 
 # ----------------------------------------------------------------------
+# Paradigm registration: every execution paradigm is a registered
+# factory `(system=..., **kw) -> runner` whose runner has the engine's
+# `.run(wl) -> RunResult` contract.  The campaign drivers, the pipeline
+# simulate stage, the CLI, and the service layer all resolve paradigms
+# through repro.registry.PARADIGMS instead of private if/elif tables.
+# ----------------------------------------------------------------------
+@dataclass
+class _EnergyAnnotated:
+    """Adapter giving the Base/Near-L3 models the engine's run contract.
+
+    The engine annotates energy inside :meth:`InfinityStreamRunner.run`;
+    the baseline models return raw results, so their registered
+    factories wrap them to keep ``factory(...).run(wl)`` uniform.
+    """
+
+    model: object
+    energy: EnergyModel = field(default_factory=EnergyModel)
+
+    def run(self, wl: Workload) -> RunResult:
+        return self.energy.annotate(self.model.run(wl))
+
+
+def _base_runner(
+    system: SystemConfig | None = None, threads: int | None = None, **kw
+) -> _EnergyAnnotated:
+    """Multithreaded out-of-order cores with SIMD (the Fig 11 Base)."""
+    system = system or default_system()
+    if threads is None:
+        threads = system.num_cores
+    return _EnergyAnnotated(BaseCoreModel(system=system, threads=threads, **kw))
+
+
+def _base1_runner(
+    system: SystemConfig | None = None, **kw
+) -> _EnergyAnnotated:
+    """Single-threaded Base core (the Fig 2 normalisation baseline)."""
+    return _EnergyAnnotated(
+        BaseCoreModel(system=system or default_system(), threads=1, **kw)
+    )
+
+
+def _near_runner(
+    system: SystemConfig | None = None, **kw
+) -> _EnergyAnnotated:
+    """Near-L3 stream computing (the near-memory-only configuration)."""
+    return _EnergyAnnotated(NearStreamModel(system=system or default_system(), **kw))
+
+
+def _engine_factory(paradigm: str):
+    def make(
+        system: SystemConfig | None = None, **kw
+    ) -> InfinityStreamRunner:
+        return InfinityStreamRunner(
+            system=system or default_system(), paradigm=paradigm, **kw
+        )
+
+    make.__name__ = f"{paradigm.replace('-', '_')}_runner"
+    return make
+
+
+PARADIGMS.register(
+    BASE,
+    _base_runner,
+    order=0,
+    tags=("core", "fig11"),
+    description="multithreaded OoO cores with SIMD (Fig 11 Base)",
+)
+PARADIGMS.register(
+    BASE_1,
+    _base1_runner,
+    order=1,
+    tags=("core",),
+    description="single-threaded Base core (Fig 2 normalisation)",
+)
+PARADIGMS.register(
+    NEAR_L3,
+    _near_runner,
+    order=2,
+    tags=("near", "fig11"),
+    description="near-L3 stream computing only",
+)
+PARADIGMS.register(
+    IN_L3,
+    _engine_factory(IN_L3),
+    order=3,
+    tags=("engine", "fig11"),
+    description="in-SRAM computing without near-memory support",
+)
+PARADIGMS.register(
+    INF_S,
+    _engine_factory(INF_S),
+    order=4,
+    tags=("engine", "hybrid", "fig11"),
+    description="the full in-/near-memory fusion (JIT enabled)",
+)
+PARADIGMS.register(
+    INF_S_NOJIT,
+    _engine_factory(INF_S_NOJIT),
+    order=5,
+    tags=("engine", "hybrid", "fig11"),
+    description="Inf-S with JIT lowering cost excluded",
+)
+
+
+# ----------------------------------------------------------------------
 # Campaign helpers (used by the benchmarks)
 # ----------------------------------------------------------------------
 def run_all_paradigms(
@@ -439,15 +558,10 @@ def run_all_paradigms(
 ) -> dict[str, RunResult]:
     """Run one workload under every Fig 11 configuration."""
     system = system or default_system()
-    energy = EnergyModel()
     out: dict[str, RunResult] = {}
-    base = BaseCoreModel(system=system, threads=base_threads)
-    out["base"] = energy.annotate(base.run(wl))
-    near = NearStreamModel(system=system)
-    out["near-l3"] = energy.annotate(near.run(wl))
-    for paradigm in ("in-l3", "inf-s", "inf-s-nojit"):
-        runner = InfinityStreamRunner(system=system, paradigm=paradigm)
-        out[paradigm] = runner.run(wl)
+    for paradigm in FIG11_PARADIGMS:
+        kw = {"threads": base_threads} if paradigm == BASE else {}
+        out[paradigm] = PARADIGMS.create(paradigm, system=system, **kw).run(wl)
     return out
 
 

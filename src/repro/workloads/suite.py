@@ -9,10 +9,18 @@ constraints of §4.1 still hold.
 from __future__ import annotations
 
 import math
+import warnings
+from typing import Iterator, Mapping
 
 from repro.frontend.kernel import parse_kernel
+from repro.registry import WORKLOADS as WORKLOAD_REGISTRY
 from repro.workloads import kernels as K
 from repro.workloads.base import NearMemPhase, Workload
+
+#: Tag on the ten Table 3 workloads (the seed suite / Fig 11 set).
+TABLE3_TAG = "table3"
+
+_register = WORKLOAD_REGISTRY.register
 
 
 def _sz(value: int, scale: float, minimum: int = 32) -> int:
@@ -21,6 +29,12 @@ def _sz(value: int, scale: float, minimum: int = 32) -> int:
     return max(16, (scaled // 16) * 16)
 
 
+@_register(
+    "stencil1d",
+    tags=(TABLE3_TAG,),
+    order=0,
+    description="1-D 3-point stencil, 10 ping-pong sweeps (Table 3)",
+)
 def stencil1d(scale: float = 1.0) -> Workload:
     n = _sz(4 * 1024 * 1024, scale, minimum=256)
     prog = parse_kernel("stencil1d", K.STENCIL1D, arrays={"A": ("N",), "B": ("N",)})
@@ -33,6 +47,12 @@ def stencil1d(scale: float = 1.0) -> Workload:
     )
 
 
+@_register(
+    "stencil2d",
+    tags=(TABLE3_TAG,),
+    order=1,
+    description="2-D 5-point stencil, 10 ping-pong sweeps (Table 3)",
+)
 def stencil2d(scale: float = 1.0) -> Workload:
     m = _sz(2048, scale)
     prog = parse_kernel(
@@ -47,6 +67,12 @@ def stencil2d(scale: float = 1.0) -> Workload:
     )
 
 
+@_register(
+    "stencil3d",
+    tags=(TABLE3_TAG,),
+    order=2,
+    description="3-D 7-point stencil, 10 ping-pong sweeps (Table 3)",
+)
 def stencil3d(scale: float = 1.0) -> Workload:
     m = _sz(512, scale)
     p = max(4, int(16 * math.sqrt(scale)) or 4)
@@ -64,6 +90,12 @@ def stencil3d(scale: float = 1.0) -> Workload:
     )
 
 
+@_register(
+    "dwt2d",
+    tags=(TABLE3_TAG,),
+    order=3,
+    description="2-D discrete wavelet transform, lifting scheme (Table 3)",
+)
 def dwt2d(scale: float = 1.0) -> Workload:
     m = _sz(2048, scale)
     nh = m // 2
@@ -82,6 +114,12 @@ def dwt2d(scale: float = 1.0) -> Workload:
     )
 
 
+@_register(
+    "gauss_elim",
+    tags=(TABLE3_TAG,),
+    order=4,
+    description="Gaussian elimination with pivot-row streams (Table 3)",
+)
 def gauss_elim(scale: float = 1.0) -> Workload:
     n = _sz(2048, scale)
     prog = parse_kernel(
@@ -90,6 +128,12 @@ def gauss_elim(scale: float = 1.0) -> Workload:
     return Workload(name="gauss_elim", program=prog, params={"N": n})
 
 
+@_register(
+    "conv2d",
+    tags=(TABLE3_TAG,),
+    order=5,
+    description="2-D 3x3 convolution (Table 3)",
+)
 def conv2d(scale: float = 1.0) -> Workload:
     m = _sz(2048, scale)
     prog = parse_kernel(
@@ -102,6 +146,12 @@ def conv2d(scale: float = 1.0) -> Workload:
     )
 
 
+@_register(
+    "conv3d",
+    tags=(TABLE3_TAG,),
+    order=6,
+    description="3-D convolution, 3x3 kernels over I/O channels (Table 3)",
+)
 def conv3d(scale: float = 1.0) -> Workload:
     hw = _sz(256, scale)
     io = max(4, _sz(64, scale, minimum=4))
@@ -121,6 +171,13 @@ def conv3d(scale: float = 1.0) -> Workload:
     )
 
 
+@_register(
+    "mm",
+    tags=(TABLE3_TAG,),
+    order=7,
+    aliases=("matmul",),
+    description="dense matrix multiply, inner/outer dataflow (Table 3)",
+)
 def mm(scale: float = 1.0, dataflow: str = "outer") -> Workload:
     n = _sz(2048, scale)
     if dataflow == "inner":
@@ -143,6 +200,12 @@ def mm(scale: float = 1.0, dataflow: str = "outer") -> Workload:
     )
 
 
+@_register(
+    "kmeans",
+    tags=(TABLE3_TAG,),
+    order=8,
+    description="k-means distances + indirect centroid update (Table 3)",
+)
 def kmeans(scale: float = 1.0, dataflow: str = "outer") -> Workload:
     points = _sz(32 * 1024, scale, minimum=512)
     dim = 128
@@ -177,6 +240,12 @@ def kmeans(scale: float = 1.0, dataflow: str = "outer") -> Workload:
     )
 
 
+@_register(
+    "gather_mlp",
+    tags=(TABLE3_TAG,),
+    order=9,
+    description="gathered-row MLP layer with ReLU (Table 3)",
+)
 def gather_mlp(scale: float = 1.0, dataflow: str = "outer") -> Workload:
     m = _sz(32 * 1024, scale, minimum=512)
     nk = 128
@@ -236,25 +305,52 @@ def _human(n: int) -> str:
     return f"{n // 1024}k"
 
 
-WORKLOADS = {
-    "stencil1d": stencil1d,
-    "stencil2d": stencil2d,
-    "stencil3d": stencil3d,
-    "dwt2d": dwt2d,
-    "gauss_elim": gauss_elim,
-    "conv2d": conv2d,
-    "conv3d": conv3d,
-    "mm": mm,
-    "kmeans": kmeans,
-    "gather_mlp": gather_mlp,
-}
+class _DeprecatedWorkloadTable(Mapping):
+    """Read-only view of the Table 3 registry entries.
+
+    The module-level ``WORKLOADS`` dict predates :mod:`repro.registry`;
+    this shim keeps ``WORKLOADS["mm"]`` / ``"mm" in WORKLOADS`` /
+    ``set(WORKLOADS)`` working (over the original ten names only) while
+    steering callers to the registry with a :class:`DeprecationWarning`.
+    """
+
+    def _names(self) -> tuple[str, ...]:
+        return WORKLOAD_REGISTRY.names(tag=TABLE3_TAG)
+
+    @staticmethod
+    def _warn() -> None:
+        warnings.warn(
+            "repro.workloads.WORKLOADS is deprecated; use "
+            "repro.registry.WORKLOADS (names/get/create) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+
+    def __getitem__(self, name: str):
+        self._warn()
+        if name not in self._names():
+            raise KeyError(name)
+        return WORKLOAD_REGISTRY.resolve(name)
+
+    def __iter__(self) -> Iterator[str]:
+        self._warn()
+        return iter(self._names())
+
+    def __len__(self) -> int:
+        self._warn()
+        return len(self._names())
+
+    def __repr__(self) -> str:
+        return f"WORKLOADS({', '.join(self._names())})"
+
+
+#: Deprecated — the Table 3 subset of :data:`repro.registry.WORKLOADS`.
+WORKLOADS: Mapping = _DeprecatedWorkloadTable()
 
 
 def workload(name: str, scale: float = 1.0, **kwargs) -> Workload:
-    """Instantiate one Table 3 workload by name."""
-    if name not in WORKLOADS:
-        raise KeyError(f"unknown workload {name!r}; have {sorted(WORKLOADS)}")
-    return WORKLOADS[name](scale=scale, **kwargs)
+    """Instantiate one registered workload (Table 3, zoo, or plugin)."""
+    return WORKLOAD_REGISTRY.create(name, scale=scale, **kwargs)
 
 
 def paper_workloads(scale: float = 1.0) -> list[Workload]:

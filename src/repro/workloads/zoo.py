@@ -1,0 +1,278 @@
+"""The workload zoo: streaming LLM kernels and sparse tensor algebra.
+
+Two scenario families beyond the paper's Table 3 suite, registered with
+tag ``"zoo"`` so they ride the same registry/figure/cache machinery:
+
+* **Streaming LLM inference** (per StreamTensor): ``attention`` — the
+  tiled QK^T·V pair with the softmax re-normalisation streamed between
+  the two GEMMs — and ``mlp`` — a two-layer GEMM whose hidden
+  activation is FIFO-streamed through the ReLU into the second layer.
+  Both are multi-segment kernels, so the intermediate tensor is
+  produced and consumed inside one tDFG without a round-trip to DRAM.
+
+* **Sparse tensor algebra** (per Stardust): ``spmv`` and ``sddmm``.
+  The value-stream compute is expressed in-language over ELL-padded /
+  flattened-nonzero dense views; the CSR indirect-stream gathers that
+  build those views run near-memory as :class:`NearMemPhase`s, exactly
+  as the paper's §3.3 treats k-means' indirect centroid update.
+
+Every factory takes ``scale`` (1.0 = full-size) and shrinks to smoke
+sizes the same way the Table 3 suite does, so each zoo workload runs
+under every registered paradigm in the test matrix.
+"""
+
+from __future__ import annotations
+
+from repro.frontend.kernel import parse_kernel
+from repro.registry import WORKLOADS as WORKLOAD_REGISTRY
+from repro.workloads.base import NearMemPhase, Workload
+from repro.workloads.suite import _sz
+
+#: Tag on the LLM / sparse zoo workloads.
+ZOO_TAG = "zoo"
+
+_register = WORKLOAD_REGISTRY.register
+
+
+# ----------------------------------------------------------------------
+# Kernel sources (same loop-nest language as workloads/kernels.py)
+# ----------------------------------------------------------------------
+ATTENTION_INNER = """
+for i in [0, S):
+    for j in [0, S):
+        for k in [0, D):
+            Scr[i][j] += Q[i][k] * Kt[j][k]
+for i2 in [0, S):
+    for d2 in [0, D):
+        for j2 in [0, S):
+            Ctx[i2][d2] += Scr[i2][j2] * Vt[d2][j2]
+"""
+
+ATTENTION_OUTER = """
+for k in [0, D):
+    for i in [0, S):
+        for j in [0, S):
+            Scr[i][j] += Q[i][k] * Kk[k][j]
+for j2 in [0, S):
+    for i2 in [0, S):
+        for d2 in [0, D):
+            Ctx[i2][d2] += Scr[i2][j2] * V[j2][d2]
+"""
+
+MLP_INNER = """
+for m in [0, M):
+    for n in [0, N):
+        for k in [0, K):
+            H[m][n] += X[m][k] * W1t[n][k]
+for m2 in [0, M):
+    for n2 in [0, N):
+        Ha[m2][n2] = relu(H[m2][n2])
+for m3 in [0, M):
+    for p in [0, P):
+        for n3 in [0, N):
+            Y[m3][p] += Ha[m3][n3] * W2t[p][n3]
+"""
+
+MLP_OUTER = """
+for k in [0, K):
+    for m in [0, M):
+        for n in [0, N):
+            H[m][n] += X[m][k] * W1[k][n]
+for m2 in [0, M):
+    for n2 in [0, N):
+        Ha[m2][n2] = relu(H[m2][n2])
+for n3 in [0, N):
+    for m3 in [0, M):
+        for p in [0, P):
+            Y[m3][p] += Ha[m3][n3] * W2[n3][p]
+"""
+
+# ELL-padded SpMV: each row's W nonzero values (Av) multiply the
+# pre-gathered x entries (Xg); the CSR gather itself is a NearMemPhase.
+SPMV = """
+for i in [0, R):
+    for j in [0, W):
+        Y[i] += Av[i][j] * Xg[i][j]
+"""
+
+# SDDMM over flattened nonzeros: dot the pre-gathered A-row / B-column
+# pair for each nonzero, then scale by the sample value.
+SDDMM = """
+for z in [0, Z):
+    for k in [0, K):
+        Acc[z] += Ag[z][k] * Bg[z][k]
+for z2 in [0, Z):
+    Out[z2] = Acc[z2] * Sv[z2]
+"""
+
+
+# ----------------------------------------------------------------------
+# Factories
+# ----------------------------------------------------------------------
+@_register(
+    "attention",
+    tags=(ZOO_TAG, "llm"),
+    order=100,
+    description="streaming QK^T*V attention with near-mem softmax (zoo)",
+)
+def attention(scale: float = 1.0, dataflow: str = "inner") -> Workload:
+    """Single-head attention: Scr = QK^T, softmax, Ctx = Scr*V.
+
+    The two GEMMs are one multi-segment kernel (the score matrix
+    streams from segment 1 into segment 2); the softmax row
+    re-normalisation between them is a streaming near-memory phase.
+    """
+    seq = _sz(2048, scale, minimum=64)
+    dim = 64
+    if dataflow == "inner":
+        src, arrays = ATTENTION_INNER, {
+            "Q": ("S", "D"),
+            "Kt": ("S", "D"),
+            "Vt": ("D", "S"),
+            "Scr": ("S", "S"),
+            "Ctx": ("S", "D"),
+        }
+    else:
+        src, arrays = ATTENTION_OUTER, {
+            "Q": ("S", "D"),
+            "Kk": ("D", "S"),
+            "V": ("S", "D"),
+            "Scr": ("S", "S"),
+            "Ctx": ("S", "D"),
+        }
+    prog = parse_kernel("attention", src, arrays=arrays)
+    # Row-wise softmax over the S x S score matrix: one streaming read +
+    # write pass plus the per-row max/denominator reductions.
+    softmax = NearMemPhase(
+        name="softmax_stream",
+        bytes_accessed=2 * seq * seq * 4 + 2 * seq * 4,
+        ops=3 * seq * seq,
+        indirect=False,
+    )
+    return Workload(
+        name=f"attention/{dataflow[:3]}",
+        program=prog,
+        params={"S": seq, "D": dim},
+        dataflow=dataflow,
+        extra_phases=(softmax,),
+    )
+
+
+@_register(
+    "mlp",
+    tags=(ZOO_TAG, "llm"),
+    order=101,
+    description="two-layer GEMM MLP with FIFO-streamed hidden layer (zoo)",
+)
+def mlp(scale: float = 1.0, dataflow: str = "inner") -> Workload:
+    """Two-layer MLP: Y = relu(X*W1) * W2, hidden activation streamed.
+
+    Three segments in one kernel — GEMM, ReLU, GEMM — so the hidden
+    tensor is produced and consumed in-flight rather than spilled.
+    """
+    m = _sz(8192, scale, minimum=256)
+    hidden = 256
+    feat = 256
+    out = 256
+    if dataflow == "inner":
+        src, arrays = MLP_INNER, {
+            "X": ("M", "K"),
+            "W1t": ("N", "K"),
+            "W2t": ("P", "N"),
+            "H": ("M", "N"),
+            "Ha": ("M", "N"),
+            "Y": ("M", "P"),
+        }
+    else:
+        src, arrays = MLP_OUTER, {
+            "X": ("M", "K"),
+            "W1": ("K", "N"),
+            "W2": ("N", "P"),
+            "H": ("M", "N"),
+            "Ha": ("M", "N"),
+            "Y": ("M", "P"),
+        }
+    prog = parse_kernel("mlp", src, arrays=arrays)
+    return Workload(
+        name=f"mlp/{dataflow[:3]}",
+        program=prog,
+        params={"M": m, "K": feat, "N": hidden, "P": out},
+        dataflow=dataflow,
+    )
+
+
+@_register(
+    "spmv",
+    tags=(ZOO_TAG, "sparse"),
+    order=102,
+    description="CSR SpMV: ELL value streams + indirect x gather (zoo)",
+)
+def spmv(scale: float = 1.0, row_nnz: int = 32) -> Workload:
+    """Sparse matrix-vector multiply, y = A*x with A in CSR.
+
+    The value-stream multiply runs in-language over the ELL-padded
+    dense view (``row_nnz`` nonzeros per row); the ``x[colidx[..]]``
+    gather that materialises ``Xg`` is an indirect near-memory phase.
+    """
+    rows = _sz(64 * 1024, scale, minimum=512)
+    cols = rows
+    prog = parse_kernel(
+        "spmv",
+        SPMV,
+        arrays={"Av": ("R", "W"), "Xg": ("R", "W"), "Y": ("R",)},
+    )
+    # Gather x through the column-index stream: read colidx (int32),
+    # read x[colidx], write the padded Xg view.
+    gather = NearMemPhase(
+        name="csr_gather_x",
+        bytes_accessed=rows * row_nnz * 4 * 3,
+        ops=rows * row_nnz,
+        indirect=True,
+    )
+    return Workload(
+        name="spmv",
+        program=prog,
+        params={"R": rows, "W": row_nnz, "C": cols},
+        extra_phases=(gather,),
+    )
+
+
+@_register(
+    "sddmm",
+    tags=(ZOO_TAG, "sparse"),
+    order=103,
+    description="SDDMM: flattened-nonzero dots + row/col gathers (zoo)",
+)
+def sddmm(scale: float = 1.0, feat: int = 128) -> Workload:
+    """Sampled dense-dense matmul: Out[nz] = Sv[nz] * (A[r]·B[c]).
+
+    Per-nonzero dot products run in-language over the pre-gathered
+    row/column pairs; the CSR coordinate gathers that build ``Ag`` /
+    ``Bg`` are an indirect near-memory phase.
+    """
+    nnz = _sz(128 * 1024, scale, minimum=512)
+    prog = parse_kernel(
+        "sddmm",
+        SDDMM,
+        arrays={
+            "Ag": ("Z", "K"),
+            "Bg": ("Z", "K"),
+            "Acc": ("Z",),
+            "Sv": ("Z",),
+            "Out": ("Z",),
+        },
+    )
+    # Per nonzero: read (row, col) int32 pair, gather a K-vector from
+    # each dense factor, write both gathered views.
+    gather = NearMemPhase(
+        name="csr_gather_rows",
+        bytes_accessed=nnz * 2 * 4 + 4 * nnz * feat * 4,
+        ops=2 * nnz * feat,
+        indirect=True,
+    )
+    return Workload(
+        name="sddmm",
+        program=prog,
+        params={"Z": nnz, "K": feat},
+        extra_phases=(gather,),
+    )

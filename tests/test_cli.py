@@ -164,6 +164,51 @@ class TestSimulate:
         assert "parse" in table and "simulate" in table
 
 
+class TestList:
+    def test_list_all_categories(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        for heading in ("workloads", "paradigms", "systems", "figures"):
+            assert heading in out
+
+    def test_list_workloads_shows_suite_and_zoo(self, capsys):
+        assert cli.main(["list", "workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("stencil1d", "mm", "gather_mlp",
+                     "attention", "mlp", "spmv", "sddmm"):
+            assert name in out
+        assert "matmul" in out  # aliases are listed alongside the name
+
+    def test_list_paradigms(self, capsys):
+        assert cli.main(["list", "paradigms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("base", "near-l3", "in-l3", "inf-s", "inf-s-nojit"):
+            assert name in out
+
+    def test_list_bad_category_is_usage_error(self, capsys):
+        assert cli.main(["list", "gadgets"]) == 1
+
+
+class TestUnknownNames:
+    def test_unknown_paradigm_exits_one(self, saxpy_file, capsys):
+        args = saxpy_args("simulate", saxpy_file, "--paradigm", "warp")
+        assert cli.main(args) == 1
+        err = capsys.readouterr().err
+        assert "warp" in err and "known" in err
+        assert "Traceback" not in err
+
+    def test_unknown_system_exits_one(self, saxpy_file, capsys):
+        args = saxpy_args("simulate", saxpy_file, "--system", "cray-1")
+        assert cli.main(args) == 1
+        err = capsys.readouterr().err
+        assert "cray-1" in err and "Traceback" not in err
+
+    def test_named_system_accepted(self, saxpy_file, capsys):
+        args = saxpy_args("simulate", saxpy_file, "--system", "small-test")
+        assert cli.main(args) == 0
+        assert "cycles" in capsys.readouterr().out
+
+
 class TestOffload:
     def test_prints_decision(self, saxpy_file, capsys):
         assert cli.main(saxpy_args("offload", saxpy_file)) == 0

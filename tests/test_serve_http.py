@@ -88,6 +88,36 @@ class TestRoundTrip:
         assert result["kind"] == "kernel"
         assert result["total_cycles"] > 0
 
+    def test_workload_job(self, stack):
+        _, client = stack
+        job_id = client.submit(
+            {
+                "kind": "workload",
+                "workload": "spmv",
+                "paradigm": "inf-s",
+                "scale": 0.05,
+                "system": "small-test",
+            }
+        )
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done"
+        result = client.result(job_id)
+        assert result["kind"] == "workload"
+        assert result["workload"] == "spmv"
+        assert result["paradigm"] == "inf-s"
+        assert result["total_cycles"] > 0
+        assert result["energy_nj"] > 0
+
+    def test_workload_alias_canonicalized_at_submit(self, stack):
+        _, client = stack
+        job_id = client.submit(
+            {"kind": "workload", "workload": "matmul", "scale": 0.05,
+             "system": "small-test"}
+        )
+        final = client.wait(job_id, timeout=300)
+        assert final["state"] == "done"
+        assert client.result(job_id)["workload"] == "mm"
+
     def test_metrics_exposes_serve_counters(self, stack):
         _, client = stack
         job_id = client.submit(SPEC)
@@ -115,6 +145,26 @@ class TestErrors:
         _, client = stack
         with pytest.raises(ServeClientError) as exc:
             client.submit({"kind": "campaign", "figure": "fig99"})
+        assert exc.value.status == 400
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            {"kind": "workload", "workload": "bitcoin_miner"},
+            {"kind": "workload", "workload": "spmv", "paradigm": "warp"},
+            {"kind": "workload", "workload": "spmv", "system": "cray-1"},
+            {"kind": "workload", "workload": "spmv", "scale": 0},
+            {**KERNEL_SPEC, "paradigm": "warp"},
+            {**KERNEL_SPEC, "system": "cray-1"},
+        ],
+        ids=["workload", "paradigm", "system", "scale",
+             "kernel-paradigm", "kernel-system"],
+    )
+    def test_unregistered_names_rejected_at_submit(self, stack, spec):
+        """Registry validation happens at submit time, not run time."""
+        _, client = stack
+        with pytest.raises(ServeClientError) as exc:
+            client.submit(spec)
         assert exc.value.status == 400
 
     def test_unknown_job_is_404(self, stack):

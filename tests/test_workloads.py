@@ -53,10 +53,19 @@ class TestTable3Parameters:
         assert kout["k"] is LoopKind.HOST
 
     def test_all_ten_fig11_workloads(self):
+        from repro.registry import WORKLOADS as REGISTRY
+
         wls = paper_workloads(scale=0.02)
         assert len(wls) == 10
         names = {w.name.split("/")[0] for w in wls}
-        assert names == set(WORKLOADS)
+        assert names == set(REGISTRY.names(tag="table3"))
+
+    def test_deprecated_table_still_maps_table3(self):
+        with pytest.deprecated_call():
+            names = set(WORKLOADS)
+        assert len(names) == 10
+        with pytest.deprecated_call():
+            assert WORKLOADS["mm"] is mm
 
     def test_unknown_workload(self):
         with pytest.raises(KeyError):
