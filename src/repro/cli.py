@@ -358,16 +358,21 @@ def cmd_serve(args) -> int:
     from repro.serve import ReproService, SchedulerConfig
     from repro.serve.http import make_server
 
+    # A fleet of N workers needs at least N dispatch slots to use them.
+    max_running = max(args.max_running, args.workers or 0)
     service = ReproService(
         root=args.dir,
         config=SchedulerConfig(
             max_queued=args.max_queued,
-            max_running=args.max_running,
+            max_running=max_running,
             max_attempts=args.max_attempts,
             job_timeout=args.job_timeout,
+            lease_duration=args.lease_duration,
+            max_running_per_tenant=args.tenant_quota,
         ),
         jobs=args.jobs,
         fsync=not args.no_fsync,
+        workers=args.workers,
     )
     httpd = make_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
@@ -472,6 +477,7 @@ def cmd_submit(args) -> int:
         _submit_spec(args),
         priority=args.priority,
         max_attempts=args.max_attempts,
+        tenant=args.tenant,
     )
     print(f"submitted {job_id}")
     if not args.wait:
@@ -511,8 +517,9 @@ def cmd_status(args) -> int:
         return EXIT_OK
     status = client.status(args.job_id)
     for key in (
-        "job_id", "name", "state", "priority",
-        "attempts", "max_attempts", "checkpoints", "error",
+        "job_id", "name", "state", "priority", "tenant", "worker",
+        "attempts", "max_attempts", "checkpoints", "coalesced_with",
+        "error",
     ):
         print(f"{key:13s}{status.get(key)}")
     if args.result:
@@ -747,6 +754,14 @@ def main(argv: list[str] | None = None) -> int:
                    help="TCP port (0 picks a free one)")
     p.add_argument("--jobs", type=int, default=1,
                    help="worker processes per campaign job")
+    p.add_argument("--workers", type=int, default=0,
+                   help="fleet mode: N worker subprocesses draining the "
+                        "shared store under lease-based claims "
+                        "(0 = one in-process worker thread)")
+    p.add_argument("--lease-duration", type=float, default=30.0,
+                   help="fleet claim validity without a heartbeat (s)")
+    p.add_argument("--tenant-quota", type=int, default=None,
+                   help="max concurrently running jobs per tenant")
     p.add_argument("--max-queued", type=int, default=64,
                    help="admission cap on the backlog")
     p.add_argument("--max-running", type=int, default=1,
@@ -798,6 +813,9 @@ def main(argv: list[str] | None = None) -> int:
     _add_optimizer_args(p)
     p.add_argument("--priority", type=int, default=0,
                    help="higher runs first (FIFO within a level)")
+    p.add_argument("--tenant", default=None,
+                   help="fair-share/quota accounting key "
+                        "(default: 'default')")
     p.add_argument("--max-attempts", type=int, default=None)
     p.add_argument("--url", default="http://127.0.0.1:8757")
     p.add_argument("--wait", action="store_true",

@@ -202,6 +202,29 @@ class AdmissionError(ServeError):
         self.current = current
 
 
+class LeaseLostError(ServeError):
+    """A worker's claim on a job is no longer valid.
+
+    Raised when a heartbeat or terminal transition discovers the job is
+    owned by another worker (the lease expired and was re-claimed) or is
+    no longer running.  The losing worker must abandon the job without
+    touching its state — the new owner's checkpoints and transitions are
+    now authoritative.
+    """
+
+    def __init__(
+        self, job_id: str, worker: str, owner: str | None, state: str
+    ) -> None:
+        super().__init__(
+            f"job {job_id}: worker {worker!r} lost its lease "
+            f"(now {state}, owned by {owner!r})"
+        )
+        self.job_id = job_id
+        self.worker = worker
+        self.owner = owner
+        self.state = state
+
+
 class JobCancelled(ServeError):
     """A running job was cancelled by request; partial checkpoints kept."""
 

@@ -55,11 +55,20 @@ class FileLock:
     """A lockfile-based mutex shared by every process using one cache dir.
 
     Acquisition creates ``path`` with ``O_CREAT | O_EXCL`` (atomic on
-    POSIX and NT, local and NFSv3+ filesystems alike) and writes the
-    holder's pid for post-mortem debugging.  A lockfile older than
-    ``stale_after`` seconds is presumed abandoned by a killed writer and
-    is broken.  Acquisition failure after ``timeout`` raises
-    :class:`TimeoutError` rather than deadlocking the campaign.
+    POSIX and NT, local and NFSv3+ filesystems alike) and writes a
+    ``pid:token`` claim line identifying the holder.  A lockfile whose
+    holder process is gone — or, for unparseable/legacy content, one
+    older than ``stale_after`` seconds — is presumed abandoned by a
+    killed writer and is broken.  Acquisition failure after ``timeout``
+    raises :class:`TimeoutError` rather than deadlocking the campaign.
+
+    Stale-break is made race-free in three steps: (1) breaking requires
+    its own ``<path>.breaker`` mutex, so at most one process is ever in
+    the break path; (2) a *live* holder (its pid answers ``kill -0``) is
+    never broken regardless of age — a long-held lock times the waiter
+    out instead of being stolen; (3) the claim token is re-read
+    immediately before the unlink, so a lock released-and-reacquired by
+    someone else mid-break is left alone.
     """
 
     def __init__(
@@ -74,12 +83,14 @@ class FileLock:
         self.stale_after = stale_after
         self.poll_interval = poll_interval
         self._held = False
+        self._token: str | None = None
 
     def acquire(self) -> None:
         import time
 
         deadline = time.monotonic() + self.timeout
         while True:
+            token = f"{os.getpid()}:{os.urandom(8).hex()}"
             try:
                 fd = os.open(
                     self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644
@@ -94,29 +105,75 @@ class FileLock:
                 time.sleep(self.poll_interval)
                 continue
             with os.fdopen(fd, "w") as fh:
-                fh.write(str(os.getpid()))
+                fh.write(token)
             self._held = True
+            self._token = token
             return
 
     def release(self) -> None:
         if self._held:
             self._held = False
+            self._token = None
             try:
                 os.unlink(self.path)
             except OSError:
                 pass
 
+    @staticmethod
+    def _holder_alive(claim: str) -> bool | None:
+        """True/False when the claim names a checkable pid, else None."""
+        pid_text = claim.split(":", 1)[0].strip()
+        try:
+            pid = int(pid_text)
+        except ValueError:
+            return None  # legacy/foreign content: fall back to age
+        if pid <= 0:
+            return None
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except (PermissionError, OSError):
+            return True  # exists but not ours to signal
+        return True
+
     def _break_if_stale(self) -> None:
         import time
 
         try:
-            age = time.time() - self.path.stat().st_mtime
+            stat = self.path.stat()
+            claim = self.path.read_text()
         except OSError:
             return  # released between our open() and stat()
-        if age > self.stale_after:
-            # Best-effort: two breakers racing both unlink; the loser's
-            # unlink is a no-op (missing_ok) and both retry O_EXCL.
-            self.path.unlink(missing_ok=True)
+        alive = self._holder_alive(claim)
+        if alive is True:
+            return  # never steal from a live holder, however old
+        if alive is None and time.time() - stat.st_mtime <= self.stale_after:
+            return  # unparseable claim: only age can condemn it
+        # The holder looks dead. Serialize the break itself behind a
+        # dedicated mutex so exactly one process performs the unlink,
+        # and re-verify the claim under that mutex: between our read
+        # above and here the lock may have been released and re-acquired
+        # by a live process whose lock we must not destroy.
+        breaker = self.path.with_name(self.path.name + ".breaker")
+        try:
+            bfd = os.open(breaker, os.O_CREAT | os.O_EXCL | os.O_WRONLY, 0o644)
+        except FileExistsError:
+            try:
+                if time.time() - breaker.stat().st_mtime > self.stale_after:
+                    breaker.unlink(missing_ok=True)  # breaker died breaking
+            except OSError:
+                pass
+            return  # someone else is breaking; retry O_EXCL next loop
+        try:
+            os.close(bfd)
+            try:
+                if self.path.read_text() == claim:
+                    self.path.unlink(missing_ok=True)
+            except OSError:
+                pass  # already released: nothing to break
+        finally:
+            breaker.unlink(missing_ok=True)
 
     def __enter__(self) -> "FileLock":
         self.acquire()

@@ -9,6 +9,11 @@ Turns the one-shot compile/simulate CLI into an operable service:
 * :mod:`repro.serve.worker` — drains the queue onto the existing
   :class:`~repro.exec.pool.PointExecutor`/pipeline stack, resuming
   interrupted campaigns from their last completed point;
+* :mod:`repro.serve.fleet` — N worker subprocesses draining one shared
+  store: lease-based claims (a dead worker's jobs are reclaimed on
+  lease expiry and resumed from checkpoints), per-tenant fair share
+  and quotas, and coalescing of identical submissions onto a single
+  execution;
 * :mod:`repro.serve.http` / :mod:`repro.serve.client` — a threaded
   stdlib HTTP API (submit/status/result/cancel, ``/healthz``,
   ``/metrics``) and its client;
@@ -19,10 +24,15 @@ Quickstart::
     python -m repro serve --dir .repro_serve --port 8757 &
     python -m repro submit --figure fig14 --scale 0.05 --wait
     python -m repro status
+
+    # or a three-process worker fleet draining the same queue
+    python -m repro serve --dir .repro_serve --port 8757 --workers 3 &
+    python -m repro submit --figure fig14 --scale 0.05 --tenant team-a
 """
 
 from __future__ import annotations
 
+from repro.serve.fleet import ServeFleet
 from repro.serve.jobs import (
     Job,
     JobState,
@@ -41,6 +51,7 @@ __all__ = [
     "Scheduler",
     "SchedulerConfig",
     "ReproService",
+    "ServeFleet",
     "ServeWorker",
     "CheckpointingExecutor",
     "DEFAULT_SERVE_DIR",

@@ -67,11 +67,14 @@ class ServeClient:
         spec: dict,
         priority: int = 0,
         max_attempts: int | None = None,
+        tenant: str | None = None,
     ) -> str:
         payload = dict(spec)
         payload["priority"] = priority
         if max_attempts is not None:
             payload["max_attempts"] = max_attempts
+        if tenant is not None:
+            payload["tenant"] = tenant
         return self._request("POST", "/jobs", payload)["job_id"]
 
     def status(self, job_id: str) -> dict:

@@ -1,0 +1,130 @@
+"""Fleet management: N worker subprocesses over one shared store.
+
+:class:`ServeFleet` spawns ``python -m repro.serve.worker`` processes,
+each of which opens the store root in shared mode and claims jobs under
+a lease (see :mod:`repro.serve.scheduler`).  The fleet owner (usually
+:class:`~repro.serve.service.ReproService`) only manages process
+lifecycle — all coordination happens through the store's WAL + file
+lock, so a worker surviving its parent, or a parent restarting under
+live workers, is safe by construction.
+
+Shutdown is graceful by default: SIGTERM lets each worker finish its
+in-flight point, checkpoint, and preempt its job back to ``queued``;
+workers that ignore the signal past the timeout are killed, and their
+leases expire for a sibling (or the next fleet) to reclaim.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.serve.scheduler import SchedulerConfig
+
+
+class ServeFleet:
+    """Spawn and stop the worker subprocesses for one store root."""
+
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        workers: int,
+        config: SchedulerConfig | None = None,
+        jobs: int = 1,
+        fsync: bool = True,
+        poll_interval: float = 0.05,
+    ) -> None:
+        self.root = Path(root)
+        self.workers = max(1, int(workers))
+        self.config = config or SchedulerConfig()
+        self.jobs = jobs
+        self.fsync = fsync
+        self.poll_interval = poll_interval
+        self.procs: list[subprocess.Popen] = []
+
+    # ------------------------------------------------------------------
+    def _command(self, index: int) -> list[str]:
+        # `-c` rather than `-m repro.serve.worker`: the package imports
+        # the worker module at init, and runpy warns when asked to
+        # execute an already-imported module.
+        cmd = [
+            sys.executable,
+            "-c",
+            "import sys; from repro.serve.worker import main; "
+            "sys.exit(main(sys.argv[1:]))",
+            "--dir",
+            str(self.root),
+            "--worker-id",
+            f"w{index}",
+            "--jobs",
+            str(self.jobs),
+            "--poll-interval",
+            str(self.poll_interval),
+            "--config-json",
+            self.config.to_json(),
+        ]
+        if not self.fsync:
+            cmd.append("--no-fsync")
+        return cmd
+
+    def _env(self) -> dict[str, str]:
+        # Make the running repro package importable in the child even
+        # when the parent was launched via PYTHONPATH=src.
+        import repro
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        extra = env.get("PYTHONPATH", "")
+        if src not in extra.split(os.pathsep):
+            env["PYTHONPATH"] = (
+                src + os.pathsep + extra if extra else src
+            )
+        return env
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        env = self._env()
+        for index in range(self.workers):
+            self.procs.append(
+                subprocess.Popen(self._command(index), env=env)
+            )
+
+    def alive(self) -> int:
+        """How many worker processes are currently running."""
+        return sum(1 for p in self.procs if p.poll() is None)
+
+    def kill_one(self, index: int = 0) -> int | None:
+        """SIGKILL one worker (fault injection); its pid, or None."""
+        if index >= len(self.procs):
+            return None
+        proc = self.procs[index]
+        if proc.poll() is not None:
+            return None
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+        return proc.pid
+
+    def stop(self, timeout: float = 30.0) -> list[int]:
+        """Graceful SIGTERM fan-out; the workers' exit codes."""
+        for proc in self.procs:
+            if proc.poll() is None:
+                proc.send_signal(signal.SIGTERM)
+        codes: list[int] = []
+        for proc in self.procs:
+            try:
+                codes.append(proc.wait(timeout=timeout))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                codes.append(proc.wait(timeout=timeout))
+        return codes
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ServeFleet":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

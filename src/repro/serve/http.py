@@ -2,7 +2,8 @@
 
 Routes (all JSON unless noted)::
 
-    POST /jobs                submit {kind, ..., priority?, max_attempts?}
+    POST /jobs                submit {kind, ..., priority?, max_attempts?,
+                              tenant?}
                               -> 201 {job_id, state}
                               -> 400 malformed spec, 429 admission reject
     GET  /jobs                -> {jobs: [summaries]}
@@ -31,6 +32,9 @@ MAX_BODY_BYTES = 4 << 20  # a kernel source plus headroom
 class ServeHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
+    # The stdlib default backlog (5) drops connections under submission
+    # bursts — load tests fan out dozens of clients at once.
+    request_queue_size = 128
 
     def __init__(self, address, service: ReproService, quiet: bool = True):
         self.service = service
@@ -148,12 +152,14 @@ class _Handler(BaseHTTPRequestHandler):
             payload = self._read_body()
             priority = int(payload.pop("priority", 0))
             max_attempts = payload.pop("max_attempts", None)
+            tenant = str(payload.pop("tenant", "default") or "default")
             job = self.service.submit(
                 payload,
                 priority=priority,
                 max_attempts=(
                     None if max_attempts is None else int(max_attempts)
                 ),
+                tenant=tenant,
             )
             self._send_json(
                 {"job_id": job.job_id, "state": job.state.value}, status=201

@@ -86,6 +86,19 @@ class Job:
     result: dict | None = None
     #: "<section>:<index>" -> encoded point result (see encode_point)
     checkpoints: dict[str, str] = field(default_factory=dict)
+    #: fair-share / quota accounting key ("default" when unspecified)
+    tenant: str = "default"
+    #: content fingerprint of the normalized spec (coalescing key)
+    fingerprint: str = ""
+    #: claiming worker id while running (fleet mode), else None
+    worker: str | None = None
+    #: lease expiry (store clock); 0.0 = unleased (in-process worker)
+    lease_until: float = 0.0
+    #: durable cross-process cancellation flag (set via the store)
+    cancel_requested: bool = False
+    #: job_id of the leader whose execution produced our result, when
+    #: this submission was coalesced instead of executed
+    coalesced_with: str | None = None
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -113,6 +126,9 @@ class Job:
             "submitted_at": self.submitted_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "tenant": self.tenant,
+            "worker": self.worker,
+            "coalesced_with": self.coalesced_with,
         }
 
 

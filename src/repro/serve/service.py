@@ -1,10 +1,21 @@
-"""The composed service: store + scheduler + worker + serve metrics.
+"""The composed service: store + scheduler + worker(s) + serve metrics.
 
 :class:`ReproService` is the single object both the HTTP layer and the
 CLI talk to.  It owns a :class:`~repro.trace.metrics.MetricsRegistry`
 (the same machinery the simulator's observability layer uses) that
 ``/metrics`` renders with :func:`repro.trace.metrics_report` — so
 ``serve.*`` counters read exactly like ``engine.*`` ones.
+
+Two execution modes:
+
+* ``workers=0`` (default) — the original single in-process worker
+  thread; the store is private to this process.
+* ``workers=N`` (N >= 1) — fleet mode: the store opens *shared* (file
+  lock + WAL tail-following) and N ``repro.serve.worker`` subprocesses
+  drain it under lease-based claims.  Cancellation of a running job
+  travels through the store's durable ``cancel_requested`` flag, and
+  fleet-wide counters (executions, coalescing hits) are derived from
+  store state, since worker-process registries are not visible here.
 """
 
 from __future__ import annotations
@@ -12,6 +23,7 @@ from __future__ import annotations
 import time
 
 from repro.errors import UnknownJobError
+from repro.serve.fleet import ServeFleet
 from repro.serve.jobs import Job, JobState, validate_spec
 from repro.serve.scheduler import Scheduler, SchedulerConfig
 from repro.serve.store import JobStore
@@ -22,7 +34,7 @@ DEFAULT_SERVE_DIR = ".repro_serve"
 
 
 class ReproService:
-    """Submit / status / cancel over a durable queue and a worker."""
+    """Submit / status / cancel over a durable queue and its workers."""
 
     def __init__(
         self,
@@ -31,18 +43,31 @@ class ReproService:
         jobs: int = 1,
         clock=time.time,
         fsync: bool = True,
+        workers: int = 0,
     ) -> None:
         self.clock = clock
+        self.workers = max(0, int(workers))
         self.registry = MetricsRegistry()
-        self.store = JobStore(root, fsync=fsync)
+        self.store = JobStore(root, fsync=fsync, shared=self.workers > 0)
         self.scheduler = Scheduler(self.store, config)
-        self.worker = ServeWorker(
-            self.store,
-            self.scheduler,
-            jobs=jobs,
-            clock=clock,
-            registry=self.registry,
-        )
+        if self.workers > 0:
+            self.worker = None
+            self.fleet: ServeFleet | None = ServeFleet(
+                root,
+                workers=self.workers,
+                config=self.scheduler.config,
+                jobs=jobs,
+                fsync=fsync,
+            )
+        else:
+            self.fleet = None
+            self.worker = ServeWorker(
+                self.store,
+                self.scheduler,
+                jobs=jobs,
+                clock=clock,
+                registry=self.registry,
+            )
         self.started_at = clock()
         for job_id in self.store.recovered_jobs:
             self.registry.add("serve.jobs.recovered", 1.0)
@@ -52,10 +77,16 @@ class ReproService:
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> None:
-        self.worker.start()
+        if self.fleet is not None:
+            self.fleet.start()
+        else:
+            self.worker.start()
 
     def shutdown(self, wait: bool = True) -> None:
-        self.worker.stop(wait=wait)
+        if self.fleet is not None:
+            self.fleet.stop()
+        elif self.worker is not None:
+            self.worker.stop(wait=wait)
         self.store.compact()
         self.store.close()
 
@@ -67,6 +98,7 @@ class ReproService:
         spec: dict,
         priority: int = 0,
         max_attempts: int | None = None,
+        tenant: str = "default",
     ) -> Job:
         spec = validate_spec(spec)
         try:
@@ -75,6 +107,7 @@ class ReproService:
                 priority=priority,
                 max_attempts=max_attempts,
                 now=self.clock(),
+                tenant=tenant,
             )
         except Exception:
             self.registry.add("serve.jobs.rejected", 1.0)
@@ -89,6 +122,7 @@ class ReproService:
         out = job.summary()
         out["not_before"] = job.not_before
         out["started_at"] = job.started_at
+        out["lease_until"] = job.lease_until
         return out
 
     def result(self, job_id: str) -> tuple[JobState, dict | None]:
@@ -108,7 +142,12 @@ class ReproService:
                               kind=job.spec.get("kind", "?"))
             return {"job_id": job_id, "state": job.state.value}
         if job.state is JobState.RUNNING:
-            self.worker.request_cancel(job_id)
+            if self.fleet is not None:
+                # Cross-process: the claiming worker polls the durable
+                # flag between points.
+                self.store.request_cancel(job_id)
+            else:
+                self.worker.request_cancel(job_id)
             return {"job_id": job_id, "state": "cancelling"}
         if job.state.terminal:
             return {"job_id": job_id, "state": job.state.value}
@@ -116,12 +155,38 @@ class ReproService:
 
     # ------------------------------------------------------------------
     def health(self) -> dict:
-        return {
+        out = {
             "status": "ok",
             "uptime_seconds": self.clock() - self.started_at,
             "jobs": self.store.counts(),
             "max_queued": self.scheduler.config.max_queued,
             "max_running": self.scheduler.config.max_running,
+        }
+        if self.fleet is not None:
+            out["workers"] = {
+                "configured": self.workers,
+                "alive": self.fleet.alive(),
+            }
+        return out
+
+    def fleet_stats(self) -> dict:
+        """Execution/coalescing tallies derived from durable state.
+
+        Fleet workers run in their own processes, so their in-memory
+        metric registries never reach this one; the store is the one
+        source of truth every process shares.
+        """
+        jobs = self.store.jobs()
+        done = [j for j in jobs if j.state is JobState.DONE]
+        coalesced = sum(1 for j in done if j.coalesced_with)
+        executed = len(done) - coalesced
+        return {
+            "done": len(done),
+            "executed": executed,
+            "coalesce_hits": coalesced,
+            "coalesce_hit_rate": (
+                coalesced / len(done) if done else 0.0
+            ),
         }
 
     def metrics_text(self) -> str:
@@ -130,4 +195,15 @@ class ReproService:
         for state, count in self.store.counts().items():
             key = f"serve.jobs.state|state={state}"
             self.registry.counters[key] = float(count)
+        stats = self.fleet_stats()
+        self.registry.counters["serve.jobs.executed"] = float(
+            stats["executed"]
+        )
+        self.registry.counters["serve.coalesce.hits"] = float(
+            stats["coalesce_hits"]
+        )
+        if self.fleet is not None:
+            self.registry.counters["serve.fleet.alive"] = float(
+                self.fleet.alive()
+            )
         return metrics_report(self.registry)

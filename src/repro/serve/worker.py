@@ -1,6 +1,6 @@
 """The serve worker: drains the queue onto the simulation stack.
 
-Two pieces:
+Three pieces:
 
 * :class:`CheckpointingExecutor` — a :class:`~repro.exec.pool.
   PointExecutor` whose ``map`` (the interface every campaign generator
@@ -9,17 +9,25 @@ Two pieces:
   completed point to the store's WAL before moving on.  Because results
   are reassembled in spec order regardless of which attempt produced
   them, a resumed campaign emits tables byte-identical to an
-  uninterrupted run.  Between points it polls three controls: the
-  worker's stop event (graceful shutdown), the job's cancel event, and
-  the per-attempt deadline.
+  uninterrupted run.  Between points it polls the controls: the
+  worker's stop event (graceful shutdown), the job's cancel event, the
+  per-attempt deadline, and — in fleet mode — the lease guard, which
+  renews the lease, honors durable cross-process cancel requests, and
+  aborts the attempt when another worker has re-claimed the job.
 
-* :class:`ServeWorker` — the loop that asks the scheduler for the next
-  job, runs it, and maps outcomes onto the state machine: success ->
-  ``done``; transient failures (:class:`~repro.errors.
-  PointExecutionError`, timeouts) -> retry with backoff until
-  ``max_attempts`` then ``failed``; cancellation -> ``cancelled``;
-  shutdown preemption -> back to ``queued`` without consuming an
-  attempt.
+* :class:`ServeWorker` — the loop that claims the next job from the
+  scheduler, runs it, and maps outcomes onto the state machine: success
+  -> ``done`` (fanning the result out to coalesced duplicates);
+  transient failures (:class:`~repro.errors.PointExecutionError`,
+  timeouts) -> retry with backoff until ``max_attempts`` then
+  ``failed``; cancellation -> ``cancelled``; shutdown preemption ->
+  back to ``queued`` without consuming an attempt; a lost lease ->
+  abandon silently (the new owner's transitions are authoritative).
+
+* :func:`main` — the fleet entry point: ``python -m repro.serve.worker
+  --dir ROOT --worker-id wN`` opens the store in shared mode and drains
+  it until SIGTERM/SIGINT, which stop gracefully (finish the in-flight
+  point, checkpoint, preempt, exit 0).
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ from repro.errors import (
     ExecutionCancelled,
     JobCancelled,
     JobTimeout,
+    LeaseLostError,
     PointExecutionError,
     ReproError,
 )
@@ -64,6 +73,7 @@ class CheckpointingExecutor(PointExecutor):
         deadline: float | None = None,
         clock=time.time,
         registry=None,
+        lease_guard=None,
     ) -> None:
         super().__init__(jobs=jobs, cancel_event=cancel_event)
         self.store = store
@@ -72,6 +82,9 @@ class CheckpointingExecutor(PointExecutor):
         self.deadline = deadline
         self.clock = clock
         self.registry = registry
+        #: callable polled between points in fleet mode; raises
+        #: JobCancelled (durable cancel request) or LeaseLostError
+        self.lease_guard = lease_guard
         self.points_resumed = 0
         self.points_computed = 0
 
@@ -130,6 +143,8 @@ class CheckpointingExecutor(PointExecutor):
                 f"job {self.job.job_id} exceeded its time budget "
                 f"during {label!r}"
             )
+        if self.lease_guard is not None:
+            self.lease_guard()
 
     def _save(self, label: str, index: int, result) -> None:
         self.store.checkpoint(
@@ -143,7 +158,11 @@ class CheckpointingExecutor(PointExecutor):
 
 
 class ServeWorker:
-    """The queue-draining loop (run inline or on a daemon thread)."""
+    """The queue-draining loop (run inline or on a daemon thread).
+
+    With a *worker_id* the loop claims jobs under a lease (fleet mode);
+    without one it behaves as the original single-worker service.
+    """
 
     def __init__(
         self,
@@ -153,6 +172,7 @@ class ServeWorker:
         clock=time.time,
         poll_interval: float = 0.05,
         registry=None,
+        worker_id: str | None = None,
     ) -> None:
         self.store = store
         self.scheduler = scheduler
@@ -160,6 +180,7 @@ class ServeWorker:
         self.clock = clock
         self.poll_interval = poll_interval
         self.registry = registry
+        self.worker_id = worker_id
         self.stop_event = threading.Event()
         self.cancel_events: dict[str, threading.Event] = {}
         self._thread: threading.Thread | None = None
@@ -200,17 +221,34 @@ class ServeWorker:
                 self.stop_event.wait(timeout or self.poll_interval)
 
     def run_once(self) -> bool:
-        """Dispatch at most one job; True when one was run."""
-        job = self.scheduler.next_job(self.clock())
+        """Claim and run at most one job; True when one was run."""
+        job = self.scheduler.claim_next(self.clock(), worker=self.worker_id)
         if job is None:
             return False
         self.run_job(job)
         return True
 
     # ------------------------------------------------------------------
+    def _lease_guard_for(self, job: Job):
+        """The between-points fleet control: renew the lease, honor
+        durable cancel requests, abandon on a lost claim."""
+        if self.worker_id is None:
+            return None
+
+        def guard() -> None:
+            cur = self.scheduler.heartbeat(
+                job, self.clock(), self.worker_id
+            )
+            if cur.cancel_requested:
+                raise JobCancelled(
+                    f"job {job.job_id} cancel requested (durable flag)"
+                )
+
+        return guard
+
     def run_job(self, job: Job) -> Job:
+        """Run one already-claimed (``running``) job to an outcome."""
         started = self.clock()
-        job = self.scheduler.start(job, started)
         if self.registry is not None:
             self.registry.add(
                 "serve.jobs.started", 1.0, kind=job.spec.get("kind", "?")
@@ -228,19 +266,34 @@ class ServeWorker:
             deadline=None if timeout is None else started + timeout,
             clock=self.clock,
             registry=self.registry,
+            lease_guard=self._lease_guard_for(job),
         )
         try:
             result = run_job_spec(job.spec, executor)
         except WorkerStopped:
-            job = self.scheduler.preempt(job, self.clock())
-            self._count("preempted", job)
+            job = self._edge(
+                lambda: self.scheduler.preempt(
+                    job, self.clock(), worker=self.worker_id
+                ),
+                job, "preempted",
+            )
         except KeyboardInterrupt:
-            self.scheduler.preempt(job, self.clock())
-            self._count("preempted", job)
+            self._edge(
+                lambda: self.scheduler.preempt(
+                    job, self.clock(), worker=self.worker_id
+                ),
+                job, "preempted",
+            )
             raise
+        except LeaseLostError:
+            # Another worker re-claimed the job after our lease lapsed:
+            # its transitions are authoritative, ours would corrupt.
+            self._count("lease-lost", job)
         except (JobCancelled, ExecutionCancelled):
-            job = self.scheduler.cancel(job.job_id, self.clock())
-            self._count("cancelled", job)
+            job = self._edge(
+                lambda: self.scheduler.cancel(job.job_id, self.clock()),
+                job, "cancelled",
+            )
         except JobTimeout as exc:
             job = self._fail(job, str(exc), transient=True)
         except PointExecutionError as exc:
@@ -259,21 +312,45 @@ class ServeWorker:
                 transient=False,
             )
         else:
-            job = self.scheduler.complete(job, result, self.clock())
-            self._count("done", job)
-            if self.registry is not None:
-                self.registry.observe(
-                    "serve.job.wall_seconds",
-                    self.clock() - started,
-                    kind=job.spec.get("kind", "?"),
+            try:
+                job = self.scheduler.complete(
+                    job, result, self.clock(), worker=self.worker_id
                 )
+            except LeaseLostError:
+                self._count("lease-lost", job)
+            else:
+                self._count("done", job)
+                for _ in self.scheduler.last_coalesced:
+                    self._count("coalesced", job)
+                if self.registry is not None:
+                    self.registry.observe(
+                        "serve.job.wall_seconds",
+                        self.clock() - started,
+                        kind=job.spec.get("kind", "?"),
+                    )
         finally:
             self.cancel_events.pop(job.job_id, None)
         return job
 
     # ------------------------------------------------------------------
+    def _edge(self, transition, job: Job, outcome: str) -> Job:
+        """Apply a terminal/requeue edge, tolerating a lost lease."""
+        try:
+            job = transition()
+        except LeaseLostError:
+            self._count("lease-lost", job)
+            return job
+        self._count(outcome, job)
+        return job
+
     def _fail(self, job: Job, error: str, transient: bool) -> Job:
-        job = self.scheduler.fail(job, error, self.clock(), transient)
+        try:
+            job = self.scheduler.fail(
+                job, error, self.clock(), transient, worker=self.worker_id
+            )
+        except LeaseLostError:
+            self._count("lease-lost", job)
+            return job
         self._count(
             "retried" if job.state.value == "queued" else "failed", job
         )
@@ -287,3 +364,68 @@ class ServeWorker:
                 outcome=outcome,
                 kind=job.spec.get("kind", "?"),
             )
+
+
+# ----------------------------------------------------------------------
+# Fleet subprocess entry point
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    """``python -m repro.serve.worker``: one fleet worker process."""
+    import argparse
+    import os
+    import signal
+
+    from repro.serve.scheduler import SchedulerConfig
+
+    parser = argparse.ArgumentParser(
+        prog="repro.serve.worker",
+        description="Drain a shared repro.serve job store under a lease.",
+    )
+    parser.add_argument("--dir", required=True, help="shared store root")
+    parser.add_argument(
+        "--worker-id", default=None,
+        help="lease owner id (default: w<pid>)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="point-level parallelism within this worker",
+    )
+    parser.add_argument("--poll-interval", type=float, default=0.05)
+    parser.add_argument(
+        "--config-json", default=None,
+        help="SchedulerConfig as JSON (from SchedulerConfig.to_json)",
+    )
+    parser.add_argument("--no-fsync", action="store_true")
+    args = parser.parse_args(argv)
+
+    config = (
+        SchedulerConfig.from_json(args.config_json)
+        if args.config_json
+        else SchedulerConfig()
+    )
+    store = JobStore(args.dir, fsync=not args.no_fsync, shared=True)
+    scheduler = Scheduler(store, config)
+    worker = ServeWorker(
+        store,
+        scheduler,
+        jobs=args.jobs,
+        poll_interval=args.poll_interval,
+        worker_id=args.worker_id or f"w{os.getpid()}",
+    )
+
+    def _graceful(signum, frame):  # noqa: ARG001 — signal API
+        worker.stop_event.set()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    try:
+        worker.run_forever()
+    finally:
+        store.close()
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

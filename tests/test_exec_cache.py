@@ -301,6 +301,159 @@ class TestFileLock:
             lock.acquire()
 
 
+MUTEX_CHILD = """
+import sys, time
+from repro.exec.cache import FileLock
+
+lock_path, counter_path, rounds = sys.argv[1], sys.argv[2], int(sys.argv[3])
+for _ in range(rounds):
+    lock = FileLock(
+        lock_path, timeout=120.0, stale_after=0.5, poll_interval=0.002
+    )
+    lock.acquire()
+    try:
+        with open(counter_path) as fh:
+            value = int(fh.read())
+        time.sleep(0.001)  # widen the read-modify-write race window
+        with open(counter_path, "w") as fh:
+            fh.write(str(value + 1))
+    finally:
+        lock.release()
+"""
+
+CONTENDER_CHILD = """
+import os, sys
+from repro.exec.cache import FileLock
+
+lock_path, marker_path = sys.argv[1], sys.argv[2]
+lock = FileLock(lock_path, timeout=60.0, stale_after=0.05, poll_interval=0.002)
+lock.acquire()
+released = os.path.exists(marker_path)
+lock.release()
+print("after-release" if released else "stolen-while-held")
+"""
+
+
+class TestFileLockMultiProcess:
+    """Cross-process stress: the lock's one real job.
+
+    Every in-process test above could pass with a lock that only works
+    within one interpreter.  These spawn real sibling processes — the
+    configuration the serve fleet and shared compilation cache run in.
+    """
+
+    def _env(self):
+        return dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"))
+
+    def test_counter_increments_are_never_lost(self, tmp_path):
+        """N processes x K unprotected read-modify-writes, exact total.
+
+        The critical section deliberately sleeps between read and
+        write: any mutual-exclusion failure (including a stale-break
+        wrongly firing on a live holder — stale_after is a tight 0.5 s
+        while queue waits run much longer) loses an increment.
+        """
+        lock_path = tmp_path / "index.lock"
+        counter = tmp_path / "counter"
+        counter.write_text("0")
+        procs_n, rounds = 4, 20
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    MUTEX_CHILD,
+                    str(lock_path),
+                    str(counter),
+                    str(rounds),
+                ],
+                env=self._env(),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(procs_n)
+        ]
+        for proc in procs:
+            _out, err = proc.communicate(timeout=120)
+            assert proc.returncode == 0, err
+        assert int(counter.read_text()) == procs_n * rounds
+        assert not lock_path.exists()  # last release cleaned up
+
+    def test_live_holder_is_never_broken_by_impatient_contenders(
+        self, tmp_path
+    ):
+        """A slow live holder outlasts stale_after without being stolen.
+
+        Contenders run with stale_after far below the hold time, so
+        every one of their acquire polls walks the stale-break path.
+        The liveness probe (kill -0 on the claim pid) must veto the
+        break: each contender may acquire only after we drop a marker
+        file and release, and our claim token must still be ours just
+        before that release.
+        """
+        import time
+
+        from repro.exec.cache import FileLock
+
+        lock_path = tmp_path / "index.lock"
+        marker = tmp_path / "released.marker"
+        holder = FileLock(lock_path, timeout=5.0, stale_after=60.0)
+        holder.acquire()
+        procs = [
+            subprocess.Popen(
+                [
+                    sys.executable,
+                    "-c",
+                    CONTENDER_CHILD,
+                    str(lock_path),
+                    str(marker),
+                ],
+                env=self._env(),
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+            for _ in range(3)
+        ]
+        try:
+            time.sleep(1.0)  # 20x the contenders' stale_after
+            assert lock_path.read_text() == holder._token
+        finally:
+            marker.write_text("released\n")
+            holder.release()
+        for proc in procs:
+            out, err = proc.communicate(timeout=60)
+            assert proc.returncode == 0, err
+            assert out.strip() == "after-release"
+
+    def test_claim_from_dead_real_pid_is_broken_without_aging(
+        self, tmp_path
+    ):
+        """A fresh lockfile naming a genuinely dead pid is reclaimed.
+
+        The file is seconds old and stale_after is an hour, so only the
+        liveness probe — not the mtime fallback — can justify the
+        break.  This is the kill -9'd-fleet-worker recovery path.
+        """
+        from repro.exec.cache import FileLock
+
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dead_pid = int(probe.stdout.strip())
+        lock_path = tmp_path / "index.lock"
+        lock_path.write_text(f"{dead_pid}:{'00' * 8}")
+        lock = FileLock(lock_path, timeout=5.0, stale_after=3600.0)
+        lock.acquire()  # must break via liveness, not time out
+        assert lock._held
+        assert lock_path.read_text() == lock._token
+        lock.release()
+
+
 class TestSharedStoreHygiene:
     def test_gc_removes_only_stale_tmp_files(self, tmp_path):
         cache = CompilationCache(disk_dir=tmp_path)

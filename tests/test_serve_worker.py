@@ -312,3 +312,94 @@ class TestCrashResume:
         # found `resumed_from` checkpoints already present.
         assert len(finished.checkpoints) == 13  # fig14's 13 variants
         store.close()
+
+    def test_sigkill_mid_lease_then_sibling_reclaims_byte_identical(
+        self, tmp_path
+    ):
+        """Fleet-mode crash recovery: a worker is SIGKILLed mid-lease;
+        the job stays RUNNING (no blanket requeue in shared mode) until
+        the lease lapses, then a sibling worker reclaims it, resumes
+        from the durable checkpoints, and the finished table is
+        byte-identical to an uninterrupted run."""
+        root = tmp_path / "serve"
+        config = SchedulerConfig(lease_duration=3.0, lease_renew_margin=1.5)
+        parent = JobStore(root, fsync=False, shared=True)
+        scheduler = Scheduler(parent, config)
+        job_id = scheduler.admit(SPEC).job_id
+
+        child_src = (
+            "import sys\n"
+            "from repro.serve.worker import main\n"
+            "sys.exit(main(sys.argv[1:]))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-c", child_src,
+                "--dir", str(root),
+                "--worker-id", "wA",
+                "--config-json", config.to_json(),
+            ],
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        try:
+            deadline = time.monotonic() + 120.0
+            wal = root / "wal.jsonl"
+            while time.monotonic() < deadline:
+                checkpoints = sum(
+                    1
+                    for line in wal.read_text().splitlines()
+                    if '"op": "checkpoint"' in line
+                )
+                if checkpoints >= 2:
+                    break
+                if proc.poll() is not None:
+                    pytest.fail("worker subprocess exited prematurely")
+                time.sleep(0.01)
+            else:
+                pytest.fail("no checkpoints appeared within the deadline")
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(timeout=30)
+
+        # Shared-mode open must NOT blanket-requeue the running job —
+        # only the lease knows whether its owner is really dead.
+        observer = JobStore(root, fsync=False, shared=True)
+        assert observer.recovered_jobs == []
+        seen = observer.get(job_id)
+        assert seen.state is JobState.RUNNING
+        assert seen.worker == "wA"
+        assert seen.lease_until > 0.0
+        resumed_from = len(seen.checkpoints)
+        assert resumed_from >= 2
+        observer.close()
+
+        # A sibling must respect the still-live lease...
+        sibling = Scheduler(parent, config)
+        worker_b = ServeWorker(parent, sibling, worker_id="wB")
+        if time.time() < seen.lease_until:
+            assert sibling.claim_next(time.time(), worker="wB") is None
+
+        # ...and reclaim + resume once it lapses.
+        reclaim_deadline = time.monotonic() + 30.0
+        ran = False
+        while time.monotonic() < reclaim_deadline:
+            if worker_b.run_once():
+                ran = True
+                break
+            time.sleep(0.2)
+        assert ran, "sibling never reclaimed the expired lease"
+
+        finished = parent.get(job_id)
+        assert finished.state is JobState.DONE
+        assert finished.attempts == 2  # the crashed attempt is not refunded
+        assert finished.result["table"] == self._uninterrupted_table()
+        assert len(finished.checkpoints) == 13  # fig14's 13 variants
+        wal_text = (root / "wal.jsonl").read_text()
+        assert "lease expired (worker wA" in wal_text
+        parent.close()
