@@ -1,0 +1,382 @@
+#!/usr/bin/env python3
+"""Replay-driven load test: recorded-session traffic + 1x diff gate.
+
+Where ``bench_serve.py`` drives the fleet with a hand-rolled submission
+loop, this benchmark sources its traffic from a *recorded session* —
+the same artifact production monitoring would hand us — and measures
+the whole record/replay loop end to end:
+
+1. **Record** — a fresh single-worker stack executes a grid of distinct
+   workload specs submitted over HTTP; the drained store is recorded
+   into a session file (``repro.replay.record_store``).
+2. **Traffic** — a fresh ``--workers``-process fleet (default 3) is
+   driven by ``ReplayEngine.drive``: the recording amplified across
+   ``--amplify`` client threads with seeded spec mutation for
+   cache-miss realism, no pacing (maximum pressure).  Throughput and
+   submit-to-done latency come from the TrafficReport.
+3. **Diff** — the recording is replayed 1x against the same fleet
+   endpoint and every result digest must match the recording exactly
+   (zero divergences): the determinism contract holds across process
+   boundaries, worker fleets, and the HTTP transport.
+
+Usage::
+
+    python benchmarks/bench_replay.py                      # measure + report
+    python benchmarks/bench_replay.py --update benchmarks/BENCH_replay.json
+    python benchmarks/bench_replay.py --check benchmarks/BENCH_replay.json
+
+``--check`` re-measures and fails (exit 1) when the fleet's calibrated
+jobs/sec drops more than ``--tolerance`` (default 0.25) below the
+committed baseline — raw numbers are never compared across machines;
+the baseline is rescaled by the pure-python calibration-loop ratio
+first, the scheme every gate in this repo uses.  Any diff-replay
+divergence fails the run unconditionally.  A missing baseline file is
+a graceful skip (exit 0), so the gate can land before the baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.replay import ReplayEngine, Session, record_store
+from repro.serve.client import ServeClient
+from repro.serve.http import make_server
+from repro.serve.scheduler import SchedulerConfig
+from repro.serve.service import ReproService
+
+#: the recorded grid: registered workloads at smoke scales (cheap per
+#: execution, real compile+simulate work) — same shape bench_serve uses.
+WORKLOADS = ("stencil1d", "mm", "spmv", "attention", "mlp")
+SCALES = (0.04, 0.05, 0.06)
+PROTOCOL_VERSION = 1
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _calibrate(rounds: int = 3) -> float:
+    """Seconds for a fixed pure-python loop: the machine-speed yardstick."""
+    best = float("inf")
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        acc = 0
+        for i in range(2_000_000):
+            acc += i * 3 % 7
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+class _Stack:
+    """A serve stack (service + HTTP server) on a throwaway store."""
+
+    def __init__(self, workers: int, max_running: int) -> None:
+        self.root = Path(tempfile.mkdtemp(prefix=f"bench_replay_{workers}w_"))
+        self.service = ReproService(
+            root=str(self.root),
+            config=SchedulerConfig(
+                max_queued=10_000,
+                max_running=max_running,
+                lease_duration=60.0,
+            ),
+            jobs=1,
+            fsync=False,
+            workers=workers,
+        )
+        self.httpd = make_server(self.service, port=0)
+        self.thread = threading.Thread(
+            target=self.httpd.serve_forever, daemon=True
+        )
+        self.thread.start()
+        host, port = self.httpd.server_address[:2]
+        self.base_url = f"http://{host}:{port}"
+        self.service.start()
+        ServeClient(self.base_url, timeout=60.0).wait_until_healthy(
+            timeout=30.0
+        )
+
+    def drain(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            counts = self.service.store.counts()
+            if counts["queued"] + counts["running"] == 0:
+                return
+            time.sleep(0.2)
+        raise SystemExit(
+            f"drain timeout: {self.service.store.counts()} after "
+            f"{timeout:.0f}s"
+        )
+
+    def stop(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.service.shutdown()
+        shutil.rmtree(self.root, ignore_errors=True)
+
+
+def record_seed_session(args, path: Path) -> Session:
+    """Phase 1: run the spec grid on a single-worker stack, record it."""
+    stack = _Stack(workers=0, max_running=1)
+    try:
+        client = ServeClient(stack.base_url, timeout=60.0)
+        for i in range(args.recorded):
+            workload = WORKLOADS[i % len(WORKLOADS)]
+            scale = SCALES[(i // len(WORKLOADS)) % len(SCALES)]
+            client.submit(
+                {
+                    "kind": "workload",
+                    "workload": workload,
+                    "paradigm": "inf-s",
+                    # disambiguate past the template grid so every
+                    # recorded job is a distinct execution
+                    "scale": scale
+                    + (i // (len(WORKLOADS) * len(SCALES))) * 1e-4,
+                    "system": "small-test",
+                },
+                tenant=f"tenant-{i % args.tenants}",
+            )
+        stack.drain(args.drain_timeout)
+        session = record_store(
+            stack.service.store,
+            seeds={"mutation": args.seed, "think_time": args.seed},
+            meta={"benchmark": "bench_replay"},
+        )
+    finally:
+        stack.stop()
+    session.dump(path)
+    return session
+
+
+def run_traffic(args, session: Session) -> tuple[dict, dict]:
+    """Phases 2+3: amplified traffic, then the 1x diff gate, one fleet."""
+    stack = _Stack(workers=args.workers, max_running=max(args.workers, 1))
+    engine = ReplayEngine(session)
+    try:
+        t0 = time.perf_counter()
+        traffic = engine.drive(
+            stack.base_url,
+            speed=0.0,  # no pacing: maximum sustained pressure
+            amplify=args.amplify,
+            mutate_frac=args.mutate,
+            timeout=args.drain_timeout,
+        )
+        traffic_wall = time.perf_counter() - t0
+        stack.drain(args.drain_timeout)
+        stats = stack.service.fleet_stats()
+        diff = engine.replay(
+            client=ServeClient(stack.base_url, timeout=60.0),
+            timeout=args.drain_timeout,
+        )
+    finally:
+        stack.stop()
+    row = {
+        "workers": args.workers,
+        "amplify": args.amplify,
+        "recorded_jobs": len(session.jobs),
+        "submitted": traffic.submitted,
+        "mutated": traffic.mutated,
+        "done": traffic.done,
+        "failed": traffic.failed,
+        "wall_seconds": round(traffic_wall, 3),
+        "jobs_per_sec": round(traffic.jobs_per_sec, 2),
+        "p50_latency_seconds": round(traffic.p50_latency_s, 3),
+        "p99_latency_seconds": round(traffic.p99_latency_s, 3),
+        "coalesce_hits": stats["coalesce_hits"],
+        "coalesce_hit_rate": round(stats["coalesce_hit_rate"], 4),
+    }
+    diff_row = {
+        "jobs_checked": diff.jobs_checked,
+        "executions": diff.executions,
+        "divergences": len(diff.divergences),
+    }
+    first = diff.first_divergence
+    if first is not None:
+        diff_row["first_divergence"] = first.to_dict()
+    return row, diff_row
+
+
+def verify(args, traffic: dict, diff: dict) -> list[str]:
+    problems = []
+    if traffic["failed"]:
+        problems.append(f"{traffic['failed']} replayed jobs failed")
+    if traffic["done"] != traffic["submitted"]:
+        problems.append(
+            f"only {traffic['done']}/{traffic['submitted']} "
+            "submissions completed"
+        )
+    expected = args.recorded * args.amplify
+    if traffic["submitted"] != expected:
+        problems.append(
+            f"amplification lost requests: {traffic['submitted']} "
+            f"submitted, expected {args.recorded} x {args.amplify} "
+            f"= {expected}"
+        )
+    if args.amplify > 1 and traffic["coalesce_hits"] <= 0:
+        problems.append(
+            "amplified traffic produced no coalescing hits "
+            "(un-mutated clones must coalesce)"
+        )
+    if args.mutate > 0 and traffic["mutated"] <= 0:
+        problems.append("mutation enabled but no request was mutated")
+    if diff["divergences"]:
+        problems.append(
+            f"{diff['divergences']} diff-replay divergence(s); first: "
+            f"{diff.get('first_divergence')}"
+        )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# Baseline handling (calibrated, graceful-skip — the house scheme)
+# ----------------------------------------------------------------------
+def _protocol(args) -> dict:
+    return {
+        "version": PROTOCOL_VERSION,
+        "recorded": args.recorded,
+        "amplify": args.amplify,
+        "mutate": args.mutate,
+        "tenants": args.tenants,
+        "workers": args.workers,
+        "seed": args.seed,
+        "workloads": list(WORKLOADS),
+        "scales": list(SCALES),
+    }
+
+
+def write_baseline(
+    path: Path, args, calibration: float, traffic: dict, diff: dict
+) -> None:
+    payload = {
+        "protocol": _protocol(args),
+        "cpu_count": _cpus(),
+        "calibration_seconds": round(calibration, 4),
+        "traffic": traffic,
+        "diff": diff,
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"baseline written to {path}")
+
+
+def check_baseline(
+    path: Path, args, calibration: float, traffic: dict
+) -> int:
+    if not path.exists():
+        print(f"no baseline at {path}; skipping regression check")
+        return 0
+    base = json.loads(path.read_text())
+    if base.get("protocol") != _protocol(args):
+        print(
+            "baseline was recorded under a different protocol; "
+            "skipping regression check"
+        )
+        return 0
+    cal_ratio = calibration / base["calibration_seconds"]
+    floor = (
+        base["traffic"]["jobs_per_sec"] / cal_ratio * (1.0 - args.tolerance)
+    )
+    print(
+        f"replay traffic {traffic['jobs_per_sec']:.2f} jobs/s; calibrated "
+        f"floor {floor:.2f} (baseline "
+        f"{base['traffic']['jobs_per_sec']:.2f} / cal {cal_ratio:.2f} "
+        f"x {1.0 - args.tolerance:.2f})"
+    )
+    if traffic["jobs_per_sec"] < floor:
+        print(
+            f"FAIL: replay throughput regression: "
+            f"{traffic['jobs_per_sec']:.2f} < {floor:.2f} jobs/s "
+            f"(-{args.tolerance:.0%} band)"
+        )
+        return 1
+    print("replay throughput regression check passed")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--recorded", type=int, default=15,
+                    help="distinct specs in the seed recording")
+    ap.add_argument("--amplify", type=int, default=3,
+                    help="client clones of the recording in the traffic "
+                         "phase")
+    ap.add_argument("--mutate", type=float, default=0.3,
+                    help="seeded per-request mutation probability for "
+                         "amplified clients")
+    ap.add_argument("--tenants", type=int, default=4)
+    ap.add_argument("--workers", type=int, default=3,
+                    help="fleet size for the traffic phase")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--drain-timeout", type=float, default=900.0)
+    ap.add_argument("--session", type=Path, default=None,
+                    help="keep the recorded session file here "
+                         "(default: a temp file, deleted)")
+    ap.add_argument("--update", type=Path, help="write the baseline JSON here")
+    ap.add_argument("--check", type=Path, help="compare against this baseline")
+    ap.add_argument("--tolerance", type=float, default=0.25)
+    args = ap.parse_args()
+
+    calibration = _calibrate()
+    print(
+        f"calibration {calibration * 1e3:.1f}ms  "
+        f"{args.recorded} recorded specs  x{args.amplify} amplify  "
+        f"{args.mutate:.0%} mutation  {args.workers} workers"
+    )
+
+    session_path = args.session or Path(
+        tempfile.mkstemp(prefix="bench_replay_", suffix=".jsonl")[1]
+    )
+    try:
+        t0 = time.perf_counter()
+        session = record_seed_session(args, session_path)
+        print(
+            f"record  {len(session.jobs)} jobs -> "
+            f"{session.header.session_id} "
+            f"({time.perf_counter() - t0:.1f}s)",
+            flush=True,
+        )
+        traffic, diff = run_traffic(args, session)
+    finally:
+        if args.session is None:
+            session_path.unlink(missing_ok=True)
+    print(
+        f"traffic {traffic['workers']}w  {traffic['done']:>4} jobs  "
+        f"{traffic['jobs_per_sec']:>8} jobs/s  "
+        f"p50 {traffic['p50_latency_seconds'] * 1e3:9.1f}ms  "
+        f"p99 {traffic['p99_latency_seconds'] * 1e3:9.1f}ms  "
+        f"mutated {traffic['mutated']}  "
+        f"coalesced {traffic['coalesce_hits']} "
+        f"({traffic['coalesce_hit_rate']:.0%})",
+        flush=True,
+    )
+    print(
+        f"diff    {diff['jobs_checked']} checked, "
+        f"{diff['executions']} executions, "
+        f"{diff['divergences']} divergences",
+        flush=True,
+    )
+
+    problems = verify(args, traffic, diff)
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    if problems:
+        return 1
+
+    if args.update:
+        write_baseline(args.update, args, calibration, traffic, diff)
+    if args.check:
+        return check_baseline(args.check, args, calibration, traffic)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

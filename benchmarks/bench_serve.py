@@ -152,6 +152,7 @@ def _drive(args, workers: int, traffic, service, base_url: str) -> dict:
     # the measured grid, so nothing coalesces against them) prove the
     # worker processes are imported, polling, and compiling.
     warm = ServeClient(base_url, timeout=60.0)
+    warm.wait_until_healthy(timeout=30.0)
     warm_ids = [
         warm.submit(
             {

@@ -7,7 +7,8 @@ Commands
               bit-serial commands — all from one pipeline run);
 ``simulate``  estimate cycles/traffic/energy under one configuration;
 ``offload``   evaluate the Eq. 2 in-/near-memory decision;
-``replay``    re-run pipeline stages from a ``--dump-dir`` artifact dump;
+``replay-artifact``  re-run pipeline stages from a ``--dump-dir``
+              artifact dump (``replay`` is a deprecated alias);
 ``figures``   regenerate the paper's evaluation tables (run_all);
 ``list``      list registered workloads/paradigms/systems/figures
               (decorated built-ins plus entry-point plugins);
@@ -16,10 +17,16 @@ Commands
               Fig 14-style cycle stack, the per-tile NoC heatmap and
               the metrics report.
 
-``serve``     run the durable job-queue service (HTTP API + worker);
+``serve``     run the durable job-queue service (HTTP API + worker;
+              ``--record FILE`` writes a replay session at shutdown);
 ``submit``    submit a kernel, workload, or campaign job to a server;
 ``status``    list jobs (or show one job, ``--result`` fetches output);
-``cancel``    cancel a queued or running job.
+``cancel``    cancel a queued or running job;
+``record``    record campaign figures (or a serve store directory) into
+              a replayable JSONL session file;
+``replay-session``  re-execute a recorded session: deterministic 1x
+              diff replay (first-divergence report) or, with
+              ``--traffic``, amplified synthetic load over HTTP.
 
 ``compile`` and ``simulate`` also accept ``--trace FILE`` (write the
 event trace) and ``--metrics`` (print the metrics registry) without
@@ -37,7 +44,8 @@ given on the command line::
 
 ``compile --time-passes`` prints a per-stage wall-clock/artifact-size
 table; ``--dump-dir DIR`` serializes every intermediate artifact so any
-stage can later be replayed from its dump (``python -m repro replay``).
+stage can later be replayed from its dump (``python -m repro
+replay-artifact``).
 """
 
 from __future__ import annotations
@@ -316,7 +324,30 @@ def cmd_offload(args) -> int:
     return 0
 
 
-def cmd_replay(args) -> int:
+# One epilog shared by every replay-flavored parser, so `--help` on any
+# of them explains which verb does what.
+REPLAY_EPILOG = """\
+two replay verbs exist:
+  replay-artifact   re-runs compilation-pipeline stages from a --dump-dir
+                    artifact dump (stage-level compiler debugging);
+  replay-session    re-executes a recorded job session (made by
+                    'repro record' or 'repro serve --record'): by default
+                    a deterministic 1x diff replay that compares result
+                    digests and reports the first divergent job; with
+                    --traffic it time-compresses and amplifies the
+                    recording into synthetic load against a live server.
+'replay' is a deprecated alias for replay-artifact and will be removed.
+"""
+
+
+def cmd_replay_artifact(args) -> int:
+    if args.command == "replay":
+        print(
+            "warning: 'repro replay' is deprecated; "
+            "use 'repro replay-artifact' (artifact dumps) or "
+            "'repro replay-session' (recorded sessions)",
+            file=sys.stderr,
+        )
     from repro.pipeline.artifacts import (
         FatBinaryArtifact,
         LoweredArtifact,
@@ -373,6 +404,7 @@ def cmd_serve(args) -> int:
         jobs=args.jobs,
         fsync=not args.no_fsync,
         workers=args.workers,
+        record_path=args.record,
     )
     httpd = make_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
@@ -395,6 +427,8 @@ def cmd_serve(args) -> int:
         # Graceful: the worker finishes its in-flight point, checkpoints
         # it, re-queues the interrupted job, and only then returns.
         service.shutdown(wait=True)
+        if args.record:
+            print(f"recorded session -> {args.record}", flush=True)
         print("shutdown complete: in-flight work checkpointed", flush=True)
     return EXIT_OK
 
@@ -535,6 +569,94 @@ def cmd_cancel(args) -> int:
     out = _client(args).cancel(args.job_id)
     print(f"{out['job_id']}: {out['state']}")
     return EXIT_OK
+
+
+def cmd_record(args) -> int:
+    seeds = {
+        "mutation": args.seed_mutation,
+        "think_time": args.seed_think,
+        "backoff": args.seed_backoff,
+    }
+    if args.from_store is not None:
+        if args.figure:
+            raise UsageError("give either --figure or --from-store, not both")
+        from repro.serve.store import JobStore
+
+        store = JobStore(args.from_store, fsync=False, shared=True)
+        try:
+            from repro.replay import record_store
+
+            session = record_store(store, seeds=seeds)
+        finally:
+            store.close()
+    elif args.figure:
+        from repro.replay import record_figures
+
+        session = record_figures(args.figure, scale=args.scale, seeds=seeds)
+    else:
+        raise UsageError(
+            "record needs --figure NAME (repeatable) or --from-store DIR"
+        )
+    path = session.dump(args.out)
+    print(
+        f"recorded session {session.header.session_id}: "
+        f"{len(session.jobs)} job(s), "
+        f"{len(session.verifiable_jobs())} verifiable -> {path}"
+    )
+    return EXIT_OK
+
+
+def cmd_replay_session(args) -> int:
+    import json as json_mod
+
+    from repro.replay import ReplayEngine, Session
+
+    session = Session.load(args.session)
+    if session.truncated:
+        print(
+            f"warning: session {args.session} is truncated "
+            "(no end marker — the recorder died mid-write); "
+            "replaying the committed prefix",
+            file=sys.stderr,
+        )
+    engine = ReplayEngine(session)
+    if args.traffic:
+        if args.url is None:
+            raise UsageError("--traffic needs --url (a live serve endpoint)")
+        report = engine.drive(
+            args.url,
+            speed=args.speed,
+            amplify=args.amplify,
+            mutate_frac=args.mutate,
+            stagger=args.stagger,
+            timeout=args.timeout,
+        )
+        if args.json:
+            print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(
+                f"traffic: {report.submitted} submitted "
+                f"({report.mutated} mutated) x{report.amplify} clients, "
+                f"{report.done} done / {report.failed} failed in "
+                f"{report.wall_s:.2f}s "
+                f"({report.jobs_per_sec:.2f} jobs/s, "
+                f"p50 {report.p50_latency_s * 1e3:.0f}ms, "
+                f"p99 {report.p99_latency_s * 1e3:.0f}ms)"
+            )
+        return EXIT_OK if report.failed == 0 else EXIT_INTERNAL
+    client = None
+    if args.url is not None:
+        from repro.serve.client import ServeClient
+
+        client = ServeClient(args.url, timeout=args.timeout)
+    report = engine.replay(client=client, timeout=args.timeout)
+    if args.json:
+        print(json_mod.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    # A divergence is a regression in the build under test, not a usage
+    # problem: internal-error exit so CI gates trip on it.
+    return EXIT_OK if report.ok else EXIT_INTERNAL
 
 
 def cmd_list(args) -> int:
@@ -688,7 +810,11 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_offload)
 
     p = sub.add_parser(
-        "replay", help="re-run pipeline stages from a --dump-dir"
+        "replay-artifact",
+        aliases=["replay"],
+        help="re-run pipeline stages from a --dump-dir",
+        epilog=REPLAY_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     p.add_argument("dump_dir", help="directory written by --dump-dir")
     p.add_argument(
@@ -701,7 +827,7 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print a per-stage wall-clock/artifact-size table",
     )
-    p.set_defaults(fn=cmd_replay)
+    p.set_defaults(fn=cmd_replay_artifact)
 
     p = sub.add_parser("figures", help="regenerate the evaluation tables")
     p.add_argument("--scale", type=float, default=1.0)
@@ -772,6 +898,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="per-attempt wall-clock budget in seconds")
     p.add_argument("--no-fsync", action="store_true",
                    help="skip fsync on WAL appends (faster, less durable)")
+    p.add_argument("--record", default=None, metavar="FILE",
+                   help="write a replay session of every finished job "
+                        "to FILE at shutdown (see 'repro replay-session')")
     p.add_argument("--verbose", action="store_true",
                    help="log every HTTP request to stderr")
     p.set_defaults(fn=cmd_serve)
@@ -836,6 +965,56 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--url", default="http://127.0.0.1:8757")
     p.set_defaults(fn=cmd_cancel)
 
+    p = sub.add_parser(
+        "record",
+        help="record campaigns or a serve store into a session file",
+    )
+    p.add_argument("--figure", action="append", default=[],
+                   help="campaign figure to run and record (repeatable)")
+    p.add_argument("--scale", type=float, default=1.0,
+                   help="input-size scale for --figure campaigns")
+    p.add_argument("--from-store", default=None, metavar="DIR",
+                   help="snapshot an existing serve job-store directory "
+                        "instead of running figures")
+    p.add_argument("--out", default="session.jsonl",
+                   help="session file to write (JSONL)")
+    p.add_argument("--seed-mutation", type=int, default=0,
+                   help="RNG seed recorded for replay spec mutation")
+    p.add_argument("--seed-think", type=int, default=0,
+                   help="RNG seed recorded for client think-time stagger")
+    p.add_argument("--seed-backoff", type=int, default=0,
+                   help="scheduler backoff-jitter seed to record")
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser(
+        "replay-session",
+        help="diff-replay or traffic-replay a recorded session",
+        epilog=REPLAY_EPILOG,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    p.add_argument("session", help="session file written by 'repro record'")
+    p.add_argument("--url", default=None,
+                   help="serve endpoint to replay against "
+                        "(default: execute locally in this process)")
+    p.add_argument("--traffic", action="store_true",
+                   help="generate load instead of diffing: time-compress "
+                        "and amplify the recording over HTTP")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="time compression for --traffic (2 = twice as "
+                        "fast; 0 = no pacing)")
+    p.add_argument("--amplify", type=int, default=1,
+                   help="clone the recording across N clients (--traffic)")
+    p.add_argument("--mutate", type=float, default=0.0,
+                   help="per-request mutation probability for amplified "
+                        "clients (seeded, deterministic)")
+    p.add_argument("--stagger", type=float, default=0.0,
+                   help="max seeded per-request think-time in seconds")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="per-job wait budget in seconds")
+    p.add_argument("--json", action="store_true",
+                   help="print the report as JSON (for CI gates)")
+    p.set_defaults(fn=cmd_replay_session)
+
     try:
         args = ap.parse_args(argv)
     except SystemExit as exc:
@@ -855,6 +1034,7 @@ def _dispatch(args) -> int:
         JobSpecError,
         LayoutError,
         RegistryError,
+        SessionError,
         UnknownJobError,
     )
     from repro.serve.client import ServeClientError
@@ -869,6 +1049,9 @@ def _dispatch(args) -> int:
         JobSpecError,
         AdmissionError,
         UnknownJobError,
+        # A malformed or version-skewed session file is the user's
+        # input, not a bug in this build.
+        SessionError,
         ServeClientError,
         OSError,
     )

@@ -231,3 +231,38 @@ class JobCancelled(ServeError):
 
 class JobTimeout(ServeError):
     """A running job exceeded its per-job wall-clock budget."""
+
+
+# ----------------------------------------------------------------------
+# Record/replay (repro.replay)
+# ----------------------------------------------------------------------
+class SessionError(ReproError):
+    """Base class for recorded-session failures (repro.replay)."""
+
+
+class SessionFormatError(SessionError):
+    """A session file is malformed beyond the tolerated torn tail.
+
+    Torn *tails* (a partial final line from a dying recorder) are
+    repaired silently, matching the JobStore WAL contract; a missing
+    header, an unparseable committed line, or an ``end`` marker whose
+    count disagrees with the jobs actually read mean the file lost
+    middle records and cannot be trusted.
+    """
+
+
+class SessionVersionError(SessionFormatError):
+    """The session was written by an incompatible format version.
+
+    Rejecting outright beats misreading: a future recorder may change
+    field semantics (timestamps, digest domains) without changing
+    names, so a best-effort parse could silently diff garbage.
+    """
+
+    def __init__(self, found: object, supported: int) -> None:
+        super().__init__(
+            f"session format version {found!r} is not supported "
+            f"(this build reads version {supported})"
+        )
+        self.found = found
+        self.supported = supported

@@ -18,6 +18,7 @@ from repro.exec.cache import (
     active_cache,
     canonical,
     configure_cache,
+    result_digest,
     stable_digest,
 )
 from repro.exec.pool import PointExecutor, SectionTiming, run_points
@@ -30,6 +31,7 @@ __all__ = [
     "active_cache",
     "canonical",
     "configure_cache",
+    "result_digest",
     "run_points",
     "stable_digest",
 ]

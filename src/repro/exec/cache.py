@@ -371,6 +371,25 @@ def stable_digest(obj) -> str:
     return hashlib.sha256(b"".join(out)).hexdigest()
 
 
+def result_digest(result) -> str:
+    """Digest of a JSON-transportable result payload.
+
+    Job results travel two routes: straight out of ``run_job_spec``
+    (Python ints/floats/tuples) or through the serve WAL and HTTP API
+    (JSON round-trip, which erases tuple-vs-list and may re-type
+    numerics).  Normalizing through JSON before digesting guarantees the
+    same result hashes identically on both routes — the invariant the
+    record/replay diff (repro.replay) is built on.
+    """
+    try:
+        normalized = json.loads(json.dumps(result, sort_keys=True))
+    except (TypeError, ValueError) as exc:
+        raise TypeError(
+            f"result is not JSON-transportable: {exc}"
+        ) from exc
+    return stable_digest(normalized)
+
+
 # ----------------------------------------------------------------------
 # Statistics
 # ----------------------------------------------------------------------

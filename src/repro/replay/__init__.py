@@ -1,0 +1,56 @@
+"""Session record/replay: capture real runs, replay them exactly.
+
+``repro.replay`` closes the loop the service layer opened: once work
+flows through campaigns and ``repro serve``, this package records it —
+a versioned JSONL *session* of job specs, timing, dependencies, and
+result digests — and replays it two ways:
+
+* **deterministic 1x diff replay** for regression bisection: re-run
+  the recorded graph (locally or against a serve endpoint), diff
+  digests, report the first divergent job;
+* **synthetic traffic generation** for load realism: time-compress and
+  amplify the recording across many client threads with seeded spec
+  mutation, driving a worker fleet over real HTTP.
+
+Entry points: ``python -m repro record`` / ``python -m repro
+replay-session``, :mod:`benchmarks/bench_replay.py`, and the library
+API below.
+"""
+
+from repro.replay.engine import (
+    Divergence,
+    PlannedRequest,
+    ReplayEngine,
+    ReplayReport,
+    TrafficReport,
+    mutate_spec,
+)
+from repro.replay.recorder import (
+    Recorder,
+    record_figures,
+    record_specs,
+    record_store,
+)
+from repro.replay.session import (
+    SESSION_VERSION,
+    RecordedJob,
+    Session,
+    SessionHeader,
+)
+
+__all__ = [
+    "Divergence",
+    "PlannedRequest",
+    "RecordedJob",
+    "Recorder",
+    "ReplayEngine",
+    "ReplayReport",
+    "SESSION_VERSION",
+    "Session",
+    "SessionHeader",
+    "TrafficReport",
+    "mutate_spec",
+    "record_figures",
+    "record_specs",
+    "record_store",
+]

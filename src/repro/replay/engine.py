@@ -1,0 +1,501 @@
+"""ReplayEngine: deterministic diff replay and synthetic traffic.
+
+Two modes over one :class:`~repro.replay.session.Session`:
+
+**1x diff replay** (:meth:`ReplayEngine.replay`) re-executes the
+recorded job graph — locally via ``run_job_spec`` or against a live
+serve endpoint — and compares result digests job by job.  Execution is
+deduplicated by spec fingerprint, mirroring serve's coalescing: one
+execution per distinct spec, compared against every recorded job that
+carried it.  The report names the *first* divergent job in recorded
+submission order, which is what turns a "the campaign moved" alarm
+into a bisection anchor: the earliest spec whose numbers changed.
+
+**Traffic generation** (:meth:`ReplayEngine.schedule` /
+:meth:`ReplayEngine.drive`) replays the recording's *shape* rather
+than its answers: recorded submit offsets are time-compressed by
+``speed``, cloned across ``amplify`` client threads, and (for clones
+beyond the first) specs are perturbed with seeded, deterministic
+mutations so the fleet sees realistic cache misses instead of one
+endlessly coalesced spec.  Client 0 always submits the recording
+verbatim, so an amplified run still contains the faithful copy.
+
+Every random choice — mutation, per-client think-time stagger — draws
+from ``random.Random`` instances seeded from the session header's
+``seeds`` dict, never from global state: the same session file always
+yields the same request plan.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.exec.cache import result_digest, stable_digest
+from repro.replay.session import RecordedJob, Session
+from repro.trace.events import Category, active_tracer
+
+#: spreads one mutation seed into well-separated per-client streams
+_CLIENT_SEED_STRIDE = 1_000_003
+
+
+def _percentile(sorted_values, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[idx]
+
+
+# ----------------------------------------------------------------------
+# Diff replay
+# ----------------------------------------------------------------------
+@dataclass
+class Divergence:
+    """One recorded job whose replay disagreed with the recording."""
+
+    index: int  # position in recorded submission order
+    job_id: str
+    spec_label: str
+    #: "digest" (results differ), "error" (replay execution failed)
+    kind: str
+    recorded: str
+    replayed: str
+    #: metric -> [recorded, replayed] for keys that moved (digest kind)
+    metrics_delta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "job_id": self.job_id,
+            "spec": self.spec_label,
+            "kind": self.kind,
+            "recorded": self.recorded,
+            "replayed": self.replayed,
+            "metrics_delta": self.metrics_delta,
+        }
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of a 1x diff replay."""
+
+    session_id: str
+    mode: str  # "local" | "serve"
+    jobs_total: int = 0
+    jobs_checked: int = 0
+    executions: int = 0  # distinct specs actually executed
+    skipped: int = 0  # recorded jobs with no verifiable digest
+    wall_s: float = 0.0
+    divergences: list[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    @property
+    def first_divergence(self) -> Divergence | None:
+        if not self.divergences:
+            return None
+        return min(self.divergences, key=lambda d: d.index)
+
+    def to_dict(self) -> dict:
+        out = {
+            "session_id": self.session_id,
+            "mode": self.mode,
+            "jobs_total": self.jobs_total,
+            "jobs_checked": self.jobs_checked,
+            "executions": self.executions,
+            "skipped": self.skipped,
+            "wall_s": self.wall_s,
+            "ok": self.ok,
+            "divergences": [d.to_dict() for d in self.divergences],
+        }
+        first = self.first_divergence
+        if first is not None:
+            out["first_divergence"] = first.to_dict()
+        return out
+
+    def summary(self) -> str:
+        lines = [
+            f"session {self.session_id} [{self.mode}]: "
+            f"{self.jobs_checked}/{self.jobs_total} job(s) checked, "
+            f"{self.executions} execution(s), {self.skipped} skipped, "
+            f"{len(self.divergences)} divergence(s) in {self.wall_s:.2f}s"
+        ]
+        first = self.first_divergence
+        if first is not None:
+            lines.append(
+                f"first divergence: job {first.job_id} "
+                f"(#{first.index}, {first.spec_label}) [{first.kind}] "
+                f"recorded={first.recorded} replayed={first.replayed}"
+            )
+            for key, (old, new) in sorted(first.metrics_delta.items()):
+                lines.append(f"  metric {key}: {old} -> {new}")
+            rest = len(self.divergences) - 1
+            if rest:
+                lines.append(f"(+{rest} further divergence(s))")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Traffic generation
+# ----------------------------------------------------------------------
+@dataclass
+class PlannedRequest:
+    """One request of the synthetic traffic plan."""
+
+    client: int
+    delay: float  # seconds after the drive's start
+    spec: dict
+    tenant: str = "default"
+    priority: int = 0
+    mutated: bool = False
+    source_job: str = ""
+
+
+@dataclass
+class TrafficReport:
+    """Outcome of a traffic-generation drive."""
+
+    session_id: str
+    amplify: int
+    speed: float
+    submitted: int = 0
+    done: int = 0
+    failed: int = 0
+    mutated: int = 0
+    wall_s: float = 0.0
+    jobs_per_sec: float = 0.0
+    p50_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "session_id": self.session_id,
+            "amplify": self.amplify,
+            "speed": self.speed,
+            "submitted": self.submitted,
+            "done": self.done,
+            "failed": self.failed,
+            "mutated": self.mutated,
+            "wall_s": self.wall_s,
+            "jobs_per_sec": self.jobs_per_sec,
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+        }
+
+
+def mutate_spec(spec: dict, rng: random.Random) -> dict:
+    """One deterministic, validity-preserving spec perturbation.
+
+    The point is cache-miss realism: a mutated spec must carry a fresh
+    fingerprint (so serve's coalescing and the compilation cache see
+    new work) while staying inside ``validate_spec``'s contract.  Scale
+    factors come from a small palette and are rounded, so mutated specs
+    collide *with each other* at realistic rates instead of every
+    mutation being unique.
+    """
+    out = dict(spec)
+    kind = out.get("kind")
+    if kind in ("campaign", "workload"):
+        factor = 1.0 + rng.choice((-0.25, -0.125, 0.125, 0.25))
+        out["scale"] = round(float(out.get("scale", 1.0)) * factor, 6)
+    elif kind == "kernel":
+        out["iterations"] = int(out.get("iterations", 1)) + rng.randint(1, 3)
+    return out
+
+
+# ----------------------------------------------------------------------
+class ReplayEngine:
+    """Replays one loaded session; stateless across calls."""
+
+    def __init__(self, session: Session) -> None:
+        self.session = session
+
+    # ------------------------------------------------------------------
+    # Internal: execute each distinct spec exactly once
+    # ------------------------------------------------------------------
+    def _fingerprint_groups(
+        self, jobs: list[RecordedJob]
+    ) -> dict[str, list[RecordedJob]]:
+        groups: dict[str, list[RecordedJob]] = {}
+        for job in jobs:
+            groups.setdefault(stable_digest(job.spec), []).append(job)
+        return groups
+
+    def _execute_local(self, spec: dict, executor):
+        from repro.serve.jobs import run_job_spec, validate_spec
+
+        return run_job_spec(validate_spec(spec), executor)
+
+    def _execute_serve(self, spec: dict, client, leader: RecordedJob,
+                       timeout: float):
+        job_id = client.submit(
+            spec, priority=leader.priority, tenant=leader.tenant
+        )
+        status = client.wait(job_id, timeout=timeout)
+        if status["state"] != "done":
+            raise RuntimeError(
+                f"replayed job {job_id} ended {status['state']}: "
+                f"{status.get('error')}"
+            )
+        return client.result(job_id)
+
+    # ------------------------------------------------------------------
+    def replay(
+        self,
+        executor=None,
+        client=None,
+        timeout: float = 300.0,
+    ) -> ReplayReport:
+        """Deterministic 1x diff replay.
+
+        With *client* (a :class:`~repro.serve.client.ServeClient`) the
+        graph re-executes against that endpoint; otherwise locally in
+        this process (campaign points fanned out via *executor* when
+        given).  Jobs recorded without a result digest — failed runs,
+        spec-only synthetic sessions — are skipped, not diffed.
+        """
+        jobs = self.session.jobs
+        verifiable = self.session.verifiable_jobs()
+        report = ReplayReport(
+            session_id=self.session.header.session_id,
+            mode="serve" if client is not None else "local",
+            jobs_total=len(jobs),
+            skipped=len(jobs) - len(verifiable),
+        )
+        tracer = active_tracer()
+        start = time.monotonic()
+        index_of = {job.job_id: i for i, job in enumerate(jobs)}
+        for fingerprint, group in self._fingerprint_groups(
+            verifiable
+        ).items():
+            leader = group[0]
+            try:
+                if client is not None:
+                    result = self._execute_serve(
+                        leader.spec, client, leader, timeout
+                    )
+                else:
+                    result = self._execute_local(leader.spec, executor)
+            except Exception as exc:  # noqa: BLE001 — reported, not raised
+                for job in group:
+                    report.jobs_checked += 1
+                    report.divergences.append(
+                        Divergence(
+                            index=index_of[job.job_id],
+                            job_id=job.job_id,
+                            spec_label=_spec_label(job.spec),
+                            kind="error",
+                            recorded=job.result_digest,
+                            replayed=f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                continue
+            report.executions += 1
+            digest = result_digest(result)
+            from repro.replay.recorder import _metrics_of
+
+            replayed_metrics = _metrics_of(result)
+            for job in group:
+                report.jobs_checked += 1
+                if digest == job.result_digest:
+                    continue
+                delta = {}
+                for key in sorted(
+                    set(job.metrics) | set(replayed_metrics)
+                ):
+                    old = job.metrics.get(key)
+                    new = replayed_metrics.get(key)
+                    if old != new:
+                        delta[key] = [old, new]
+                divergence = Divergence(
+                    index=index_of[job.job_id],
+                    job_id=job.job_id,
+                    spec_label=_spec_label(job.spec),
+                    kind="digest",
+                    recorded=job.result_digest,
+                    replayed=digest,
+                    metrics_delta=delta,
+                )
+                report.divergences.append(divergence)
+                if tracer is not None:
+                    tracer.instant(
+                        "session.diverge",
+                        Category.SESSION,
+                        track="session",
+                        job=job.job_id,
+                        fingerprint=fingerprint[:12],
+                    )
+        report.divergences.sort(key=lambda d: d.index)
+        report.wall_s = time.monotonic() - start
+        return report
+
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        speed: float = 1.0,
+        amplify: int = 1,
+        mutate_frac: float = 0.0,
+        stagger: float = 0.0,
+    ) -> list[PlannedRequest]:
+        """The deterministic traffic plan: who submits what, when.
+
+        ``speed`` compresses recorded submit offsets (2.0 = twice as
+        fast; <= 0 = no pacing, submit as fast as possible).
+        ``amplify`` clones the recording across that many clients;
+        clients beyond the first mutate each spec with probability
+        ``mutate_frac`` (seeded per client, see module docstring).
+        ``stagger`` adds up to that many seconds of seeded think-time
+        per request so amplified clients don't submit in lockstep.
+        """
+        if amplify < 1:
+            raise ValueError(f"amplify must be >= 1, got {amplify}")
+        seeds = self.session.header.seeds
+        mut_seed = int(seeds.get("mutation", 0))
+        think_seed = int(seeds.get("think_time", 0))
+        jobs = self.session.jobs
+        base = min((j.submit_at for j in jobs), default=0.0)
+        plan: list[PlannedRequest] = []
+        for client in range(amplify):
+            mut_rng = random.Random(
+                mut_seed * _CLIENT_SEED_STRIDE + client
+            )
+            think_rng = random.Random(
+                think_seed * _CLIENT_SEED_STRIDE + client
+            )
+            for job in jobs:
+                offset = max(0.0, job.submit_at - base)
+                delay = offset / speed if speed > 0 else 0.0
+                if stagger > 0:
+                    delay += think_rng.random() * stagger
+                spec = job.spec
+                mutated = False
+                if (
+                    client > 0
+                    and mutate_frac > 0
+                    and mut_rng.random() < mutate_frac
+                ):
+                    spec = mutate_spec(spec, mut_rng)
+                    mutated = True
+                plan.append(
+                    PlannedRequest(
+                        client=client,
+                        delay=delay,
+                        spec=spec,
+                        tenant=job.tenant,
+                        priority=job.priority,
+                        mutated=mutated,
+                        source_job=job.job_id,
+                    )
+                )
+        return plan
+
+    # ------------------------------------------------------------------
+    def drive(
+        self,
+        base_url: str,
+        speed: float = 1.0,
+        amplify: int = 1,
+        mutate_frac: float = 0.0,
+        stagger: float = 0.0,
+        timeout: float = 300.0,
+        poll_interval: float = 0.05,
+    ) -> TrafficReport:
+        """Run the traffic plan against a live serve endpoint.
+
+        One thread per client replays that client's paced request
+        stream over real HTTP, then waits each submitted job to a
+        terminal state.  Latency is submit-to-terminal wall time (poll
+        granularity ``poll_interval``).
+        """
+        from repro.serve.client import ServeClient, ServeClientError
+
+        plan = self.schedule(
+            speed=speed,
+            amplify=amplify,
+            mutate_frac=mutate_frac,
+            stagger=stagger,
+        )
+        by_client: dict[int, list[PlannedRequest]] = {}
+        for req in plan:
+            by_client.setdefault(req.client, []).append(req)
+        lock = threading.Lock()
+        latencies: list[float] = []
+        counts = {"submitted": 0, "done": 0, "failed": 0, "mutated": 0}
+        start = time.monotonic()
+
+        def run_client(requests: list[PlannedRequest]) -> None:
+            client = ServeClient(base_url, timeout=timeout)
+            submitted: list[tuple[str, float]] = []
+            for req in sorted(requests, key=lambda r: r.delay):
+                now = time.monotonic() - start
+                if req.delay > now:
+                    time.sleep(req.delay - now)
+                try:
+                    job_id = client.submit(
+                        req.spec,
+                        priority=req.priority,
+                        tenant=req.tenant,
+                    )
+                except ServeClientError:
+                    with lock:
+                        counts["failed"] += 1
+                    continue
+                with lock:
+                    counts["submitted"] += 1
+                    if req.mutated:
+                        counts["mutated"] += 1
+                submitted.append((job_id, time.monotonic()))
+            for job_id, at in submitted:
+                try:
+                    status = client.wait(
+                        job_id,
+                        timeout=timeout,
+                        poll_interval=poll_interval,
+                    )
+                except ServeClientError:
+                    with lock:
+                        counts["failed"] += 1
+                    continue
+                latency = time.monotonic() - at
+                with lock:
+                    latencies.append(latency)
+                    if status["state"] == "done":
+                        counts["done"] += 1
+                    else:
+                        counts["failed"] += 1
+
+        threads = [
+            threading.Thread(
+                target=run_client, args=(reqs,), daemon=True
+            )
+            for _, reqs in sorted(by_client.items())
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.monotonic() - start
+        latencies.sort()
+        return TrafficReport(
+            session_id=self.session.header.session_id,
+            amplify=amplify,
+            speed=speed,
+            submitted=counts["submitted"],
+            done=counts["done"],
+            failed=counts["failed"],
+            mutated=counts["mutated"],
+            wall_s=wall,
+            jobs_per_sec=(counts["done"] / wall) if wall > 0 else 0.0,
+            p50_latency_s=_percentile(latencies, 0.50),
+            p99_latency_s=_percentile(latencies, 0.99),
+        )
+
+
+def _spec_label(spec: dict) -> str:
+    from repro.serve.jobs import describe_spec_dict
+
+    return describe_spec_dict(spec)

@@ -1,0 +1,248 @@
+"""The recorded-session format: a versioned JSONL job graph.
+
+A *session* is the durable record of a campaign run or a serve session
+— the closed-loop artifact the ROADMAP asks for: record production
+traffic shape, replay it against a candidate build, diff the results.
+One file, line-oriented so it streams and appends like the serve WAL::
+
+    {"type": "header", "version": 1, "session_id": "...", "source":
+     "serve", "seeds": {"mutation": 0, ...}, ...}
+    {"type": "job", "job_id": "j00000-...", "spec": {...}, "tenant":
+     "default", "submit_at": ..., "claim_at": ..., "complete_at": ...,
+     "deps": [...], "result_digest": "...", "metrics": {...}, ...}
+    ...
+    {"type": "end", "jobs": N}
+
+Contract highlights (tests in ``tests/test_replay_session.py``):
+
+* **Canonical serialization** — every line is ``json.dumps(...,
+  sort_keys=True)``; parsing a session and re-serializing it is
+  byte-identical, so sessions diff and digest cleanly.
+* **Versioning** — ``header.version`` must equal
+  :data:`SESSION_VERSION`; a mismatch raises
+  :class:`~repro.errors.SessionVersionError` instead of silently
+  misreading a future format.  Unknown *record types* within a known
+  version are skipped (forward-compatible minor additions).
+* **Torn-tail tolerance** — the same contract as the serve JobStore
+  WAL: only newline-terminated lines are parsed; a partial final line
+  (the recorder died mid-append) is dropped.  A session without its
+  ``end`` marker loads with ``truncated=True`` so callers can decide
+  whether a partial recording is acceptable.
+* **Deterministic identity** — ``session_id`` is derived from the
+  content digest of the recorded jobs (see
+  :meth:`Session.content_digest`), never from wall-clock entropy.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.errors import SessionFormatError, SessionVersionError
+from repro.exec.cache import stable_digest
+
+#: the one format version this build reads and writes
+SESSION_VERSION = 1
+
+
+@dataclass
+class SessionHeader:
+    """First line of every session file."""
+
+    version: int = SESSION_VERSION
+    session_id: str = ""
+    #: where the recording came from: "serve" (a job-store snapshot),
+    #: "campaign" (figures run locally), or "synthetic" (spec lists)
+    source: str = "serve"
+    created_at: float = 0.0
+    #: every RNG seed a deterministic replay needs: "mutation" (spec
+    #: perturbation), "think_time" (client staggering), "backoff" (the
+    #: recorded scheduler's retry jitter)
+    seeds: dict = field(default_factory=dict)
+    #: free-form provenance (figure names, store root, workers, ...)
+    meta: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["type"] = "header"
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "SessionHeader":
+        raw = {k: v for k, v in raw.items() if k != "type"}
+        return cls(**raw)
+
+
+@dataclass
+class RecordedJob:
+    """One node of the session graph (a submitted unit of work)."""
+
+    job_id: str
+    #: a validated serve job spec: registry names + knobs, JSON-plain
+    spec: dict
+    tenant: str = "default"
+    priority: int = 0
+    submit_at: float = 0.0
+    claim_at: float | None = None
+    complete_at: float | None = None
+    #: job_ids this one depended on (e.g. the coalescing leader whose
+    #: execution produced our result)
+    deps: list[str] = field(default_factory=list)
+    #: terminal state of the recorded run: done/failed/cancelled
+    outcome: str = "done"
+    #: stable digest of the JSON result payload ("" = not recorded,
+    #: e.g. a synthetic spec-only session used purely for traffic)
+    result_digest: str = ""
+    #: small numeric summary (total_cycles, traffic, energy, rows...)
+    #: used to say *which* key metric moved when digests diverge
+    metrics: dict = field(default_factory=dict)
+    error: str | None = None
+
+    def to_dict(self) -> dict:
+        out = asdict(self)
+        out["type"] = "job"
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "RecordedJob":
+        raw = {k: v for k, v in raw.items() if k != "type"}
+        return cls(**raw)
+
+    @property
+    def latency(self) -> float | None:
+        if self.complete_at is None:
+            return None
+        return self.complete_at - self.submit_at
+
+
+@dataclass
+class Session:
+    """A parsed session: header + jobs in recorded submission order."""
+
+    header: SessionHeader
+    jobs: list[RecordedJob] = field(default_factory=list)
+    #: True when the file ended without its ``end`` marker (torn tail)
+    truncated: bool = False
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def dumps(self) -> str:
+        lines = [json.dumps(self.header.to_dict(), sort_keys=True)]
+        lines += [
+            json.dumps(job.to_dict(), sort_keys=True) for job in self.jobs
+        ]
+        lines.append(
+            json.dumps({"jobs": len(self.jobs), "type": "end"},
+                       sort_keys=True)
+        )
+        return "\n".join(lines) + "\n"
+
+    def dump(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(self.dumps(), encoding="utf-8")
+        return path
+
+    @classmethod
+    def loads(cls, text: str) -> "Session":
+        header: SessionHeader | None = None
+        jobs: list[RecordedJob] = []
+        ended: int | None = None
+        # WAL contract: only newline-terminated lines were committed; a
+        # partial tail is a record torn off by a dying writer.
+        complete, sep, _partial = text.rpartition("\n")
+        if not sep:
+            raise SessionFormatError(
+                "session has no complete (newline-terminated) lines"
+            )
+        for lineno, line in enumerate(complete.split("\n"), start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                raw = json.loads(line)
+            except ValueError as exc:
+                raise SessionFormatError(
+                    f"session line {lineno} is not valid JSON: {exc}"
+                ) from exc
+            if not isinstance(raw, dict):
+                raise SessionFormatError(
+                    f"session line {lineno} must be an object"
+                )
+            kind = raw.get("type")
+            if header is None:
+                if kind != "header":
+                    raise SessionFormatError(
+                        "session must start with a header record, got "
+                        f"{kind!r}"
+                    )
+                version = raw.get("version")
+                if version != SESSION_VERSION:
+                    raise SessionVersionError(version, SESSION_VERSION)
+                header = SessionHeader.from_dict(raw)
+                continue
+            if kind == "job":
+                try:
+                    jobs.append(RecordedJob.from_dict(raw))
+                except TypeError as exc:
+                    raise SessionFormatError(
+                        f"session line {lineno}: malformed job record: "
+                        f"{exc}"
+                    ) from exc
+            elif kind == "end":
+                ended = int(raw.get("jobs", -1))
+            # Unknown record types from a same-version writer with
+            # extra instrumentation are skipped, not fatal.
+        if header is None:
+            raise SessionFormatError("session has no header record")
+        if ended is not None and ended != len(jobs):
+            raise SessionFormatError(
+                f"session end marker claims {ended} jobs but "
+                f"{len(jobs)} were read — the file lost middle records"
+            )
+        return cls(header=header, jobs=jobs, truncated=ended is None)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Session":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SessionFormatError(
+                f"cannot read session {path}: {exc}"
+            ) from exc
+        return cls.loads(text)
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def content_digest(self) -> str:
+        """Digest of the recorded job graph (header identity excluded,
+        so re-recording identical work yields the same id)."""
+        return stable_digest([job.to_dict() for job in self.jobs])
+
+    def seal(self) -> "Session":
+        """Stamp ``session_id`` from the content digest; returns self."""
+        self.header.session_id = f"s-{self.content_digest()[:12]}"
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Recorded wall span: first submit to last completion."""
+        if not self.jobs:
+            return 0.0
+        start = min(job.submit_at for job in self.jobs)
+        end = max(
+            job.complete_at if job.complete_at is not None else job.submit_at
+            for job in self.jobs
+        )
+        return max(0.0, end - start)
+
+    def verifiable_jobs(self) -> list[RecordedJob]:
+        """Jobs a 1x diff replay can check: completed with a digest."""
+        return [
+            job
+            for job in self.jobs
+            if job.outcome == "done" and job.result_digest
+        ]

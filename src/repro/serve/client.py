@@ -96,6 +96,37 @@ class ServeClient:
         return self._request("GET", "/metrics")
 
     # ------------------------------------------------------------------
+    def wait_until_healthy(
+        self,
+        timeout: float = 30.0,
+        backoff: float = 0.05,
+        max_interval: float = 1.0,
+    ) -> dict:
+        """Poll ``/healthz`` until the server answers; its payload.
+
+        The one sanctioned way to wait for a freshly spawned server —
+        benchmarks, tests, and CI smokes all use this instead of
+        hand-rolled connect-retry loops.  Retries with exponential
+        backoff starting at *backoff* seconds (doubling, capped at
+        *max_interval*); raises :class:`ServeClientError` once
+        *timeout* elapses without a healthy answer.
+        """
+        deadline = time.monotonic() + timeout
+        interval = backoff
+        last: ServeClientError | None = None
+        while True:
+            try:
+                return self.healthz()
+            except ServeClientError as exc:
+                last = exc
+            if time.monotonic() >= deadline:
+                raise ServeClientError(
+                    f"{self.base_url} not healthy after {timeout:.0f}s"
+                    + (f" (last error: {last})" if last else "")
+                ) from last
+            time.sleep(min(interval, max_interval))
+            interval *= 2
+
     def wait(
         self,
         job_id: str,

@@ -44,9 +44,13 @@ class ReproService:
         clock=time.time,
         fsync: bool = True,
         workers: int = 0,
+        record_path: str | None = None,
     ) -> None:
         self.clock = clock
         self.workers = max(0, int(workers))
+        #: when set, shutdown() writes a replay session of every
+        #: terminal job to this path (``repro serve --record FILE``)
+        self.record_path = record_path
         self.registry = MetricsRegistry()
         self.store = JobStore(root, fsync=fsync, shared=self.workers > 0)
         self.scheduler = Scheduler(self.store, config)
@@ -87,8 +91,37 @@ class ReproService:
             self.fleet.stop()
         elif self.worker is not None:
             self.worker.stop(wait=wait)
+        if self.record_path:
+            self.record_session(self.record_path)
         self.store.compact()
         self.store.close()
+
+    def record_session(self, path: str):
+        """Snapshot every terminal job into a replay session at *path*.
+
+        Callable live (the store view is current in both modes) or at
+        shutdown via ``record_path``.  The session header carries this
+        service's scheduler backoff seed so a replay of the recording
+        is deterministic end to end.  Returns the written path.
+        """
+        # Imported lazily: repro.serve.__init__ loads this module, and
+        # repro.replay imports serve pieces — a top-level import would
+        # be a cycle.
+        from repro.replay.recorder import record_store
+
+        session = record_store(
+            self.store,
+            seeds={"backoff": self.scheduler.config.seed},
+            meta={"root": str(self.store.root), "workers": self.workers},
+        )
+        out = session.dump(path)
+        self.registry.add(
+            "serve.sessions.recorded", 1.0
+        )
+        self.registry.add(
+            "serve.sessions.recorded_jobs", float(len(session.jobs))
+        )
+        return out
 
     # ------------------------------------------------------------------
     # Operations (shared by HTTP handlers and in-process callers)

@@ -47,6 +47,7 @@ class Category(enum.Enum):
     EGRAPH = "egraph"  # equality-saturation phases and budget events
     REGION = "region"  # per-region engine execution
     CAMPAIGN = "campaign"  # campaign sections / point batches
+    SESSION = "session"  # record/replay: captured jobs, diff verdicts
 
 
 @dataclass

@@ -250,6 +250,132 @@ class TestReplay:
         assert any(n.endswith("-fatbinary.pkl") for n in names)
         assert any(n.endswith("-jit-lower.commands.txt") for n in names)
 
+    def test_replay_artifact_is_canonical_name(
+        self, saxpy_file, tmp_path, capsys
+    ):
+        dump = str(tmp_path / "dump")
+        args = saxpy_args(
+            "compile", saxpy_file, "--lower", "--dump-dir", dump
+        )
+        assert cli.main(args) == 0
+        capsys.readouterr()
+        assert cli.main(["replay-artifact", dump, "--stage", "jit-lower"]) == 0
+        err = capsys.readouterr().err
+        assert "deprecated" not in err
+
+    def test_replay_alias_warns_deprecated(
+        self, saxpy_file, tmp_path, capsys
+    ):
+        dump = str(tmp_path / "dump")
+        args = saxpy_args(
+            "compile", saxpy_file, "--lower", "--dump-dir", dump
+        )
+        assert cli.main(args) == 0
+        capsys.readouterr()
+        assert cli.main(["replay", dump, "--stage", "jit-lower"]) == 0
+        err = capsys.readouterr().err
+        assert "deprecated" in err
+        assert "replay-artifact" in err
+
+
+class TestRecordReplaySession:
+    """The record / replay-session verbs (repro.replay over the CLI)."""
+
+    @pytest.fixture(scope="class")
+    def session_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("session") / "session.jsonl"
+        assert cli.main([
+            "record", "--figure", "fig14", "--scale", "0.05",
+            "--out", str(path), "--seed-mutation", "5",
+        ]) == 0
+        return str(path)
+
+    def test_record_reports_session(self, session_file, capsys):
+        # the fixture already ran record; re-run for the output text
+        assert cli.main([
+            "record", "--figure", "fig14", "--scale", "0.05",
+            "--out", session_file,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recorded session s-" in out
+        assert "1 job(s)" in out
+
+    def test_record_needs_a_source(self, capsys):
+        assert cli.main(["record", "--out", "/tmp/x.jsonl"]) == cli.EXIT_USER
+        assert "--figure" in capsys.readouterr().err
+
+    def test_record_rejects_both_sources(self, tmp_path, capsys):
+        code = cli.main([
+            "record", "--figure", "fig14",
+            "--from-store", str(tmp_path / "store"),
+            "--out", str(tmp_path / "s.jsonl"),
+        ])
+        assert code == cli.EXIT_USER
+        capsys.readouterr()
+
+    def test_clean_replay_exits_zero(self, session_file, capsys):
+        assert cli.main(["replay-session", session_file]) == cli.EXIT_OK
+        out = capsys.readouterr().out
+        assert "0 divergence(s)" in out
+
+    def test_json_report(self, session_file, capsys):
+        import json
+
+        assert cli.main(
+            ["replay-session", session_file, "--json"]
+        ) == cli.EXIT_OK
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["jobs_checked"] == 1
+
+    def test_perturbed_session_exits_internal(
+        self, session_file, tmp_path, capsys
+    ):
+        import json
+
+        lines = open(session_file).read().splitlines()
+        for i, line in enumerate(lines):
+            rec = json.loads(line)
+            if rec.get("type") == "job":
+                rec["result_digest"] = "0" * 16
+                lines[i] = json.dumps(rec, sort_keys=True)
+                break
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("\n".join(lines) + "\n")
+        assert cli.main(["replay-session", str(bad)]) == cli.EXIT_INTERNAL
+        assert "first divergence" in capsys.readouterr().out
+
+    def test_version_skew_is_user_error(
+        self, session_file, tmp_path, capsys
+    ):
+        import json
+
+        lines = open(session_file).read().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = 99
+        lines[0] = json.dumps(header, sort_keys=True)
+        skewed = tmp_path / "skewed.jsonl"
+        skewed.write_text("\n".join(lines) + "\n")
+        assert cli.main(["replay-session", str(skewed)]) == cli.EXIT_USER
+        assert "version" in capsys.readouterr().err
+
+    def test_missing_session_is_user_error(self, tmp_path, capsys):
+        code = cli.main(["replay-session", str(tmp_path / "nope.jsonl")])
+        assert code == cli.EXIT_USER
+        capsys.readouterr()
+
+    def test_traffic_needs_url(self, session_file, capsys):
+        code = cli.main(["replay-session", session_file, "--traffic"])
+        assert code == cli.EXIT_USER
+        assert "--url" in capsys.readouterr().err
+
+    def test_shared_epilog_on_both_help_texts(self, capsys):
+        for verb in ("replay-artifact", "replay-session"):
+            assert cli.main([verb, "--help"]) == cli.EXIT_OK
+            out = capsys.readouterr().out
+            assert "two replay verbs" in out
+            assert "deprecated alias" in out
+
 
 class TestExitCodes:
     """The uniform contract: 0 ok, 1 user/config, 2 internal/pipeline."""

@@ -1,0 +1,174 @@
+"""Session-format contracts: round-trip, torn tails, version skew."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import SessionFormatError, SessionVersionError
+from repro.replay import (
+    SESSION_VERSION,
+    RecordedJob,
+    Recorder,
+    Session,
+    SessionHeader,
+)
+
+
+def make_session(jobs: int = 3) -> Session:
+    clock = iter(float(i) for i in range(1000))
+    recorder = Recorder(
+        source="synthetic",
+        seeds={"mutation": 5, "think_time": 7, "backoff": 11},
+        meta={"origin": "test"},
+        clock=lambda: next(clock),
+    )
+    for i in range(jobs):
+        job_id = f"r{i:05d}"
+        recorder.record_submit(
+            job_id,
+            {"kind": "campaign", "figure": "fig14", "scale": 0.05 + i / 100},
+            tenant=f"tenant-{i % 2}",
+            priority=i,
+        )
+        recorder.record_claim(job_id)
+        recorder.record_complete(
+            job_id, result={"kind": "campaign", "rows": [[1, 2]], "n": i}
+        )
+    return recorder.finish()
+
+
+class TestRoundTrip:
+    def test_reserialize_is_byte_identical(self):
+        text = make_session().dumps()
+        assert Session.loads(text).dumps() == text
+
+    def test_dump_load_file(self, tmp_path):
+        session = make_session()
+        path = session.dump(tmp_path / "s.jsonl")
+        loaded = Session.load(path)
+        assert loaded.dumps() == session.dumps()
+        assert not loaded.truncated
+
+    def test_fields_survive(self):
+        session = Session.loads(make_session().dumps())
+        assert session.header.version == SESSION_VERSION
+        assert session.header.seeds == {
+            "mutation": 5, "think_time": 7, "backoff": 11,
+        }
+        assert session.header.meta == {"origin": "test"}
+        job = session.jobs[1]
+        assert job.tenant == "tenant-1"
+        assert job.priority == 1
+        assert job.outcome == "done"
+        assert job.result_digest
+        assert job.latency is not None and job.latency > 0
+
+    def test_session_id_is_content_derived(self):
+        a, b = make_session(), make_session()
+        assert a.header.session_id == b.header.session_id
+        assert a.header.session_id.startswith("s-")
+        c = make_session(jobs=4)
+        assert c.header.session_id != a.header.session_id
+
+    def test_canonical_lines_sorted_keys(self):
+        for line in make_session().dumps().splitlines():
+            raw = json.loads(line)
+            assert line == json.dumps(raw, sort_keys=True)
+
+
+class TestTornTail:
+    """Same contract as the serve JobStore WAL: a partial final line is
+    a record torn off by a dying writer, not corruption."""
+
+    def test_partial_tail_dropped(self):
+        text = make_session().dumps()
+        torn = text + '{"type": "job", "job_id": "half'
+        session = Session.loads(torn)
+        assert len(session.jobs) == 3
+        assert not session.truncated  # end marker still present
+
+    def test_missing_end_marker_flags_truncated(self):
+        lines = make_session().dumps().splitlines()
+        without_end = "\n".join(lines[:-1]) + "\n"
+        session = Session.loads(without_end)
+        assert session.truncated
+        assert len(session.jobs) == 3
+
+    def test_torn_job_line_dropped(self):
+        lines = make_session().dumps().splitlines()
+        # Lose the end marker AND tear the last job line: only fully
+        # committed jobs survive.
+        torn = "\n".join(lines[:-2]) + "\n" + lines[-2][: len(lines[-2]) // 2]
+        session = Session.loads(torn)
+        assert session.truncated
+        assert len(session.jobs) == 2
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(SessionFormatError):
+            Session.loads("no newline at all")
+
+    def test_lost_middle_record_rejected(self):
+        lines = make_session().dumps().splitlines()
+        del lines[2]  # a committed job vanished, end marker disagrees
+        with pytest.raises(SessionFormatError, match="lost middle"):
+            Session.loads("\n".join(lines) + "\n")
+
+    def test_garbage_committed_line_rejected(self):
+        lines = make_session().dumps().splitlines()
+        lines.insert(1, "{not json")
+        with pytest.raises(SessionFormatError, match="not valid JSON"):
+            Session.loads("\n".join(lines) + "\n")
+
+
+class TestVersionSkew:
+    def test_future_version_rejected(self):
+        lines = make_session().dumps().splitlines()
+        header = json.loads(lines[0])
+        header["version"] = SESSION_VERSION + 1
+        lines[0] = json.dumps(header, sort_keys=True)
+        with pytest.raises(SessionVersionError) as err:
+            Session.loads("\n".join(lines) + "\n")
+        assert err.value.found == SESSION_VERSION + 1
+        assert err.value.supported == SESSION_VERSION
+
+    def test_version_error_is_format_error(self):
+        assert issubclass(SessionVersionError, SessionFormatError)
+
+    def test_missing_header_rejected(self):
+        lines = make_session().dumps().splitlines()
+        with pytest.raises(SessionFormatError, match="header"):
+            Session.loads("\n".join(lines[1:]) + "\n")
+
+    def test_unknown_record_type_skipped(self):
+        lines = make_session().dumps().splitlines()
+        lines.insert(
+            2, json.dumps({"type": "annotation", "note": "hi"},
+                          sort_keys=True)
+        )
+        session = Session.loads("\n".join(lines) + "\n")
+        assert len(session.jobs) == 3
+
+
+class TestDerivedViews:
+    def test_duration(self):
+        session = make_session()
+        first = min(j.submit_at for j in session.jobs)
+        last = max(j.complete_at for j in session.jobs)
+        assert session.duration == pytest.approx(last - first)
+
+    def test_verifiable_excludes_failures(self):
+        session = make_session()
+        session.jobs[0].outcome = "failed"
+        session.jobs[0].result_digest = ""
+        assert len(session.verifiable_jobs()) == 2
+
+    def test_header_roundtrip_dict(self):
+        header = SessionHeader(seeds={"mutation": 1}, meta={"a": "b"})
+        assert SessionHeader.from_dict(header.to_dict()) == header
+
+    def test_job_roundtrip_dict(self):
+        job = RecordedJob(job_id="x", spec={"kind": "campaign"},
+                          deps=["y"], metrics={"rows": 3})
+        assert RecordedJob.from_dict(job.to_dict()) == job
