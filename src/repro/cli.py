@@ -165,11 +165,16 @@ def _print_lowered(jres) -> None:
         print(f"  {cmd}")
 
 
-def _optimizer_knobs(args) -> tuple[int, int, str]:
+def _optimizer_knobs(args) -> tuple[int, int, str, str]:
     """Validate the optimizer budgets/strategy flags (UsageError -> 1)."""
     from repro.egraph.saturate import validate_optimizer_knobs
 
-    knobs = (args.max_iterations, args.node_budget, args.strategy)
+    knobs = (
+        args.max_iterations,
+        args.node_budget,
+        args.strategy,
+        args.rule_scheduler,
+    )
     problems = validate_optimizer_knobs(*knobs)
     if problems:
         raise UsageError("; ".join(problems))
@@ -180,8 +185,9 @@ def _print_egraph_stats(report) -> None:
     from repro.sim.campaign import format_table
 
     print(
-        f"\n-- e-graph stats ({report.strategy}, "
-        f"{report.iterations} iterations, "
+        f"\n-- e-graph stats ({report.strategy}/{report.scheduler}, "
+        f"{report.iterations} iterations "
+        f"({report.deadline_iterations} deadline), "
         f"{'saturated' if report.saturated else 'budget-limited'}) --"
     )
     if report.budget_tripped_by is not None:
@@ -194,21 +200,23 @@ def _print_egraph_stats(report) -> None:
         f"extract {p.extract_seconds * 1e3:.1f}ms"
     )
     rows = [
-        [rs.name, rs.matches, rs.applied, rs.unions, rs.bans,
-         f"{rs.seconds * 1e3:.1f}"]
+        [rs.name, rs.matches, rs.applied, rs.unions, rs.productive,
+         rs.churn, f"{rs.benefit:.0f}", rs.bans, f"{rs.seconds * 1e3:.1f}"]
         for rs in report.rule_stats
         if rs.matches or rs.bans
     ]
     if rows:
         print(format_table(
-            ["rule", "matches", "applied", "unions", "bans", "ms"], rows
+            ["rule", "matches", "applied", "unions", "productive",
+             "churn", "benefit", "bans", "ms"],
+            rows,
         ))
 
 
 def cmd_compile(args) -> int:
     if args.egraph_stats:
         args.optimize = True
-    max_iterations, node_budget, strategy = _optimizer_knobs(args)
+    max_iterations, node_budget, strategy, scheduler = _optimizer_knobs(args)
     timing, hooks = _instrumentation(args)
     with _observing(args):
         pipeline = compile_pipeline(
@@ -216,6 +224,7 @@ def cmd_compile(args) -> int:
             max_iterations=max_iterations,
             node_budget=node_budget,
             strategy=strategy,
+            scheduler=scheduler,
             hooks=hooks,
         )
         if args.lower:
@@ -257,7 +266,7 @@ def _system_config(args):
 
 
 def cmd_simulate(args) -> int:
-    max_iterations, node_budget, strategy = _optimizer_knobs(args)
+    max_iterations, node_budget, strategy, scheduler = _optimizer_knobs(args)
     timing, hooks = _instrumentation(args)
     with _observing(args):
         pipeline = simulate_pipeline(
@@ -268,6 +277,7 @@ def cmd_simulate(args) -> int:
             opt_max_iterations=max_iterations,
             opt_node_budget=node_budget,
             opt_strategy=strategy,
+            opt_scheduler=scheduler,
             hooks=hooks,
         )
         result = pipeline.run(_source_artifact(args)).final.result
@@ -491,6 +501,7 @@ def _submit_spec(args) -> dict:
         spec["max_iterations"] = args.max_iterations
         spec["node_budget"] = args.node_budget
         spec["strategy"] = args.strategy
+        spec["scheduler"] = args.rule_scheduler
     return spec
 
 
@@ -737,6 +748,12 @@ def _add_optimizer_args(p: argparse.ArgumentParser) -> None:
         "--strategy",
         default="indexed",
         help="e-matching strategy: indexed (incremental) or naive",
+    )
+    p.add_argument(
+        "--rule-scheduler",
+        default="greedy",
+        help="indexed-strategy rule scheduler: greedy (cost-guided, "
+        "budget-aware) or backoff (egg-style match-limit bans)",
     )
 
 

@@ -12,8 +12,10 @@ rewrites must preserve.
 
 from repro.egraph.egraph import EGraph, ENode
 from repro.egraph.saturate import (
+    SCHEDULERS,
     STRATEGIES,
     BackoffScheduler,
+    GreedyScheduler,
     OptimizationReport,
     PhaseTimings,
     RuleStats,
@@ -29,6 +31,8 @@ __all__ = [
     "PhaseTimings",
     "RuleStats",
     "BackoffScheduler",
+    "GreedyScheduler",
+    "SCHEDULERS",
     "STRATEGIES",
     "validate_optimizer_knobs",
 ]

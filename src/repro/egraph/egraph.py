@@ -63,7 +63,13 @@ class EGraph:
 
     def __init__(self) -> None:
         self._parent: list[int] = []
-        self._classes: dict[int, set[ENode]] = {}
+        # Class node "sets" are insertion-ordered dicts so every
+        # iteration over a class's nodes (matching, extraction) is
+        # deterministic regardless of PYTHONHASHSEED — under a node
+        # budget the *order* of exploration decides which terms get
+        # materialized, so str-hash-dependent set order would make
+        # budget-tripped costs vary across processes.
+        self._classes: dict[int, dict[ENode, None]] = {}
         self._hashcons: dict[ENode, int] = {}
         self._domains: dict[int, Hyperrect | None] = {}
         self._has_domain: dict[int, bool] = {}
@@ -96,7 +102,7 @@ class EGraph:
     def _new_class(self, node: ENode, domain: Hyperrect | None, has: bool) -> int:
         cid = len(self._parent)
         self._parent.append(cid)
-        self._classes[cid] = {node}
+        self._classes[cid] = {node: None}
         self._domains[cid] = domain
         self._has_domain[cid] = has
         self._node_total += 1
@@ -200,8 +206,8 @@ class EGraph:
             nodes = self._classes.get(owner)
             if nodes is not None and canon != pnode and pnode in nodes:
                 before = len(nodes)
-                nodes.discard(pnode)
-                nodes.add(canon)
+                del nodes[pnode]
+                nodes[canon] = None
                 self._node_total += len(nodes) - before
             if canon != pnode:
                 self._kind_classes.setdefault(canon.label[0], set()).add(owner)
@@ -248,7 +254,7 @@ class EGraph:
         root = self.find(cid)
         if root in self._classes:
             self._classes[root] = {
-                n.canonicalize(self.find) for n in self._classes[root]
+                n.canonicalize(self.find): None for n in self._classes[root]
             }
 
     def _reindex(self) -> None:
@@ -269,7 +275,9 @@ class EGraph:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def nodes(self, cid: int) -> set[ENode]:
+    def nodes(self, cid: int) -> dict[ENode, None]:
+        """The class's nodes as an insertion-ordered set (a keys-only
+        dict): iteration order is deterministic across processes."""
         return self._classes[self.find(cid)]
 
     def domain(self, cid: int) -> Hyperrect | None:

@@ -94,6 +94,16 @@ class Extractor:
             self.best[cid] = best_node
         return best_cost
 
+    def class_cost(self, cid: int) -> float:
+        """Memoized tree cost of a class as of the last :meth:`refresh`.
+
+        ``inf`` for classes with no extractable node yet.  The greedy
+        saturation scheduler uses this to estimate the benefit of a
+        pending union (``cost(kept) - cost(equivalent)``) without
+        re-running extraction per candidate.
+        """
+        return self.cost.get(self.eg.find(cid), math.inf)
+
     # ------------------------------------------------------------------
     def refresh(self) -> None:
         """Bring ``best``/``cost`` up to date with the e-graph.
@@ -145,6 +155,128 @@ class Extractor:
                 if parent not in in_work:
                     in_work.add(parent)
                     pending.append(parent)
+
+    def ensure_acyclic(self, roots: list[int]) -> None:
+        """Verify the selection reachable from *roots* is cycle-free.
+
+        Tie-preservation keeps a class's previous witness, but a union
+        can re-canonicalize that witness so a child resolves back into
+        its own class (zero-cost shrink chains collapsing onto
+        themselves), which would send DAG reconstruction into infinite
+        recursion.  The recorded *costs* stay valid either way (a cycle
+        can only arise from an exact tie), so a detected cycle falls
+        back to the clean-slate fixpoint, whose strict-decrease
+        adoptions are provably acyclic.
+        """
+        eg = self.eg
+        state: dict[int, int] = {}  # 0 = on the DFS path, 1 = done
+        for root in roots:
+            stack = [(eg.find(root), False)]
+            while stack:
+                cid, post = stack.pop()
+                if post:
+                    state[cid] = 1
+                    continue
+                st = state.get(cid)
+                if st == 1:
+                    continue
+                if st == 0:
+                    # Reached a class already on the current path.
+                    self._full_fixpoint()
+                    return
+                node = self.best.get(cid)
+                if node is None:
+                    continue  # dag_cost reports the precise class
+                state[cid] = 0
+                stack.append((cid, True))
+                for child in node.children:
+                    ch = eg.find(child)
+                    if state.get(ch) != 1:
+                        stack.append((ch, False))
+
+    # ------------------------------------------------------------------
+    def _selection_cost(self, roots: list[int]) -> float:
+        """DAG cost of the current selection; ``inf`` if it cycles.
+
+        Same walk as :func:`dag_cost` plus back-edge detection, so the
+        refinement loop can evaluate a candidate swap in one pass.
+        """
+        eg = self.eg
+        state: dict[int, int] = {}  # 0 = on path, 1 = done
+        total = 0.0
+        for root in roots:
+            stack = [(eg.find(root), False)]
+            while stack:
+                cid, post = stack.pop()
+                if post:
+                    state[cid] = 1
+                    continue
+                st = state.get(cid)
+                if st == 1:
+                    continue
+                if st == 0:
+                    return math.inf
+                node = self.best.get(cid)
+                if node is None:
+                    return math.inf
+                total += self._ncost(node)
+                state[cid] = 0
+                stack.append((cid, True))
+                for child in node.children:
+                    ch = eg.find(child)
+                    if state.get(ch) != 1:
+                        stack.append((ch, False))
+        return total
+
+    def refine_sharing(self, roots: list[int], max_passes: int = 5) -> float:
+        """Re-pick tree-cost-tied witnesses to maximize DAG sharing.
+
+        Per-class extraction minimizes *tree* cost and keeps the first
+        witness on ties, but the reported metric is *DAG* cost, where a
+        tie-breaking choice that reuses an already-selected subtree is
+        strictly cheaper (the paper's compute-reuse argument, Fig 6).
+        This hill-climbs over the selected classes: for each, try every
+        node tying the class's tree cost and keep the swap iff the
+        actual DAG cost strictly drops (the evaluation walk rejects
+        cyclic selections outright).  Deterministic: classes are visited
+        in sorted order, nodes in insertion order, and only strict
+        improvements are kept.  Returns the final DAG cost.
+        """
+        eg = self.eg
+        best_total = self._selection_cost(roots)
+        if best_total == math.inf:
+            return best_total
+        for _ in range(max_passes):
+            changed = False
+            selected: set[int] = set()
+            stack = [eg.find(r) for r in roots]
+            while stack:
+                cid = stack.pop()
+                if cid in selected:
+                    continue
+                selected.add(cid)
+                stack.extend(eg.find(c) for c in self.best[cid].children)
+            for cid in sorted(selected):
+                cur = self.best.get(cid)
+                if cur is None:
+                    continue
+                cls_cost = self.cost.get(cid, math.inf)
+                for node in eg.nodes(cid):
+                    if node == cur:
+                        continue
+                    if abs(self._node_total(node) - cls_cost) > _EPS:
+                        continue
+                    self.best[cid] = node
+                    total = self._selection_cost(roots)
+                    if total < best_total - _EPS:
+                        best_total = total
+                        cur = node
+                        changed = True
+                    else:
+                        self.best[cid] = cur
+            if not changed:
+                break
+        return best_total
 
     def _full_fixpoint(self) -> None:
         """The classic global fixpoint (correctness fallback)."""

@@ -49,11 +49,23 @@ class Rule:
     returns the matches it found.  ``kinds`` is the set of label heads
     the matcher can seed on; the driver uses it to restrict candidates
     via the e-graph's kind index.
+
+    ``prior`` is the rule's default scheduling priority before any
+    benefit profile exists: the greedy scheduler matches higher-prior
+    rules first, so under a node budget their terms are admitted before
+    lower-prior churn.  The values are tuned from the per-rule
+    productive-match profile of the budget-tripped conv2d run (see
+    EXPERIMENTS.md): structural cost-lowering rules (move fusion,
+    shrink folding, shrink/compute exchange, tensor expansion,
+    factoring) rank above the exploration-only rules (``comm`` and
+    ``assoc``), whose unions never lower extracted cost directly — they
+    only enable later structural matches.
     """
 
     name: str
     kinds: tuple[str, ...]
     matcher: Callable[[EGraph, int, ENode], list[Match]]
+    prior: float = 1.0
 
     def match_class(self, eg: EGraph, cid: int) -> list[Match]:
         """Fire the rule from every seed node of one e-class."""
@@ -316,6 +328,7 @@ def expand_rule(array_domains: dict[str, Hyperrect]) -> Rule:
         "expand",
         ("tensor",),
         lambda eg, cid, node: _m_expand(eg, cid, node, array_domains),
+        prior=7.0,
     )
 
 
@@ -489,17 +502,21 @@ def _m_cmp_shrink(eg: EGraph, cid: int, node: ENode) -> list[Match]:
 # The rule set.  Module-level rules are callable (``rule(eg)`` performs
 # the naive full scan), so direct per-rule tests keep working.
 # ----------------------------------------------------------------------
-rule_comm = Rule("comm", ("cmp",), _m_comm)
-rule_assoc = Rule("assoc", ("cmp",), _m_assoc)
-rule_distrib = Rule("distrib", ("cmp",), _m_distrib)
-rule_mv_cmp = Rule("mv_cmp", ("cmp", "mv"), _m_mv_cmp)
-rule_bc_cmp = Rule("bc_cmp", ("cmp", "bc"), _m_bc_cmp)
-rule_mv_fuse = Rule("mv_fuse", ("mv",), _m_mv_fuse)
-rule_mv_commute = Rule("mv_commute", ("mv",), _m_mv_commute)
-rule_shrink_shrink = Rule("shrink_shrink", ("shrink",), _m_shrink_shrink)
-rule_mv_shrink = Rule("mv_shrink", ("mv", "shrink"), _m_mv_shrink)
-rule_bc_shrink = Rule("bc_shrink", ("shrink",), _m_bc_shrink)
-rule_cmp_shrink = Rule("cmp_shrink", ("cmp", "shrink"), _m_cmp_shrink)
+rule_comm = Rule("comm", ("cmp",), _m_comm, prior=1.0)
+rule_assoc = Rule("assoc", ("cmp",), _m_assoc, prior=0.5)
+rule_distrib = Rule("distrib", ("cmp",), _m_distrib, prior=6.0)
+rule_mv_cmp = Rule("mv_cmp", ("cmp", "mv"), _m_mv_cmp, prior=4.0)
+rule_bc_cmp = Rule("bc_cmp", ("cmp", "bc"), _m_bc_cmp, prior=4.0)
+rule_mv_fuse = Rule("mv_fuse", ("mv",), _m_mv_fuse, prior=10.0)
+rule_mv_commute = Rule("mv_commute", ("mv",), _m_mv_commute, prior=2.0)
+rule_shrink_shrink = Rule(
+    "shrink_shrink", ("shrink",), _m_shrink_shrink, prior=9.0
+)
+rule_mv_shrink = Rule("mv_shrink", ("mv", "shrink"), _m_mv_shrink, prior=5.0)
+rule_bc_shrink = Rule("bc_shrink", ("shrink",), _m_bc_shrink, prior=5.0)
+rule_cmp_shrink = Rule(
+    "cmp_shrink", ("cmp", "shrink"), _m_cmp_shrink, prior=8.0
+)
 
 
 def default_rules(array_domains: dict[str, Hyperrect]) -> list[Rule]:

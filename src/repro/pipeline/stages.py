@@ -81,6 +81,7 @@ def optimize_stage(
     max_iterations: int = 4,
     node_budget: int = 20_000,
     strategy: str = "indexed",
+    scheduler: str = "greedy",
 ) -> Stage:
     """E-graph optimization; a typed passthrough when ``enabled=False``."""
 
@@ -99,6 +100,7 @@ def optimize_stage(
             max_iterations=max_iterations,
             node_budget=node_budget,
             strategy=strategy,
+            scheduler=scheduler,
         )
         return TDFGArtifact(
             tdfg=optimized, signature=format_tdfg(optimized), report=report
@@ -170,6 +172,7 @@ def simulate_stage(
     opt_max_iterations: int = 4,
     opt_node_budget: int = 20_000,
     opt_strategy: str = "indexed",
+    opt_scheduler: str = "greedy",
 ) -> Stage:
     """Whole-workload timing under one Fig 11 configuration.
 
@@ -194,6 +197,7 @@ def simulate_stage(
             opt_max_iterations=opt_max_iterations,
             opt_node_budget=opt_node_budget,
             opt_strategy=opt_strategy,
+            opt_scheduler=opt_scheduler,
         )
         # One lookup path for every paradigm: the registered factory
         # already wraps Base/Near-L3 with energy annotation and
@@ -219,6 +223,7 @@ def compile_pipeline(
     max_iterations: int = 4,
     node_budget: int = 20_000,
     strategy: str = "indexed",
+    scheduler: str = "greedy",
     sram_sizes: tuple[int, ...] | None = None,
     jit=None,
     tile_override: tuple[int, ...] | None = None,
@@ -235,6 +240,7 @@ def compile_pipeline(
                 max_iterations=max_iterations,
                 node_budget=node_budget,
                 strategy=strategy,
+                scheduler=scheduler,
             ),
             fatbinary_stage(sram_sizes=sram_sizes),
             jit_lower_stage(jit=jit, tile_override=tile_override),
@@ -252,6 +258,7 @@ def simulate_pipeline(
     opt_max_iterations: int = 4,
     opt_node_budget: int = 20_000,
     opt_strategy: str = "indexed",
+    opt_scheduler: str = "greedy",
     hooks: Sequence[PipelineHooks] = (),
     verify: bool = True,
 ) -> PassManager:
@@ -267,6 +274,7 @@ def simulate_pipeline(
                 opt_max_iterations=opt_max_iterations,
                 opt_node_budget=opt_node_budget,
                 opt_strategy=opt_strategy,
+                opt_scheduler=opt_scheduler,
             ),
         ],
         hooks=hooks,
@@ -284,6 +292,7 @@ def region_pipeline(
     opt_max_iterations: int = 4,
     opt_node_budget: int = 20_000,
     opt_strategy: str = "indexed",
+    opt_scheduler: str = "greedy",
 ) -> PassManager:
     """The timing engine's per-region chain: fatbinary → jit-lower.
 
@@ -313,6 +322,7 @@ def region_pipeline(
                 max_iterations=opt_max_iterations,
                 node_budget=opt_node_budget,
                 strategy=opt_strategy,
+                scheduler=opt_scheduler,
             ),
         )
     return PassManager(stages, hooks=hooks, verify=verify)

@@ -256,10 +256,11 @@ def validate_spec(spec) -> dict:
                 "max_iterations": spec.get("max_iterations", 4),
                 "node_budget": spec.get("node_budget", 20_000),
                 "strategy": spec.get("strategy", "indexed"),
+                "scheduler": spec.get("scheduler", "greedy"),
             }
             problems = validate_optimizer_knobs(
                 knobs["max_iterations"], knobs["node_budget"],
-                knobs["strategy"],
+                knobs["strategy"], knobs["scheduler"],
             )
             if problems:
                 raise JobSpecError("; ".join(problems))
@@ -348,6 +349,7 @@ def _run_kernel_spec(spec: dict) -> dict:
         opt_max_iterations=int(spec.get("max_iterations", 4)),
         opt_node_budget=int(spec.get("node_budget", 20_000)),
         opt_strategy=str(spec.get("strategy", "indexed")),
+        opt_scheduler=str(spec.get("scheduler", "greedy")),
     )
     result = pipeline.run(source).final.result
     return {

@@ -107,6 +107,7 @@ class InfinityStreamRunner:
             opt_max_iterations=wl.opt_max_iterations,
             opt_node_budget=wl.opt_node_budget,
             opt_strategy=wl.opt_strategy,
+            opt_scheduler=wl.opt_scheduler,
         )
         result = RunResult(workload=wl.name, paradigm=self.paradigm)
         cy = result.cycles

@@ -78,6 +78,7 @@ class Workload:
     opt_max_iterations: int = 4
     opt_node_budget: int = 20_000
     opt_strategy: str = "indexed"
+    opt_scheduler: str = "greedy"
     host_loops: tuple[str, ...] = ()
 
     def instantiate(self) -> InstantiatedKernel:

@@ -7,13 +7,18 @@ Covers the optimizer's control surface around the indexed matcher:
   iteration cap, and the ``cost_after >= cost_before`` fallback that
   returns the input tDFG untouched;
 * the egg-style :class:`BackoffScheduler` (ban thresholds double, bans
-  expire, stall-unban via ``unban_all``);
+  expire, stall-unban via ``unban_all`` with a trace instant and an
+  ``egraph.scheduler.unbans`` metric) and the cost-guided
+  :class:`GreedyScheduler` (prior-seeded yield order, benefit profile,
+  deadline mode, growth caps, consolidation rule filter);
 * knob validation at both the library boundary (``OptimizationError``)
-  and the user boundaries (CLI exit code 1, serve ``JobSpecError``);
-* cross-strategy agreement: ``indexed`` and ``naive`` extract
-  cost-identical tDFGs on every workload kernel that saturates, and
-  both still improve the one kernel (conv2d) whose search the node
-  budget truncates;
+  and the user boundaries (CLI exit code 1, serve ``JobSpecError``),
+  including the ``--rule-scheduler`` knob;
+* cross-strategy and cross-scheduler agreement: ``indexed`` (under
+  either scheduler) and ``naive`` extract cost-identical tDFGs on
+  every workload kernel that saturates, budget-tripped runs are
+  bit-deterministic across repeated invocations, and extraction never
+  regresses past the input cost;
 * the ``egraph.*`` metrics and stats surfaced through
   :class:`OptimizationReport` and ``repro compile --egraph-stats``.
 """
@@ -24,8 +29,10 @@ import pytest
 
 from repro import cli
 from repro.egraph import (
+    SCHEDULERS,
     STRATEGIES,
     BackoffScheduler,
+    GreedyScheduler,
     optimize_tdfg,
     validate_optimizer_knobs,
 )
@@ -128,6 +135,12 @@ class TestKnobValidation:
     def test_valid_knobs_pass(self):
         assert validate_optimizer_knobs(4, 20_000, "indexed") == []
         assert validate_optimizer_knobs(1, 64, "naive") == []
+        for scheduler in SCHEDULERS:
+            assert validate_optimizer_knobs(4, 20_000, "indexed", scheduler) == []
+
+    def test_bad_scheduler_reported(self):
+        problems = validate_optimizer_knobs(4, 20_000, "indexed", "bogus")
+        assert any("scheduler" in p for p in problems)
 
     @pytest.mark.parametrize(
         "kwargs",
@@ -137,9 +150,10 @@ class TestKnobValidation:
             {"node_budget": 63},
             {"node_budget": 2.5},
             {"strategy": "bogus"},
+            {"scheduler": "bogus"},
         ],
         ids=["zero-iters", "bool-iters", "low-budget", "float-budget",
-             "bad-strategy"],
+             "bad-strategy", "bad-scheduler"],
     )
     def test_bad_knobs_raise_optimization_error(self, kwargs):
         with pytest.raises(OptimizationError):
@@ -158,6 +172,8 @@ class TestKnobValidation:
         assert "strategy" in capsys.readouterr().err
         assert cli.main(base + ["--max-iterations", "0"]) == 1
         assert "max_iterations" in capsys.readouterr().err
+        assert cli.main(base + ["--rule-scheduler", "bogus"]) == 1
+        assert "scheduler" in capsys.readouterr().err
 
     def test_cli_egraph_stats_prints_rule_table(self, tmp_path, capsys):
         path = tmp_path / "factor.k"
@@ -171,6 +187,8 @@ class TestKnobValidation:
         assert "e-graph stats" in out
         assert "distrib" in out  # the factoring rule fired and is listed
         assert "phases:" in out
+        assert "productive" in out  # the greedy benefit profile columns
+        assert "benefit" in out
 
     def test_serve_spec_validates_knobs(self):
         spec = {
@@ -183,12 +201,18 @@ class TestKnobValidation:
         norm = validate_spec(spec)
         assert norm["optimize"] is True
         assert norm["strategy"] == "indexed"
+        assert norm["scheduler"] == "greedy"
         assert norm["max_iterations"] == 4
         assert norm["node_budget"] == 20_000
+        assert validate_spec({**spec, "scheduler": "backoff"})[
+            "scheduler"
+        ] == "backoff"
         with pytest.raises(JobSpecError):
             validate_spec({**spec, "node_budget": 8})
         with pytest.raises(JobSpecError):
             validate_spec({**spec, "strategy": "bogus"})
+        with pytest.raises(JobSpecError):
+            validate_spec({**spec, "scheduler": "bogus"})
 
     def test_serve_spec_without_optimize_has_no_knobs(self):
         norm = validate_spec({
@@ -237,6 +261,87 @@ class TestBackoffScheduler:
         assert not s.any_banned(1)
         assert not s.is_banned(0, 1)
 
+    def test_stall_unban_emits_trace_instant_and_metric(self):
+        from repro.egraph.egraph import EGraph
+        from repro.egraph.rewrites import default_rules
+        from repro.egraph.saturate import _Saturation
+
+        rules = default_rules({})
+        sat = _Saturation(EGraph(), rules, 4, 20_000)
+        s = BackoffScheduler(len(rules), match_limit=1, ban_length=8)
+        s.record_matches(0, 5, 0)  # bench rule 0
+        with trace_events.tracing() as tr, trace_metrics.collecting() as reg:
+            sat._stall_unban(s, 1, "backoff")
+        assert sat.unbans == 1
+        assert not s.any_banned(1)
+        unban_events = [
+            e for e in tr.events if e.name == "egraph.scheduler.unban"
+        ]
+        assert unban_events, "no egraph.scheduler.unban instant emitted"
+        assert rules[0].name in unban_events[0].args["rules"]
+        assert unban_events[0].args["scheduler"] == "backoff"
+        snap = reg.snapshot()
+        assert any(
+            k.startswith("egraph.scheduler.unbans") for k in snap.counters
+        ), f"no egraph.scheduler.unbans counter in {snap.counters}"
+
+
+# ----------------------------------------------------------------------
+# Greedy scheduler
+# ----------------------------------------------------------------------
+class TestGreedyScheduler:
+    def _rules(self):
+        from repro.egraph.rewrites import default_rules
+
+        return default_rules({})
+
+    def test_priors_seed_rule_order(self):
+        rules = self._rules()
+        s = GreedyScheduler(rules)
+        order = s.rule_order()
+        priors = [rules[i].prior for i in order]
+        assert priors == sorted(priors, reverse=True)
+
+    def test_observed_benefit_overrides_prior(self):
+        rules = self._rules()
+        s = GreedyScheduler(rules)
+        lowest = min(range(len(rules)), key=lambda i: rules[i].prior)
+        # A rule with high observed benefit-per-node jumps the order.
+        s.record_growth(lowest, matches=10, nodes_added=10)
+        s.record_benefit(lowest, 500.0)
+        for i in range(len(rules)):
+            if i != lowest:
+                s.record_growth(i, matches=10, nodes_added=10)
+        assert s.rule_order()[0] == lowest
+
+    def test_all_churn_rule_sorts_last(self):
+        rules = self._rules()
+        s = GreedyScheduler(rules)
+        for i in range(len(rules)):
+            s.record_growth(i, matches=10, nodes_added=10)
+            if i != 0:
+                s.record_benefit(i, 10.0)
+        assert s.rule_order()[-1] == 0  # zero benefit: pure churn
+
+    def test_deadline_triggers_on_low_headroom_or_growth(self):
+        s = GreedyScheduler(self._rules(), deadline_fraction=0.25)
+        assert not s.in_deadline(10_000, 20_000, prev_growth=100)
+        assert s.in_deadline(4_000, 20_000, prev_growth=100)  # < 25%
+        assert s.in_deadline(6_000, 20_000, prev_growth=7_000)  # < growth
+        assert s.in_deadline(0, 20_000, prev_growth=0)
+
+    def test_growth_cap_floor_and_half_headroom(self):
+        s = GreedyScheduler(self._rules(), min_quota=256)
+        assert s.growth_cap(10_000) == 5_000
+        assert s.growth_cap(0) == 64  # min_quota // 4 floor
+
+    def test_consolidation_rules_exclude_churn(self):
+        rules = self._rules()
+        s = GreedyScheduler(rules)
+        names = {rules[i].name for i in s.consolidation_rules()}
+        assert "assoc" not in names and "comm" not in names
+        assert "cmp_shrink" in names and "mv_fuse" in names
+
 
 # ----------------------------------------------------------------------
 # Cross-strategy agreement on the workload kernels
@@ -273,15 +378,48 @@ class TestStrategyAgreement:
         for rep in reports.values():
             assert rep.saturated or rep.cost_after == rep.cost_before
 
-    def test_budget_truncated_kernel_improves_under_both(self):
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_schedulers_agree_on_saturating_kernels(self, name):
+        tdfg = _workload_tdfg(name)
+        reports = {}
+        for scheduler in SCHEDULERS:
+            _, reports[scheduler] = optimize_tdfg(
+                tdfg, max_iterations=6, scheduler=scheduler
+            )
+            assert reports[scheduler].scheduler == scheduler
+        assert (
+            reports["greedy"].cost_after == reports["backoff"].cost_after
+        ), f"{name}: schedulers extracted different costs"
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_budget_truncated_kernel_improves_under_both(self, scheduler):
         # conv2d trips the node budget: frontiers (and costs) legitimately
-        # diverge, but both strategies must still find an improvement.
+        # diverge, but every strategy/scheduler must still improve.
         tdfg = _workload_tdfg("conv2d", scale=0.01)
         for strategy in STRATEGIES:
             _, rep = optimize_tdfg(
-                tdfg, max_iterations=6, node_budget=2048, strategy=strategy
+                tdfg, max_iterations=6, node_budget=2048,
+                strategy=strategy, scheduler=scheduler,
             )
             assert rep.cost_after <= rep.cost_before
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_budget_tripped_run_is_deterministic(self, scheduler):
+        # Budget-exhausted exploration stops at a frontier that depends
+        # on iteration order; insertion-ordered e-class node sets make
+        # that order — and therefore the extraction — reproducible.
+        tdfg = _workload_tdfg("conv2d", scale=0.01)
+        reports = [
+            optimize_tdfg(
+                tdfg, max_iterations=6, node_budget=2048,
+                scheduler=scheduler,
+            )[1]
+            for _ in range(2)
+        ]
+        assert reports[0].budget_tripped_by is not None
+        assert reports[0].cost_after == reports[1].cost_after
+        assert reports[0].num_nodes == reports[1].num_nodes
+        assert reports[0].num_classes == reports[1].num_classes
 
 
 # ----------------------------------------------------------------------
@@ -311,3 +449,13 @@ class TestReportStats:
             k.startswith("egraph.saturate.seconds") for k in snap.counters
         ), f"missing egraph.saturate.seconds in {list(snap.counters)}"
         assert "egraph.nodes" in snap.dists
+
+    def test_greedy_profile_populates_productive_and_benefit(self):
+        _, report = optimize_tdfg(_factor_tdfg())  # greedy is the default
+        assert report.scheduler == "greedy"
+        assert sum(s.productive for s in report.rule_stats) > 0
+        assert sum(s.benefit for s in report.rule_stats) > 0.0
+
+    def test_backoff_report_carries_scheduler_name(self):
+        _, report = optimize_tdfg(_factor_tdfg(), scheduler="backoff")
+        assert report.scheduler == "backoff"

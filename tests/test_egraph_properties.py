@@ -44,7 +44,7 @@ from repro.egraph.rewrites import (
     rule_mv_shrink,
     rule_shrink_shrink,
 )
-from repro.egraph.saturate import STRATEGIES, optimize_tdfg
+from repro.egraph.saturate import SCHEDULERS, STRATEGIES, optimize_tdfg
 from repro.geometry import Hyperrect
 from repro.ir.dtypes import DType
 from repro.ir.nodes import (
@@ -332,3 +332,54 @@ def test_extraction_is_deterministic(term, seed):
         _saturate(eg, default_rules(_full_domains()), rounds=2)
         results.append(_extract(eg, root))
     assert results[0] == results[1]
+
+
+@pytest.mark.parametrize("scheduler", SCHEDULERS)
+@given(term=terms())
+@settings(max_examples=10, deadline=None)
+def test_budget_tripped_runs_deterministic_and_never_regress(
+    scheduler, term
+):
+    """A tiny node budget trips mid-exploration; the result must still be
+    bit-identical across repeated invocations (insertion-ordered e-class
+    node sets, explicit sort keys) and never worse than the input.
+    """
+    reports = [
+        optimize_tdfg(
+            _tdfg_of(term),
+            max_iterations=6,
+            node_budget=64,
+            scheduler=scheduler,
+        )[1]
+        for _ in range(2)
+    ]
+    first, second = reports
+    assert first.cost_after == second.cost_after
+    assert first.num_nodes == second.num_nodes
+    assert first.budget_tripped_by == second.budget_tripped_by
+    for rep in reports:
+        assert rep.cost_after <= rep.cost_before + 1e-9, (
+            f"{scheduler}: extraction regressed "
+            f"{rep.cost_before} -> {rep.cost_after} for {term!r}"
+        )
+
+
+@given(term=terms())
+@settings(max_examples=10, deadline=None)
+def test_schedulers_agree_when_both_saturate(term):
+    """Greedy and backoff must extract cost-identical results whenever
+    both reach fixpoint: scheduling changes the order rewrites are
+    discovered in, never the saturated equivalence closure.
+    """
+    reports = {
+        scheduler: optimize_tdfg(
+            _tdfg_of(term), max_iterations=8, scheduler=scheduler
+        )[1]
+        for scheduler in SCHEDULERS
+    }
+    greedy, backoff = reports["greedy"], reports["backoff"]
+    assert greedy.cost_before == backoff.cost_before
+    if greedy.saturated and backoff.saturated:
+        assert greedy.cost_after == backoff.cost_after, (
+            f"schedulers extracted different costs for {term!r}"
+        )
